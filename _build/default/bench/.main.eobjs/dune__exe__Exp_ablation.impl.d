@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Api Build Client Driver Harness Kvstore List Metrics Printf Saturn Scenario Sim Stats Util Workload

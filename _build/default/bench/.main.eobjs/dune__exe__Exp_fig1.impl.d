@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Harness List Printf Scenario Sim Stats Util Workload

@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Array Harness List Metrics Printf Saturn Scenario Sim Stats Util

@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Format Harness List Printf Scenario Stats Util Workload

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Array Build Client Driver Harness Kvstore List Metrics Printf Saturn Sim Stats Util Workload

@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Harness List Metrics Printf Scenario Sim Stats Util

@@ -1,0 +1,1 @@
+bench/exp_sensitivity.ml: Build Client Driver Format Harness List Metrics Printf Saturn Scenario Sim Stats Util Workload

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Array Baselines Build Client Driver Harness Kvstore List Metrics Printf Saturn Sim Stats Util Workload

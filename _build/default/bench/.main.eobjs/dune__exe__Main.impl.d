@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_fig1 Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig7 Exp_fig8 Exp_sensitivity Exp_table1 Exp_table2 List Micro Printf Sys Unix Util

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance Int List Measure Printf Saturn Sim Staged Stats Sys Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/util.ml: Filename Harness List Printf Sim Stats String

@@ -1,0 +1,7 @@
+(* Table 1: average latencies (half RTT) among Amazon EC2 regions — the
+   measured matrix the whole evaluation runs on. *)
+
+let run () =
+  Util.section "Table 1: EC2 inter-region latencies (half RTT) — simulation input";
+  Sim.Topology.pp_matrix Format.std_formatter Sim.Ec2.topology;
+  Format.print_flush ()

@@ -1,0 +1,63 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§7), plus microbenchmarks and design ablations.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig5a fig7   # a subset (ids below)
+     dune exec bench/main.exe -- --csv out .. # also write CSV artifacts  *)
+
+let experiments =
+  [
+    ("table1", "Table 1: EC2 latency matrix", Exp_table1.run);
+    ("fig1a", "Figure 1a: throughput/freshness tradeoff (3-7 DCs)", Exp_fig1.run_a);
+    ("fig1b", "Figure 1b: partial geo-replication problem", Exp_fig1.run_b);
+    ("fig4", "Figure 4: Saturn configuration matters", Exp_fig4.run);
+    ("fig5a", "Figure 5a: throughput vs value size", Exp_fig5.run_value_size);
+    ("fig5b", "Figure 5b: throughput vs R:W ratio", Exp_fig5.run_rw_ratio);
+    ("fig5c", "Figure 5c: throughput vs correlation", Exp_fig5.run_correlation);
+    ("fig5d", "Figure 5d: throughput vs remote reads", Exp_fig5.run_remote_reads);
+    ("fig6", "Figure 6: latency variability", Exp_fig6.run);
+    ("fig7", "Figure 7: visibility vs state of the art", Exp_fig7.run);
+    ("fig8a", "Figure 8a: Facebook benchmark throughput", Exp_fig8.run_a);
+    ("fig8b", "Figure 8b: Facebook benchmark visibility", Exp_fig8.run_b);
+    ("table2", "Table 2: systems classification + COPS metadata growth", Exp_table2.run);
+    ("ablation", "Design ablations (delays, migration labels, chains)", Exp_ablation.run);
+    ("sensitivity", "Sensitivity: partial-replication traffic, stabilization/sink periods", Exp_sensitivity.run);
+    ("micro", "Bechamel microbenchmarks", Micro.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* --csv DIR: additionally write every printed table as a CSV artifact *)
+  let rec extract_csv acc = function
+    | "--csv" :: dir :: rest ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Util.csv_dir := Some dir;
+      extract_csv acc rest
+    | x :: rest -> extract_csv (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_csv [] args in
+  let wall = Unix.gettimeofday () in
+  let selected =
+    match args with
+    | [] | [ "all" ] -> experiments
+    | ids ->
+      List.iter
+        (fun id ->
+          if not (List.exists (fun (eid, _, _) -> eid = id) experiments) then begin
+            Printf.eprintf "unknown experiment %S; available:\n" id;
+            List.iter (fun (eid, desc, _) -> Printf.eprintf "  %-8s %s\n" eid desc) experiments;
+            exit 2
+          end)
+        ids;
+      List.filter (fun (eid, _, _) -> List.mem eid ids) experiments
+  in
+  Printf.printf "Saturn reproduction benchmark harness — %d experiment(s)\n%!" (List.length selected);
+  List.iter
+    (fun (id, _, run) ->
+      let t0 = Unix.gettimeofday () in
+      Util.current_section := id;
+      run ();
+      Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0))
+    selected;
+  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. wall)

@@ -1,0 +1,67 @@
+(* Shared helpers for the benchmark experiments. *)
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+
+(* when --csv DIR is given, every printed table is also written as a CSV
+   artifact named after its section and title *)
+let csv_dir : string option ref = ref None
+let current_section = ref "misc"
+let table_counter = ref 0
+
+let slug s =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else '-')
+    (String.lowercase_ascii s)
+
+let print_table table =
+  Stats.Table.print table;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    incr table_counter;
+    let name =
+      Printf.sprintf "%s-%02d-%s.csv" (slug !current_section) !table_counter
+        (slug (Stats.Table.title table))
+    in
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc (Stats.Table.to_csv table);
+    close_out oc
+
+(* Percentiles used when printing a CDF as rows. *)
+let cdf_points = [ 10.; 25.; 50.; 75.; 90.; 95.; 99. ]
+
+let cdf_row label sample =
+  if Stats.Sample.is_empty sample then label :: List.map (fun _ -> "-") cdf_points
+  else
+    label
+    :: List.map (fun p -> Printf.sprintf "%.1f" (Stats.Sample.percentile sample p)) cdf_points
+
+let cdf_columns = "latency ms at CDF" :: List.map (fun p -> Printf.sprintf "p%.0f" p) cdf_points
+
+let pct_vs baseline v = if baseline = 0. then 0. else (v -. baseline) /. baseline *. 100.
+
+(* quick scenario variants used across experiments: short, stable windows *)
+let quick_setup =
+  { Harness.Scenario.default_setup with
+    Harness.Scenario.measure = Sim.Time.of_sec 1.0;
+    warmup = Sim.Time.of_ms 400;
+    cooldown = Sim.Time.of_ms 200;
+  }
+
+let outcome_row (o : Harness.Scenario.outcome) ~tput_baseline ~vis_baseline =
+  [
+    Harness.Scenario.system_name o.Harness.Scenario.system;
+    Printf.sprintf "%.0f" o.Harness.Scenario.throughput;
+    Printf.sprintf "%+.1f%%" (pct_vs tput_baseline o.Harness.Scenario.throughput);
+    Printf.sprintf "%.1f" o.Harness.Scenario.mean_visibility_ms;
+    Printf.sprintf "%.1f" o.Harness.Scenario.extra_visibility_ms;
+    Printf.sprintf "%+.1f%%" (pct_vs vis_baseline o.Harness.Scenario.mean_visibility_ms);
+  ]
+
+let outcome_columns =
+  [ "system"; "ops/s"; "tput vs eventual"; "visibility ms"; "extra ms"; "staleness vs eventual" ]

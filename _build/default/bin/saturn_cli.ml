@@ -1,0 +1,280 @@
+(* saturn-cli: drive the Saturn reproduction from the command line.
+
+   Subcommands:
+     matrix   print the EC2 latency matrix the simulations run on (Table 1)
+     plan     run the configuration generator (Algorithm 3) over regions
+     bench    run one comparative workload and print the measurements
+     social   run the Facebook-like benchmark
+     trace    record / replay operation traces *)
+
+open Cmdliner
+
+let region_conv =
+  let parse s =
+    match Sim.Topology.site_of_name Sim.Ec2.topology (String.uppercase_ascii s) with
+    | site -> Ok site
+    | exception Not_found ->
+      Error (`Msg (Printf.sprintf "unknown region %S (use NV NC O I F T S)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Sim.Topology.name Sim.Ec2.topology s))
+
+(* ---- matrix ---------------------------------------------------------------- *)
+
+let matrix_cmd =
+  let doc = "Print the inter-region latency matrix (the paper's Table 1)." in
+  Cmd.v (Cmd.info "matrix" ~doc)
+    Term.(
+      const (fun () ->
+          Sim.Topology.pp_matrix Format.std_formatter Sim.Ec2.topology;
+          Format.print_flush ())
+      $ const ())
+
+(* ---- plan ------------------------------------------------------------------ *)
+
+let plan regions seed =
+  let dc_sites =
+    match regions with [] -> Array.of_list (Sim.Ec2.first_n 7) | rs -> Array.of_list rs
+  in
+  let n = Array.length dc_sites in
+  if n < 2 then (prerr_endline "need at least 2 regions"; exit 2);
+  let name i = Sim.Topology.name Sim.Ec2.topology dc_sites.(i) in
+  let bulk i j = Sim.Topology.latency Sim.Ec2.topology dc_sites.(i) dc_sites.(j) in
+  let problem =
+    {
+      Saturn.Config_solver.topo = Sim.Ec2.topology;
+      dc_sites = Array.copy dc_sites;
+      candidates = Saturn.Config_solver.default_candidates ~dc_sites;
+      crit = Saturn.Mismatch.uniform ~n_dcs:n ~bulk;
+    }
+  in
+  let config, score = Saturn.Config_gen.find_configuration ~seed problem in
+  Format.printf "%a@.weighted mismatch: %.1f ms@.@." Saturn.Config.pp config score;
+  let table =
+    Stats.Table.create ~title:"metadata vs bulk (ms)" ~columns:[ "pair"; "metadata"; "bulk"; "gap" ]
+  in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let meta =
+          Sim.Time.to_ms_float
+            (Saturn.Config.metadata_latency config Sim.Ec2.topology ~src_dc:i ~dst_dc:j)
+        in
+        let b = Sim.Time.to_ms_float (bulk i j) in
+        Stats.Table.add_row table
+          [ Printf.sprintf "%s->%s" (name i) (name j); Printf.sprintf "%.0f" meta;
+            Printf.sprintf "%.0f" b; Printf.sprintf "%+.0f" (meta -. b) ]
+      end
+    done
+  done;
+  Stats.Table.print table
+
+let plan_cmd =
+  let doc = "Plan a serializer tree for a set of regions (Algorithm 3)." in
+  let regions =
+    Arg.(value & pos_all region_conv [] & info [] ~docv:"REGION" ~doc:"Regions (NV NC O I F T S).")
+  in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Deterministic search seed.") in
+  Cmd.v (Cmd.info "plan" ~doc) Term.(const plan $ regions $ seed)
+
+(* ---- bench ------------------------------------------------------------------ *)
+
+let system_conv =
+  Arg.enum
+    [
+      ("saturn", Harness.Scenario.Saturn_sys);
+      ("saturn-peer", Harness.Scenario.Saturn_peer);
+      ("eventual", Harness.Scenario.Eventual);
+      ("gentlerain", Harness.Scenario.Gentlerain);
+      ("cure", Harness.Scenario.Cure);
+    ]
+
+let correlation_conv =
+  Arg.enum
+    [
+      ("exponential", Workload.Keyspace.Exponential);
+      ("proportional", Workload.Keyspace.Proportional);
+      ("uniform", Workload.Keyspace.Uniform 4);
+      ("full", Workload.Keyspace.Full);
+    ]
+
+let bench systems n_dcs correlation value_size read_pct remote_pct clients measure_s =
+  let setup =
+    { Harness.Scenario.default_setup with
+      Harness.Scenario.n_dcs;
+      correlation;
+      value_size;
+      read_ratio = float_of_int read_pct /. 100.;
+      remote_read_ratio = float_of_int remote_pct /. 100.;
+      clients_per_dc = clients;
+      measure = Sim.Time.of_sec measure_s;
+    }
+  in
+  let systems = match systems with [] -> Harness.Scenario.all_systems | s -> s in
+  let table =
+    Stats.Table.create ~title:"results"
+      ~columns:[ "system"; "ops/s"; "visibility ms"; "extra ms"; "p90 ms" ]
+  in
+  List.iter
+    (fun sys ->
+      let o = Harness.Scenario.run sys setup in
+      Stats.Table.add_row table
+        [
+          Harness.Scenario.system_name sys;
+          Printf.sprintf "%.0f" o.Harness.Scenario.throughput;
+          Printf.sprintf "%.1f" o.Harness.Scenario.mean_visibility_ms;
+          Printf.sprintf "%.1f" o.Harness.Scenario.extra_visibility_ms;
+          Printf.sprintf "%.1f" o.Harness.Scenario.p90_visibility_ms;
+        ])
+    systems;
+  Stats.Table.print table
+
+let bench_cmd =
+  let doc = "Run a comparative synthetic workload (the Figure 5/7 harness)." in
+  let systems =
+    Arg.(value & opt_all system_conv [] & info [ "s"; "system" ] ~doc:"System(s) to run; default all.")
+  in
+  let n_dcs = Arg.(value & opt int 7 & info [ "dcs" ] ~doc:"Number of datacenters (3-7).") in
+  let correlation =
+    Arg.(value & opt correlation_conv Workload.Keyspace.Exponential
+         & info [ "correlation" ] ~doc:"exponential|proportional|uniform|full")
+  in
+  let value_size = Arg.(value & opt int 2 & info [ "value-size" ] ~doc:"Value size in bytes.") in
+  let read_pct = Arg.(value & opt int 90 & info [ "reads" ] ~doc:"Read percentage.") in
+  let remote_pct = Arg.(value & opt int 0 & info [ "remote-reads" ] ~doc:"Remote-read percentage of reads.") in
+  let clients = Arg.(value & opt int 40 & info [ "clients" ] ~doc:"Clients per datacenter.") in
+  let measure = Arg.(value & opt float 1.0 & info [ "measure" ] ~doc:"Measured window, simulated seconds.") in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const bench $ systems $ n_dcs $ correlation $ value_size $ read_pct $ remote_pct $ clients $ measure)
+
+(* ---- social ------------------------------------------------------------------ *)
+
+let social systems users max_replicas =
+  let setup =
+    { Harness.Scenario.default_social_setup with
+      Harness.Scenario.n_users = users;
+      max_replicas;
+    }
+  in
+  let systems = match systems with [] -> Harness.Scenario.all_systems | s -> s in
+  let table =
+    Stats.Table.create ~title:"Facebook-like benchmark"
+      ~columns:[ "system"; "ops/s"; "visibility ms"; "extra ms" ]
+  in
+  List.iter
+    (fun sys ->
+      let o = Harness.Scenario.run_social sys setup in
+      Stats.Table.add_row table
+        [
+          Harness.Scenario.system_name sys;
+          Printf.sprintf "%.0f" o.Harness.Scenario.throughput;
+          Printf.sprintf "%.1f" o.Harness.Scenario.mean_visibility_ms;
+          Printf.sprintf "%.1f" o.Harness.Scenario.extra_visibility_ms;
+        ])
+    systems;
+  Stats.Table.print table
+
+let social_cmd =
+  let doc = "Run the Facebook-like benchmark (§7.4)." in
+  let systems =
+    Arg.(value & opt_all system_conv [] & info [ "s"; "system" ] ~doc:"System(s) to run; default all.")
+  in
+  let users = Arg.(value & opt int 3500 & info [ "users" ] ~doc:"Users in the social graph.") in
+  let max_replicas = Arg.(value & opt int 5 & info [ "max-replicas" ] ~doc:"Replication cap per user.") in
+  Cmd.v (Cmd.info "social" ~doc) Term.(const social $ systems $ users $ max_replicas)
+
+(* ---- trace ------------------------------------------------------------------- *)
+
+let trace_record path n_dcs ops seed =
+  let dc_sites = Array.of_list (Sim.Ec2.first_n n_dcs) in
+  let rng = Sim.Rng.create ~seed in
+  let n_keys = 100 * n_dcs in
+  let rmap =
+    Workload.Keyspace.make ~rng ~topo:Sim.Ec2.topology ~dc_sites ~n_keys Workload.Keyspace.Exponential
+  in
+  let w =
+    Workload.Synthetic.create
+      { Workload.Synthetic.default with Workload.Synthetic.n_keys; seed }
+      ~rmap ~topo:Sim.Ec2.topology ~dc_sites
+  in
+  let clients = List.init (3 * n_dcs) Fun.id in
+  let t =
+    Workload.Trace.record ~clients
+      ~next:(fun ~client -> Workload.Synthetic.next w ~dc:(client mod n_dcs))
+      ~ops_per_client:ops
+  in
+  Workload.Trace.save t ~path;
+  Printf.printf "recorded %d ops for %d clients over %d datacenters to %s\n"
+    (ops * List.length clients) (List.length clients) n_dcs path
+
+let trace_replay path n_dcs sys =
+  let dc_sites = Array.of_list (Sim.Ec2.first_n n_dcs) in
+  let trace = Workload.Trace.load ~path in
+  let n_keys = 100 * n_dcs in
+  let rng = Sim.Rng.create ~seed:1 in
+  let rmap =
+    Workload.Keyspace.make ~rng ~topo:Sim.Ec2.topology ~dc_sites ~n_keys Workload.Keyspace.Exponential
+  in
+  let engine = Sim.Engine.create () in
+  let metrics = Harness.Metrics.create engine ~topo:Sim.Ec2.topology ~dc_sites in
+  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:max_int;
+  let spec = Harness.Build.default_spec ~topo:Sim.Ec2.topology ~dc_sites ~rmap in
+  let api =
+    match sys with
+    | Harness.Scenario.Saturn_sys -> fst (Harness.Build.saturn engine spec metrics)
+    | Harness.Scenario.Saturn_peer -> fst (Harness.Build.saturn_peer engine spec metrics)
+    | Harness.Scenario.Eventual -> Harness.Build.eventual engine spec metrics
+    | Harness.Scenario.Gentlerain -> Harness.Build.gentlerain engine spec metrics
+    | Harness.Scenario.Cure -> Harness.Build.cure engine spec metrics
+  in
+  let total = Workload.Trace.remaining trace in
+  let clients = List.init (3 * n_dcs) (fun i ->
+      Harness.Client.create ~id:i ~home_site:dc_sites.(i mod n_dcs) ~preferred_dc:(i mod n_dcs))
+  in
+  let done_ops = ref 0 in
+  let rec loop (c : Harness.Client.t) () =
+    match Workload.Trace.next trace ~client:c.Harness.Client.id with
+    | None -> ()
+    | Some (Workload.Op.Read { key }) -> api.Harness.Api.read c ~key ~k:(fun _ -> incr done_ops; loop c ())
+    | Some (Workload.Op.Write { key; value }) ->
+      api.Harness.Api.update c ~key ~value ~k:(fun () -> incr done_ops; loop c ())
+    | Some (Workload.Op.Remote_read { key; at }) ->
+      api.Harness.Api.migrate c ~dest_dc:at ~k:(fun () ->
+          api.Harness.Api.read c ~key ~k:(fun _ ->
+              api.Harness.Api.migrate c ~dest_dc:c.Harness.Client.preferred_dc ~k:(fun () ->
+                  incr done_ops; loop c ())))
+  in
+  List.iter (fun c -> api.Harness.Api.attach c ~dc:c.Harness.Client.preferred_dc ~k:(loop c)) clients;
+  Sim.Engine.run ~until:(Sim.Time.of_sec 120.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run ~until:(Sim.Time.of_sec 125.) engine;
+  Printf.printf "replayed %d/%d ops in %.3fs simulated; visibility mean %.1f ms over %d remote updates\n"
+    !done_ops total
+    (Sim.Time.to_sec_float (Sim.Engine.now engine))
+    (Stats.Sample.mean (Harness.Metrics.visibility metrics))
+    (Harness.Metrics.visible_count metrics)
+
+let trace_cmd =
+  let doc = "Record or replay an operation trace." in
+  let record =
+    let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+    let n_dcs = Arg.(value & opt int 3 & info [ "dcs" ] ~doc:"Datacenters.") in
+    let ops = Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Operations per client.") in
+    let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Generator seed.") in
+    Cmd.v (Cmd.info "record" ~doc:"Record a synthetic trace to FILE.")
+      Term.(const trace_record $ path $ n_dcs $ ops $ seed)
+  in
+  let replay =
+    let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+    let n_dcs = Arg.(value & opt int 3 & info [ "dcs" ] ~doc:"Datacenters (must match the recording).") in
+    let sys =
+      Arg.(value & opt system_conv Harness.Scenario.Saturn_sys & info [ "s"; "system" ] ~doc:"System.")
+    in
+    Cmd.v (Cmd.info "replay" ~doc:"Replay FILE against a system.")
+      Term.(const trace_replay $ path $ n_dcs $ sys)
+  in
+  Cmd.group (Cmd.info "trace" ~doc) [ record; replay ]
+
+let () =
+  let doc = "Saturn (EuroSys '17) reproduction toolkit" in
+  let info = Cmd.info "saturn-cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ matrix_cmd; plan_cmd; bench_cmd; social_cmd; trace_cmd ]))

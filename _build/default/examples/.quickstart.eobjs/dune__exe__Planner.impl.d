@@ -1,0 +1,1 @@
+examples/planner.ml: Array Format Printf Saturn Sim Stats Sys

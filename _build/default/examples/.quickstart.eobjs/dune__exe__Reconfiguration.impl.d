@@ -1,0 +1,1 @@
+examples/reconfiguration.ml: Array Format Fun Kvstore List Option Saturn Sim

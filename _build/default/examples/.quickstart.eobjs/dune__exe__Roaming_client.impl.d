@@ -1,0 +1,1 @@
+examples/roaming_client.ml: Array Format Harness Kvstore Saturn Sim

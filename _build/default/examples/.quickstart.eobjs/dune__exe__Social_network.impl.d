@@ -1,0 +1,1 @@
+examples/social_network.ml: Array Format Harness List Printf Saturn Sim Stats Workload

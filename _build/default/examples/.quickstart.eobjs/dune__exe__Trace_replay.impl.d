@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Array Filename Fun Harness In_channel Int64 List Printf Sim Sys Workload

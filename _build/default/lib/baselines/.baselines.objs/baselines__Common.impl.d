@@ -1,0 +1,1 @@
+lib/baselines/common.ml: Array Kvstore Saturn Sim

@@ -1,0 +1,1 @@
+lib/baselines/cops.mli: Common Kvstore Sim

@@ -1,0 +1,1 @@
+lib/baselines/cure.ml: Array Common Hashtbl Int Kvstore List Option Saturn Sim

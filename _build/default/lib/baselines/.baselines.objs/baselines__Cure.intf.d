@@ -1,0 +1,1 @@
+lib/baselines/cure.mli: Common Kvstore Sim

@@ -1,0 +1,1 @@
+lib/baselines/eventual.ml: Array Common Int Kvstore List Option Saturn Sim

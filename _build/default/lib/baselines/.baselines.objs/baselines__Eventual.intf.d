@@ -1,0 +1,1 @@
+lib/baselines/eventual.mli: Common Kvstore Sim

@@ -1,0 +1,1 @@
+lib/baselines/gentlerain.mli: Common Kvstore Sim

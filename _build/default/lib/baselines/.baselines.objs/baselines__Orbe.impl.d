@@ -1,0 +1,1 @@
+lib/baselines/orbe.ml: Array Common Hashtbl Int Kvstore List Map Option Saturn Sim

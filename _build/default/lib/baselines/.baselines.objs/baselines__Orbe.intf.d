@@ -1,0 +1,1 @@
+lib/baselines/orbe.mli: Common Kvstore Sim

@@ -1,0 +1,63 @@
+(** Shared data-plane fabric for the baseline protocols.
+
+    Eventual consistency, GentleRain and Cure all share the same substrate:
+    partitioned storage servers per datacenter, frontends, bulk links over
+    the latency matrix, per-partition monotonic timestamp sources and
+    periodic heartbeats. They differ only in the metadata attached to
+    versions and in when remote updates become visible; those parts live in
+    the per-protocol modules. *)
+
+type params = {
+  topo : Sim.Topology.t;
+  dc_sites : Sim.Topology.site array;
+  partitions : int;
+  frontends : int;
+  cost : Saturn.Cost_model.t;
+  rmap : Kvstore.Replica_map.t;
+  bulk_factor : float;  (** bulk-path inflation; 1.0 = shortest path *)
+}
+
+val default_params :
+  topo:Sim.Topology.t -> dc_sites:Sim.Topology.site array -> rmap:Kvstore.Replica_map.t -> params
+
+type hooks = {
+  on_visible :
+    dc:int -> key:int -> origin_dc:int -> origin_time:Sim.Time.t -> value:Kvstore.Value.t -> unit;
+}
+
+val no_hooks : hooks
+
+type t
+
+val create : Sim.Engine.t -> params -> t
+
+val engine : t -> Sim.Engine.t
+val n_dcs : t -> int
+val params : t -> params
+val partition_of : t -> key:int -> int
+
+val via_frontend : t -> dc:int -> (unit -> unit) -> unit
+(** Consumes frontend service time at [dc] (round-robin). *)
+
+val submit : t -> dc:int -> part:int -> cost_us:int -> (unit -> unit) -> unit
+(** Consumes storage-server time on partition [part] of [dc]. *)
+
+val ship : t -> src:int -> dst:int -> size_bytes:int -> (unit -> unit) -> unit
+(** Bulk-data transfer; the continuation runs at arrival. *)
+
+val gen_ts : t -> dc:int -> part:int -> floor:Sim.Time.t -> Sim.Time.t
+(** Monotonic per-gear timestamp strictly greater than [floor]. *)
+
+val dc_floor : t -> dc:int -> Sim.Time.t
+(** Heartbeat promise of [dc] (min over its gears). *)
+
+val round_trip :
+  t -> home:Sim.Topology.site -> dc:int -> (('r -> unit) -> unit) -> k:('r -> unit) -> unit
+(** Client request/response latency wrapper: home site → datacenter and
+    back. *)
+
+val every : t -> Sim.Time.t -> (unit -> unit) -> unit
+(** Periodic task tied to the fabric's lifetime. *)
+
+val stop : t -> unit
+val stopped : t -> bool

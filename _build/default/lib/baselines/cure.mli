@@ -1,0 +1,31 @@
+(** Cure (Akkoorath et al., ICDCS '16) — the vector-metadata baseline.
+
+    Causal consistency with a vector clock carrying one entry per
+    datacenter. A remote update from datacenter [k] becomes visible once the
+    Global Stable Vector dominates its dependency vector on every entry
+    other than [k], so the visibility lower bound is the direct latency from
+    the originator — fresh data, but every operation pays O(N) metadata
+    work and the stabilization rounds handle vectors too, which is what
+    costs Cure its throughput. *)
+
+type t
+
+val create : Sim.Engine.t -> Common.params -> Common.hooks -> t
+
+val fabric : t -> Common.t
+val gsv : t -> dc:int -> Sim.Time.t array
+
+val attach : t -> client:int -> home:Sim.Topology.site -> dc:int -> k:(unit -> unit) -> unit
+val read :
+  t -> client:int -> home:Sim.Topology.site -> dc:int -> key:int -> k:(Kvstore.Value.t option -> unit) -> unit
+val update :
+  t ->
+  client:int ->
+  home:Sim.Topology.site ->
+  dc:int ->
+  key:int ->
+  value:Kvstore.Value.t ->
+  k:(unit -> unit) ->
+  unit
+val stop : t -> unit
+val store_value : t -> dc:int -> key:int -> Kvstore.Value.t option

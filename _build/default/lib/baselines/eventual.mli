@@ -1,0 +1,29 @@
+(** Eventually consistent geo-replicated store — the paper's baseline
+    (§7.1).
+
+    No consistency metadata at all: updates are timestamped only for
+    last-writer-wins convergence, replicated over the bulk channel and made
+    visible the instant the payload arrives. This is the throughput
+    upper-bound and visibility-latency lower-bound ("optimal") every other
+    system is compared against. *)
+
+type t
+
+val create : Sim.Engine.t -> Common.params -> Common.hooks -> t
+
+val fabric : t -> Common.t
+
+val attach : t -> client:int -> home:Sim.Topology.site -> dc:int -> k:(unit -> unit) -> unit
+val read :
+  t -> client:int -> home:Sim.Topology.site -> dc:int -> key:int -> k:(Kvstore.Value.t option -> unit) -> unit
+val update :
+  t ->
+  client:int ->
+  home:Sim.Topology.site ->
+  dc:int ->
+  key:int ->
+  value:Kvstore.Value.t ->
+  k:(unit -> unit) ->
+  unit
+val stop : t -> unit
+val store_value : t -> dc:int -> key:int -> Kvstore.Value.t option

@@ -1,0 +1,33 @@
+(** GentleRain (Du et al., SoCC '14) — the scalar-metadata baseline.
+
+    Causal consistency with a single scalar: every version carries one
+    timestamp; a background stabilization mechanism runs every 5 ms and
+    computes the Global Stable Time (GST) from the timestamps received from
+    {e every} datacenter (payloads and heartbeats). A remote update becomes
+    visible when GST ≥ its timestamp, so the visibility lower bound is the
+    latency to the {e furthest} datacenter regardless of the update's
+    origin — cheap metadata, poor freshness, and no benefit from partial
+    replication. Remote attaches block until GST ≥ the client's dependency
+    time. *)
+
+type t
+
+val create : Sim.Engine.t -> Common.params -> Common.hooks -> t
+
+val fabric : t -> Common.t
+val gst : t -> dc:int -> Sim.Time.t
+
+val attach : t -> client:int -> home:Sim.Topology.site -> dc:int -> k:(unit -> unit) -> unit
+val read :
+  t -> client:int -> home:Sim.Topology.site -> dc:int -> key:int -> k:(Kvstore.Value.t option -> unit) -> unit
+val update :
+  t ->
+  client:int ->
+  home:Sim.Topology.site ->
+  dc:int ->
+  key:int ->
+  value:Kvstore.Value.t ->
+  k:(unit -> unit) ->
+  unit
+val stop : t -> unit
+val store_value : t -> dc:int -> key:int -> Kvstore.Value.t option

@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Fun Hashtbl List Sim

@@ -1,0 +1,1 @@
+lib/core/config_gen.ml: Array Config Config_solver Float Fun Hashtbl Int List Mismatch Printf Sim Tree

@@ -1,0 +1,1 @@
+lib/core/config_gen.mli: Config Config_solver Tree

@@ -1,0 +1,1 @@
+lib/core/config_solver.ml: Array Config Float Hashtbl List Mismatch Option Printf Sim Tree

@@ -1,0 +1,1 @@
+lib/core/config_solver.mli: Config Mismatch Sim Tree

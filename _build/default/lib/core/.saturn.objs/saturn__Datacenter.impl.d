@@ -1,0 +1,1 @@
+lib/core/datacenter.ml: Array Cost_model Gear Kvstore Label List Proxy Sim Sink

@@ -1,0 +1,1 @@
+lib/core/datacenter.mli: Cost_model Kvstore Label Proxy Sim Sink

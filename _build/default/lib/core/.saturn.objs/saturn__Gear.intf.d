@@ -1,0 +1,1 @@
+lib/core/gear.mli: Sim

@@ -1,0 +1,1 @@
+lib/core/mismatch.ml: Array Config Float Kvstore Sim

@@ -1,0 +1,1 @@
+lib/core/mismatch.mli: Config Kvstore Sim

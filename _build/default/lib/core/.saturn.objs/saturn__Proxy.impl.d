@@ -1,0 +1,1 @@
+lib/core/proxy.ml: Array Fun Hashtbl Kvstore Label List Option Queue Sim

@@ -1,0 +1,1 @@
+lib/core/proxy.mli: Kvstore Label Sim

@@ -1,0 +1,1 @@
+lib/core/reliable_fifo.ml: Hashtbl Int List Option Sim

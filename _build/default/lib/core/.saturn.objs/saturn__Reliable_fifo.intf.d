@@ -1,0 +1,1 @@
+lib/core/reliable_fifo.mli: Sim

@@ -1,0 +1,1 @@
+lib/core/service.ml: Array Chain Config Hashtbl Label List Reliable_fifo Sim Tree

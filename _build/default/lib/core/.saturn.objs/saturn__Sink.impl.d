@@ -1,0 +1,1 @@
+lib/core/sink.ml: Array Gear Label Sim

@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Client_lib Config Cost_model Datacenter Fun Kvstore Label List Option Proxy Service Sim

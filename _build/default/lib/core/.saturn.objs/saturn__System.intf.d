@@ -1,0 +1,1 @@
+lib/core/system.mli: Client_lib Config Cost_model Datacenter Kvstore Label Service Sim

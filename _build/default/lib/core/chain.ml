@@ -1,0 +1,166 @@
+type 'msg replica = {
+  id : int;
+  store : (int, (int * int) * 'msg) Hashtbl.t; (* seq -> (ext_key, msg) *)
+  mutable max_contig : int; (* highest seq with all 0..seq stored; -1 if none *)
+  mutable alive : bool;
+}
+
+type 'msg t = {
+  engine : Sim.Engine.t;
+  intra_latency : Sim.Time.t;
+  deliver : 'msg -> unit;
+  reps : 'msg replica array;
+  mutable order : int list; (* alive replica ids, head first *)
+  mutable next_seq : int;
+  mutable committed : int; (* seqs [0, committed) delivered *)
+  dedup : (int * int, int) Hashtbl.t; (* ext_key -> assigned seq *)
+  confirms : (int, unit -> unit) Hashtbl.t; (* seq -> external confirm *)
+  mutable on_head_change : unit -> unit;
+}
+
+let create engine ~replicas ~intra_latency ~deliver () =
+  if replicas < 1 then invalid_arg "Chain.create: replicas < 1";
+  {
+    engine;
+    intra_latency;
+    deliver;
+    reps =
+      Array.init replicas (fun id ->
+          { id; store = Hashtbl.create 64; max_contig = -1; alive = true });
+    order = List.init replicas Fun.id;
+    next_seq = 0;
+    committed = 0;
+    dedup = Hashtbl.create 64;
+    confirms = Hashtbl.create 64;
+    on_head_change = (fun () -> ());
+  }
+
+let set_on_head_change t f = t.on_head_change <- f
+let alive_replicas t = List.length t.order
+let committed t = t.committed
+let is_down t = t.order = []
+
+let successor t id =
+  let rec find = function
+    | a :: (b :: _) when a = id -> Some b
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find t.order
+
+let compact_window = 1024
+
+let compact t =
+  let floor = t.committed - compact_window in
+  if floor > 0 then begin
+    let stale = Hashtbl.fold (fun k seq acc -> if seq < floor then k :: acc else acc) t.dedup [] in
+    List.iter (Hashtbl.remove t.dedup) stale;
+    Array.iter
+      (fun r ->
+        if r.alive then begin
+          let old = Hashtbl.fold (fun seq _ acc -> if seq < floor then seq :: acc else acc) r.store [] in
+          List.iter (Hashtbl.remove r.store) old
+        end)
+      t.reps
+  end
+
+let rec try_commit t =
+  match List.rev t.order with
+  | [] -> ()
+  | tail_id :: _ ->
+    let tail = t.reps.(tail_id) in
+    if tail.max_contig >= t.committed then begin
+      let seq = t.committed in
+      t.committed <- seq + 1;
+      let _ext_key, msg = Hashtbl.find tail.store seq in
+      (* the dedup entry is kept for a window after commit: a retransmission
+         whose ack was lost must be confirmed, not committed again; entries
+         far below the committed point can no longer be retransmitted and
+         are compacted away *)
+      t.deliver msg;
+      if seq land 255 = 0 then compact t;
+      (match Hashtbl.find_opt t.confirms seq with
+      | Some confirm ->
+        Hashtbl.remove t.confirms seq;
+        (* the commit ack travels back up the chain before the external
+           sender is acknowledged *)
+        let upstream_hops = List.length t.order - 1 in
+        let delay = Sim.Time.of_us (upstream_hops * Sim.Time.to_us t.intra_latency) in
+        Sim.Engine.schedule t.engine ~delay confirm
+      | None -> ());
+      try_commit t
+    end
+
+let rec store_at t id ~seq entry =
+  let r = t.reps.(id) in
+  if r.alive && not (Hashtbl.mem r.store seq) then begin
+    Hashtbl.replace r.store seq entry;
+    while Hashtbl.mem r.store (r.max_contig + 1) do
+      r.max_contig <- r.max_contig + 1
+    done;
+    forward t id ~seq entry
+  end
+
+and forward t id ~seq entry =
+  match successor t id with
+  | Some succ ->
+    Sim.Engine.schedule t.engine ~delay:t.intra_latency (fun () ->
+        if t.reps.(succ).alive then store_at t succ ~seq entry)
+  | None -> try_commit t
+
+let input t ~ext_key msg ~confirm =
+  match t.order with
+  | [] -> () (* chain down: no ack, the sender keeps retransmitting *)
+  | head :: _ -> (
+    match Hashtbl.find_opt t.dedup ext_key with
+    | Some seq ->
+      (* retransmission of a message the chain already holds *)
+      if seq < t.committed then confirm () else Hashtbl.replace t.confirms seq confirm
+    | None ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      Hashtbl.replace t.dedup ext_key seq;
+      Hashtbl.replace t.confirms seq confirm;
+      store_at t head ~seq (ext_key, msg))
+
+let resync t =
+  (* every adjacent pair re-syncs: the predecessor holds a superset (chain
+     prefix property), so it can replay whatever the successor is missing *)
+  let rec pairs = function
+    | p :: (s :: _ as rest) ->
+      let pred = t.reps.(p) and succ = t.reps.(s) in
+      for seq = succ.max_contig + 1 to pred.max_contig do
+        let entry = Hashtbl.find pred.store seq in
+        Sim.Engine.schedule t.engine ~delay:t.intra_latency (fun () ->
+            if t.reps.(s).alive then store_at t s ~seq entry)
+      done;
+      pairs rest
+    | [ _ ] | [] -> ()
+  in
+  pairs t.order
+
+let crash_replica t i =
+  if i < 0 || i >= Array.length t.reps then invalid_arg "Chain.crash_replica: no such replica";
+  if not t.reps.(i).alive then invalid_arg "Chain.crash_replica: already crashed";
+  let was_head = match t.order with h :: _ -> h = i | [] -> false in
+  t.reps.(i).alive <- false;
+  t.order <- List.filter (fun id -> id <> i) t.order;
+  (match t.order with
+  | [] -> ()
+  | new_head :: _ ->
+    if was_head then begin
+      (* sequence numbers the dead head assigned but never replicated are
+         lost; their dedup entries must go so retransmissions are re-keyed *)
+      let floor = max t.committed (t.reps.(new_head).max_contig + 1) in
+      t.next_seq <- floor;
+      let stale = Hashtbl.fold (fun k seq acc -> if seq >= floor then k :: acc else acc) t.dedup [] in
+      List.iter
+        (fun k ->
+          let seq = Hashtbl.find t.dedup k in
+          Hashtbl.remove t.dedup k;
+          Hashtbl.remove t.confirms seq)
+        stale
+    end;
+    resync t;
+    try_commit t;
+    if was_head then t.on_head_change ())

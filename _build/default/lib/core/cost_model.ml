@@ -1,0 +1,59 @@
+type t = {
+  read_base_us : int;
+  write_base_us : int;
+  remote_apply_base_us : int;
+  byte_cost_us_per_kb : int;
+  scalar_meta_us : int;
+  vector_entry_us : int;
+  stabilization_us : int;
+  stabilization_vector_entry_us : int;
+  frontend_us : int;
+  serializer_label_us : int;
+  intra_dc_us : int;
+  stabilization_period : Sim.Time.t;
+  sink_period : Sim.Time.t;
+  heartbeat_period : Sim.Time.t;
+}
+
+(* Calibration notes (see DESIGN.md): with 90:10 reads and 7 DCs the mean
+   eventual op cost is ~42us; Saturn adds one scalar per op (~2%);
+   GentleRain adds a scalar plus stabilization work (~5%); Cure adds ~3us
+   ~2us per vector entry per op plus vector stabilization work, which puts
+   Cure's penalty at ~13% (3 DCs) to ~25% (7 DCs) as in Figure 1a. *)
+let default =
+  {
+    read_base_us = 40;
+    write_base_us = 60;
+    remote_apply_base_us = 55;
+    byte_cost_us_per_kb = 30;
+    scalar_meta_us = 1;
+    vector_entry_us = 2;
+    stabilization_us = 40;
+    stabilization_vector_entry_us = 8;
+    frontend_us = 4;
+    serializer_label_us = 1;
+    intra_dc_us = 250;
+    stabilization_period = Sim.Time.of_ms 5;
+    sink_period = Sim.Time.of_ms 1;
+    heartbeat_period = Sim.Time.of_ms 5;
+  }
+
+let value_cost_us t ~size_bytes = size_bytes * t.byte_cost_us_per_kb / 1024
+let eventual_read_us t ~size_bytes = t.read_base_us + value_cost_us t ~size_bytes
+let eventual_write_us t ~size_bytes = t.write_base_us + value_cost_us t ~size_bytes
+let eventual_apply_us t ~size_bytes = t.remote_apply_base_us + value_cost_us t ~size_bytes
+let saturn_read_us t ~size_bytes = eventual_read_us t ~size_bytes + t.scalar_meta_us
+
+let saturn_write_us t ~size_bytes =
+  (* label generation + handing the label to the sink *)
+  eventual_write_us t ~size_bytes + (2 * t.scalar_meta_us)
+
+let saturn_apply_us t ~size_bytes = eventual_apply_us t ~size_bytes + t.scalar_meta_us
+let gentlerain_read_us t ~size_bytes = eventual_read_us t ~size_bytes + (2 * t.scalar_meta_us)
+let gentlerain_write_us t ~size_bytes = eventual_write_us t ~size_bytes + (2 * t.scalar_meta_us)
+let gentlerain_apply_us t ~size_bytes = eventual_apply_us t ~size_bytes + t.scalar_meta_us
+let gentlerain_stab_us t = t.stabilization_us
+let cure_read_us t ~n_dcs ~size_bytes = eventual_read_us t ~size_bytes + (t.vector_entry_us * n_dcs)
+let cure_write_us t ~n_dcs ~size_bytes = eventual_write_us t ~size_bytes + (t.vector_entry_us * n_dcs)
+let cure_apply_us t ~n_dcs ~size_bytes = eventual_apply_us t ~size_bytes + (t.vector_entry_us * n_dcs)
+let cure_stab_us t ~n_dcs = t.stabilization_us + (t.stabilization_vector_entry_us * n_dcs)

@@ -1,0 +1,55 @@
+(** Service-time model for the throughput experiments.
+
+    The paper's throughput differences come from per-operation metadata work
+    (none / scalar / O(N) vector) plus the background stabilization that
+    GentleRain and Cure run every 5 ms. This module centralises those costs
+    as microseconds of storage-server time, so every protocol draws from the
+    same calibrated budget. Absolute values are not meant to match EC2
+    m4.large; ratios are what reproduce the paper's shapes (documented in
+    DESIGN.md §2.1).
+
+    All functions return the service time one operation consumes on the
+    responsible storage server. *)
+
+type t = {
+  read_base_us : int;  (** storage read, no consistency metadata *)
+  write_base_us : int;  (** storage write, no consistency metadata *)
+  remote_apply_base_us : int;  (** installing a replicated remote update *)
+  byte_cost_us_per_kb : int;  (** value handling cost per KiB *)
+  scalar_meta_us : int;  (** touch one scalar (Saturn label / GentleRain ts) *)
+  vector_entry_us : int;  (** per-vector-entry cost (Cure), ×N per op *)
+  stabilization_us : int;  (** per-partition cost of one stabilization round *)
+  stabilization_vector_entry_us : int;  (** extra per-entry stabilization cost (Cure) *)
+  frontend_us : int;  (** frontend routing cost per client request *)
+  serializer_label_us : int;  (** serializer cost to relay one label *)
+  intra_dc_us : int;  (** one-way latency client↔frontend↔server *)
+  stabilization_period : Sim.Time.t;  (** 5 ms, as in the authors' setup *)
+  sink_period : Sim.Time.t;  (** label-sink flush/ordering period *)
+  heartbeat_period : Sim.Time.t;  (** bulk-channel heartbeat period *)
+}
+
+val default : t
+
+val value_cost_us : t -> size_bytes:int -> int
+(** Size-proportional handling cost for a value. *)
+
+(* Per-protocol operation costs (returned in microseconds). [n_dcs] sizes
+   the vectors for Cure. *)
+
+val eventual_read_us : t -> size_bytes:int -> int
+val eventual_write_us : t -> size_bytes:int -> int
+val eventual_apply_us : t -> size_bytes:int -> int
+
+val saturn_read_us : t -> size_bytes:int -> int
+val saturn_write_us : t -> size_bytes:int -> int
+val saturn_apply_us : t -> size_bytes:int -> int
+
+val gentlerain_read_us : t -> size_bytes:int -> int
+val gentlerain_write_us : t -> size_bytes:int -> int
+val gentlerain_apply_us : t -> size_bytes:int -> int
+val gentlerain_stab_us : t -> int
+
+val cure_read_us : t -> n_dcs:int -> size_bytes:int -> int
+val cure_write_us : t -> n_dcs:int -> size_bytes:int -> int
+val cure_apply_us : t -> n_dcs:int -> size_bytes:int -> int
+val cure_stab_us : t -> n_dcs:int -> int

@@ -1,0 +1,24 @@
+type t = {
+  clock : Sim.Clock.t;
+  dc : int;
+  gear_id : int;
+  mutable last_ts : Sim.Time.t;
+  mutable issued : int;
+}
+
+let create clock ~dc ~gear_id = { clock; dc; gear_id; last_ts = Sim.Time.zero; issued = 0 }
+let dc t = t.dc
+let id t = t.gear_id
+
+let generate_ts t ~client_ts =
+  let physical = Sim.Clock.read t.clock in
+  let ts =
+    Sim.Time.max physical
+      (Sim.Time.max (Sim.Time.add client_ts (Sim.Time.of_us 1)) (Sim.Time.add t.last_ts (Sim.Time.of_us 1)))
+  in
+  t.last_ts <- ts;
+  t.issued <- t.issued + 1;
+  ts
+
+let floor t = Sim.Time.max (Sim.Clock.peek t.clock) t.last_ts
+let issued t = t.issued

@@ -1,0 +1,26 @@
+(** Gears (§4): per-storage-server label factories.
+
+    A gear intercepts update and migration requests at its storage server
+    and mints the label timestamp: strictly greater than the issuing
+    client's causal past and strictly greater than anything the gear issued
+    before, derived from the server's physical clock. The gear also exposes
+    its {e floor} — a promise that it will never issue a smaller timestamp —
+    which the label sink uses to emit a causality-compliant serial stream
+    without blocking on idle gears. *)
+
+type t
+
+val create : Sim.Clock.t -> dc:int -> gear_id:int -> t
+
+val dc : t -> int
+val id : t -> int
+
+val generate_ts : t -> client_ts:Sim.Time.t -> Sim.Time.t
+(** Timestamp for a new label: [> client_ts], [>] every previous timestamp
+    from this gear, and [>=] the physical clock. *)
+
+val floor : t -> Sim.Time.t
+(** Largest timestamp this gear can promise never to go below. Any label it
+    issues later is strictly greater. *)
+
+val issued : t -> int

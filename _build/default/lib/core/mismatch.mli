@@ -1,0 +1,32 @@
+(** The Weighted Minimal Mismatch objective (§5.4, Definition 2).
+
+    For each ordered pair of datacenters (i, j) that share data, the optimal
+    label propagation latency equals the bulk-data transfer latency β(i, j):
+    delivering a label earlier creates premature false dependencies,
+    delivering it later sacrifices freshness. A configuration's quality is
+    the weighted sum over pairs of |λ(i, j) − β(i, j)| where λ is the
+    metadata-path latency through the serializer tree. *)
+
+type t = {
+  n_dcs : int;
+  weight : int -> int -> float;  (** c(i, j); pairs with weight 0 are ignored *)
+  bulk : int -> int -> Sim.Time.t;  (** β(i, j), the bulk-data latency *)
+}
+
+val uniform : n_dcs:int -> bulk:(int -> int -> Sim.Time.t) -> t
+(** Every ordered pair weighs 1. *)
+
+val of_replica_map : Kvstore.Replica_map.t -> bulk:(int -> int -> Sim.Time.t) -> t
+(** c(i, j) = number of keys replicated at both i and j (the workload-derived
+    correlation weights of §5.4); pairs sharing nothing are ignored. *)
+
+val pair_mismatch_ms : t -> Config.t -> Sim.Topology.t -> src:int -> dst:int -> float
+(** |λ(src,dst) − β(src,dst)| in milliseconds. *)
+
+val objective : t -> Config.t -> Sim.Topology.t -> float
+(** The Definition 2 sum, in weighted milliseconds. *)
+
+val lower_bound : t -> Config.t -> Sim.Topology.t -> float
+(** Objective achievable if delays could be chosen per-pair: counts only the
+    pairs whose metadata path is *slower* than bulk (delays cannot speed a
+    path up). Cheap; used to rank candidate trees during generation. *)

@@ -1,0 +1,412 @@
+type payload = { label : Label.t; value : Kvstore.Value.t; origin_time : Sim.Time.t }
+type mode = Stream | Fallback
+type state = Waiting | Applied
+type entry = { label : Label.t; mutable state : state }
+type switch_state = Graceful of { epoch : int; seen : bool array } | Forced
+
+(* the per-datacenter serialization, as a growable array-deque: the applied
+   prefix is pruned by advancing [head]; appends are amortized O(1) *)
+type stream = { mutable arr : entry option array; mutable head : int; mutable tail : int }
+
+type t = {
+  engine : Sim.Engine.t;
+  dc : int;
+  n_dcs : int;
+  stage_update : payload -> k:(unit -> unit) -> unit;
+  install_update : payload -> unit;
+  mutable mode : mode;
+  stream : stream;
+  payloads : (Label.t, payload) Hashtbl.t;
+  staged : (Label.t, unit) Hashtbl.t; (* payloads whose server apply completed *)
+  applied_set : (Label.t, unit) Hashtbl.t;
+  applied_wm : Sim.Time.t array; (* per-source applied watermark *)
+  bulk_floor : Sim.Time.t array; (* per-source promise carried by bulk channel *)
+  pending_by_src : Label.t Sim.Heap.t array; (* payloads not yet applied, per source *)
+  label_waiters : (Label.t, (unit -> unit) list) Hashtbl.t;
+  mutable ts_waiters : (Sim.Time.t * (unit -> unit)) list;
+  mutable migration_hook : (Label.t -> unit) option;
+  next_buffer : Label.t Queue.t;
+  mutable switch : switch_state option;
+  mutable switch_done : bool;
+  mutable applied_updates : int;
+  mutable scanning : bool;
+  mutable need_rescan : bool;
+}
+
+let create engine ~dc ~n_dcs ~stage_update ~install_update ?(mode = Stream) () =
+  {
+    engine;
+    dc;
+    n_dcs;
+    stage_update;
+    install_update;
+    mode;
+    stream = { arr = Array.make 64 None; head = 0; tail = 0 };
+    payloads = Hashtbl.create 256;
+    staged = Hashtbl.create 256;
+    applied_set = Hashtbl.create 256;
+    applied_wm = Array.make n_dcs Sim.Time.zero;
+    bulk_floor = Array.make n_dcs Sim.Time.zero;
+    pending_by_src = Array.init n_dcs (fun _ -> Sim.Heap.create ~cmp:Label.compare_ts_src ());
+    label_waiters = Hashtbl.create 32;
+    ts_waiters = [];
+    migration_hook = None;
+    next_buffer = Queue.create ();
+    switch = None;
+    switch_done = false;
+    applied_updates = 0;
+    scanning = false;
+    need_rescan = false;
+  }
+
+let mode t = t.mode
+let set_mode t m = t.mode <- m
+let on_migration_applicable t f = t.migration_hook <- Some f
+let applied_updates t = t.applied_updates
+let pending_stream t =
+  let s = t.stream in
+  let n = ref 0 in
+  for i = s.head to s.tail - 1 do
+    match s.arr.(i) with Some { state = Waiting; _ } -> incr n | Some _ | None -> ()
+  done;
+  !n
+let pending_payloads t = Hashtbl.length t.payloads
+let label_was_applied t l = Hashtbl.mem t.applied_set l
+
+(* ---- watermarks and waiters ------------------------------------------- *)
+
+let pending_min t src =
+  (* smallest not-yet-applied payload timestamp from [src]; lazily drops
+     applied labels left in the heap *)
+  let heap = t.pending_by_src.(src) in
+  let rec peek () =
+    match Sim.Heap.peek heap with
+    | Some l when Hashtbl.mem t.applied_set l ->
+      ignore (Sim.Heap.pop_exn heap);
+      peek ()
+    | Some l -> Some l.Label.ts
+    | None -> None
+  in
+  peek ()
+
+let effective_watermark t ~src =
+  if src = t.dc then max_int
+  else begin
+    let safe_floor =
+      match pending_min t src with
+      | Some pts -> Sim.Time.min t.bulk_floor.(src) (Sim.Time.sub pts (Sim.Time.of_us 1))
+      | None -> t.bulk_floor.(src)
+    in
+    Sim.Time.max t.applied_wm.(src) safe_floor
+  end
+
+let ts_satisfied t ts =
+  let ok = ref true in
+  for src = 0 to t.n_dcs - 1 do
+    if src <> t.dc && Sim.Time.compare (effective_watermark t ~src) ts < 0 then ok := false
+  done;
+  !ok
+
+let check_ts_waiters t =
+  let ready, still = List.partition (fun (ts, _) -> ts_satisfied t ts) t.ts_waiters in
+  t.ts_waiters <- still;
+  List.iter (fun (_, k) -> k ()) ready
+
+let fire_label_waiters t label =
+  match Hashtbl.find_opt t.label_waiters label with
+  | Some ks ->
+    Hashtbl.remove t.label_waiters label;
+    List.iter (fun k -> k ()) (List.rev ks)
+  | None -> ()
+
+let mark_applied t (label : Label.t) =
+  Hashtbl.replace t.applied_set label ();
+  Hashtbl.remove t.payloads label;
+  Hashtbl.remove t.staged label;
+  (* any label from a source advances its watermark: sinks emit per-source
+     labels in timestamp order *)
+  if label.src_dc <> t.dc then
+    t.applied_wm.(label.src_dc) <- Sim.Time.max t.applied_wm.(label.src_dc) label.ts;
+  if Label.is_update label then t.applied_updates <- t.applied_updates + 1;
+  fire_label_waiters t label;
+  check_ts_waiters t
+
+(* ---- the Saturn-serialization path ------------------------------------ *)
+
+let stream_get s i = match s.arr.(i) with Some e -> e | None -> assert false
+
+let stream_prune s =
+  while s.head < s.tail && (stream_get s s.head).state = Applied do
+    s.arr.(s.head) <- None;
+    s.head <- s.head + 1
+  done
+
+let stream_push s e =
+  let cap = Array.length s.arr in
+  if s.tail = cap then begin
+    let live = s.tail - s.head in
+    if live * 2 <= cap then begin
+      (* compact in place *)
+      Array.blit s.arr s.head s.arr 0 live;
+      Array.fill s.arr live (cap - live) None
+    end
+    else begin
+      let bigger = Array.make (cap * 2) None in
+      Array.blit s.arr s.head bigger 0 live;
+      s.arr <- bigger
+    end;
+    s.head <- 0;
+    s.tail <- live
+  end;
+  s.arr.(s.tail) <- Some e;
+  s.tail <- s.tail + 1
+
+(* Timestamp inversions in the delivered stream (the §4.3 concurrency
+   signal) are shallow: they only span labels in flight simultaneously on
+   different tree branches. Scanning a bounded window past the first
+   blocked entry captures all of that parallelism while keeping each scan
+   O(window). *)
+let scan_window = 64
+
+let rec scan t =
+  if t.scanning then t.need_rescan <- true
+  else begin
+    t.scanning <- true;
+    let continue = ref true in
+    while !continue do
+      continue := false;
+      let s = t.stream in
+      stream_prune s;
+      (* an entry is applicable when no earlier entry with a strictly
+         smaller timestamp is still unapplied: Saturn delivering a larger
+         timestamp first certifies concurrency (§4.3) *)
+      let min_unapplied = ref max_int in
+      let blocked_seen = ref 0 in
+      let i = ref s.head in
+      while !i < s.tail && !blocked_seen < scan_window do
+        let e = stream_get s !i in
+        (match e.state with
+        | Waiting when Sim.Time.compare !min_unapplied e.label.Label.ts >= 0 ->
+          if try_apply t e then continue := true
+        | Waiting | Applied -> ());
+        (match e.state with
+        | Applied -> ()
+        | Waiting ->
+          incr blocked_seen;
+          min_unapplied := Sim.Time.min !min_unapplied e.label.Label.ts);
+        incr i
+      done;
+      if t.need_rescan then begin
+        t.need_rescan <- false;
+        continue := true
+      end
+    done;
+    t.scanning <- false;
+    check_switch_completion t
+  end
+
+and try_apply t e =
+  let label = e.label in
+  match label.Label.target with
+  | Label.Update _ ->
+    if Hashtbl.mem t.applied_set label then begin
+      e.state <- Applied;
+      true
+    end
+    else if Hashtbl.mem t.staged label then begin
+      let p = Hashtbl.find t.payloads label in
+      e.state <- Applied;
+      t.install_update p;
+      mark_applied t label;
+      true
+    end
+    else false (* bulk transfer / staging not completed yet *)
+  | Label.Migration { dest_dc } ->
+    e.state <- Applied;
+    if dest_dc = t.dc then (match t.migration_hook with Some f -> f label | None -> ());
+    mark_applied t label;
+    true
+  | Label.Epoch_change { epoch } ->
+    e.state <- Applied;
+    (match t.switch with
+    | Some (Graceful g) when g.epoch = epoch -> g.seen.(label.Label.src_dc) <- true
+    | Some (Graceful _) | Some Forced | None -> ());
+    mark_applied t label;
+    true
+
+and check_switch_completion t =
+  stream_prune t.stream;
+  match t.switch with
+  | Some (Graceful g) when Array.for_all Fun.id g.seen && t.stream.head = t.stream.tail ->
+    complete_switch t
+  | Some Forced ->
+    (match Queue.peek_opt t.next_buffer with
+    | None ->
+      (* nothing arrived through C2 yet; adopt once no in-flight C1-era
+         payload remains to be ordered by the fallback *)
+      if Hashtbl.length t.payloads = 0 then begin
+        t.mode <- Stream;
+        complete_switch t
+      end
+    | Some first ->
+      (* adopt C2 once its first label is stable in timestamp order *)
+      let stable = ref max_int in
+      for src = 0 to t.n_dcs - 1 do
+        if src <> t.dc then stable := Sim.Time.min !stable (effective_watermark t ~src)
+      done;
+      let first_ready =
+        Hashtbl.mem t.applied_set first || Sim.Time.compare first.Label.ts !stable <= 0
+      in
+      if first_ready then begin
+        t.mode <- Stream;
+        complete_switch t
+      end)
+  | Some (Graceful _) | None -> ()
+
+and complete_switch t =
+  t.switch <- None;
+  t.switch_done <- true;
+  let drained = ref [] in
+  Queue.iter (fun l -> drained := l :: !drained) t.next_buffer;
+  Queue.clear t.next_buffer;
+  List.iter (fun l -> append_label t l) (List.rev !drained);
+  scan t
+
+and append_label t label =
+  let state = if Hashtbl.mem t.applied_set label then Applied else Waiting in
+  stream_push t.stream { label; state }
+
+let on_label t label =
+  match t.mode with
+  | Stream ->
+    append_label t label;
+    scan t
+  | Fallback -> () (* during an outage the stream is not trusted *)
+
+(* ---- the timestamp-order fallback path --------------------------------- *)
+
+let stable_floor t =
+  let stable = ref max_int in
+  for src = 0 to t.n_dcs - 1 do
+    if src <> t.dc then stable := Sim.Time.min !stable t.bulk_floor.(src)
+  done;
+  !stable
+
+(* The timestamp-order sweep runs in BOTH modes: labels ride along with the
+   bulk payloads, so a payload that is stable in timestamp order can always
+   be installed even if its tree label is slow or lost (the paper's
+   availability argument, §6.1). In stream mode the tree is virtually
+   always faster, so the sweep only catches pathological stragglers. *)
+let rec try_fallback t =
+  begin
+    let stable = stable_floor t in
+    (* smallest pending payload overall, in (ts, src) order *)
+    let best = ref None in
+    for src = 0 to t.n_dcs - 1 do
+      if src <> t.dc then begin
+        let heap = t.pending_by_src.(src) in
+        let rec clean () =
+          match Sim.Heap.peek heap with
+          | Some l when Hashtbl.mem t.applied_set l ->
+            ignore (Sim.Heap.pop_exn heap);
+            clean ()
+          | Some l -> Some l
+          | None -> None
+        in
+        match clean () with
+        | Some l -> (
+          match !best with
+          | Some b when Label.compare_ts_src b l <= 0 -> ()
+          | Some _ | None -> best := Some l)
+        | None -> ()
+      end
+    done;
+    match !best with
+    | Some l when Sim.Time.compare l.Label.ts stable <= 0 ->
+      (* in-ts-order install; if the next payload is still staging we wait
+         for its staging continuation to re-enter *)
+      if Hashtbl.mem t.staged l then begin
+        let p = Hashtbl.find t.payloads l in
+        t.install_update p;
+        mark_applied t l;
+        (match t.mode with Stream -> scan t | Fallback -> ());
+        check_switch_completion t;
+        try_fallback t
+      end
+    | Some _ | None -> ()
+  end
+
+(* ---- inputs ------------------------------------------------------------ *)
+
+let on_payload t (p : payload) =
+  let src = p.label.Label.src_dc in
+  t.bulk_floor.(src) <- Sim.Time.max t.bulk_floor.(src) p.label.Label.ts;
+  if not (Hashtbl.mem t.applied_set p.label) then begin
+    Hashtbl.replace t.payloads p.label p;
+    Sim.Heap.push t.pending_by_src.(src) p.label;
+    t.stage_update p ~k:(fun () ->
+        if not (Hashtbl.mem t.applied_set p.label) then begin
+          Hashtbl.replace t.staged p.label ();
+          (match t.mode with Stream -> scan t | Fallback -> ());
+          try_fallback t
+        end)
+  end;
+  check_ts_waiters t;
+  (match t.mode with Stream -> scan t | Fallback -> ());
+  try_fallback t;
+  check_switch_completion t
+
+let on_heartbeat t ~src ts =
+  t.bulk_floor.(src) <- Sim.Time.max t.bulk_floor.(src) ts;
+  check_ts_waiters t;
+  try_fallback t;
+  check_switch_completion t
+
+(* Labels older than every source's promise minus this margin can no longer
+   arrive for the first time: tree propagation and channel retransmission
+   are bounded far below it. *)
+let compact_margin = Sim.Time.of_sec 5.
+
+let compact t =
+  let floor = ref max_int in
+  for src = 0 to t.n_dcs - 1 do
+    if src <> t.dc then floor := Sim.Time.min !floor t.bulk_floor.(src)
+  done;
+  if Sim.Time.compare !floor max_int < 0 then begin
+    let cutoff = Sim.Time.sub !floor compact_margin in
+    if Sim.Time.compare cutoff Sim.Time.zero > 0 then begin
+      let stale =
+        Hashtbl.fold
+          (fun (l : Label.t) () acc -> if Sim.Time.compare l.Label.ts cutoff < 0 then l :: acc else acc)
+          t.applied_set []
+      in
+      List.iter (Hashtbl.remove t.applied_set) stale
+    end
+  end
+
+let wait_for_label t label k =
+  if Hashtbl.mem t.applied_set label then k ()
+  else begin
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.label_waiters label) in
+    Hashtbl.replace t.label_waiters label (k :: existing)
+  end
+
+let wait_for_ts t ts k = if ts_satisfied t ts then k () else t.ts_waiters <- (ts, k) :: t.ts_waiters
+
+(* ---- reconfiguration --------------------------------------------------- *)
+
+let on_label_next t label = if t.switch_done then on_label t label else Queue.push label t.next_buffer
+
+let start_graceful_switch t ~epoch =
+  let seen = Array.make t.n_dcs false in
+  seen.(t.dc) <- true;
+  t.switch <- Some (Graceful { epoch; seen });
+  check_switch_completion t
+
+let start_forced_switch t =
+  t.switch <- Some Forced;
+  t.mode <- Fallback;
+  try_fallback t;
+  check_switch_completion t
+
+let switch_complete t = t.switch_done

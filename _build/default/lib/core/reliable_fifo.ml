@@ -1,0 +1,144 @@
+type 'msg receiver = {
+  r_engine : Sim.Engine.t;
+  r_deliver : 'msg receiver -> sender_id:int -> seq:int -> 'msg -> unit;
+  (* per-sender expected sequence and out-of-order buffer *)
+  r_expected : (int, int) Hashtbl.t;
+  r_buffer : (int * int, 'msg) Hashtbl.t; (* (sender, seq) -> msg *)
+  (* deferred mode: next seq to confirm and the latest ack channel *)
+  r_confirmed : (int, int) Hashtbl.t;
+  r_unconfirmed : (int * int, 'msg) Hashtbl.t; (* (sender, seq) delivered, unconfirmed *)
+  r_ack_via : (int, int -> unit) Hashtbl.t;
+  r_deferred : bool;
+  mutable r_delivered : int;
+}
+
+type 'msg entry = { seq : int; size : int; msg : 'msg; mutable last_sent : Sim.Time.t }
+
+type 'msg sender = {
+  s_engine : Sim.Engine.t;
+  s_id : int;
+  resend_period : Sim.Time.t;
+  mutable next_seq : int;
+  mutable unacked : 'msg entry list; (* oldest first *)
+  mutable route : 'msg route option;
+  mutable stopped : bool;
+  mutable timer_running : bool;
+}
+
+and 'msg route = { data : Sim.Link.t; ack : Sim.Link.t; dest : 'msg receiver }
+
+let sender_ids = ref 0
+
+let make_receiver r_engine ~deferred ~deliver =
+  { r_engine; r_deliver = deliver; r_expected = Hashtbl.create 8; r_buffer = Hashtbl.create 8;
+    r_confirmed = Hashtbl.create 8; r_unconfirmed = Hashtbl.create 8;
+    r_ack_via = Hashtbl.create 8; r_deferred = deferred; r_delivered = 0 }
+
+let receiver r_engine ~deliver =
+  make_receiver r_engine ~deferred:false ~deliver:(fun _ ~sender_id:_ ~seq:_ msg -> deliver msg)
+
+let deliver_deferred consumer recv ~sender_id ~seq msg =
+  let confirm () =
+    if Hashtbl.mem recv.r_unconfirmed (sender_id, seq) then begin
+      Hashtbl.remove recv.r_unconfirmed (sender_id, seq);
+      let confirmed = Option.value ~default:0 (Hashtbl.find_opt recv.r_confirmed sender_id) in
+      Hashtbl.replace recv.r_confirmed sender_id (confirmed + 1);
+      match Hashtbl.find_opt recv.r_ack_via sender_id with
+      | Some send_ack -> send_ack confirmed
+      | None -> ()
+    end
+  in
+  Hashtbl.replace recv.r_unconfirmed (sender_id, seq) msg;
+  consumer msg ~confirm
+
+let receiver_deferred r_engine ~deliver =
+  make_receiver r_engine ~deferred:true
+    ~deliver:(fun recv ~sender_id ~seq msg -> deliver_deferred deliver recv ~sender_id ~seq msg)
+
+let redeliver_unconfirmed recv ~deliver =
+  (* replay delivered-but-unconfirmed messages in sequence order per
+     sender: the consumer (a healed chain) may have lost them *)
+  let entries = Hashtbl.fold (fun k m acc -> (k, m) :: acc) recv.r_unconfirmed [] in
+  let sorted = List.sort (fun ((s1, q1), _) ((s2, q2), _) ->
+      match Int.compare s1 s2 with 0 -> Int.compare q1 q2 | c -> c) entries in
+  List.iter (fun ((sender_id, seq), msg) -> deliver_deferred deliver recv ~sender_id ~seq msg) sorted
+
+let delivered r = r.r_delivered
+
+let receive recv ~sender_id ~seq msg ~send_ack =
+  Hashtbl.replace recv.r_ack_via sender_id send_ack;
+  let expected = Option.value ~default:0 (Hashtbl.find_opt recv.r_expected sender_id) in
+  if seq >= expected then Hashtbl.replace recv.r_buffer (sender_id, seq) msg;
+  (* drain the in-order prefix *)
+  let rec drain e =
+    match Hashtbl.find_opt recv.r_buffer (sender_id, e) with
+    | Some m ->
+      Hashtbl.remove recv.r_buffer (sender_id, e);
+      recv.r_delivered <- recv.r_delivered + 1;
+      recv.r_deliver recv ~sender_id ~seq:e m;
+      drain (e + 1)
+    | None -> e
+  in
+  let expected' = drain expected in
+  Hashtbl.replace recv.r_expected sender_id expected';
+  if recv.r_deferred then begin
+    (* ack only the confirmed prefix *)
+    let confirmed = Option.value ~default:0 (Hashtbl.find_opt recv.r_confirmed sender_id) in
+    if confirmed > 0 then send_ack (confirmed - 1)
+  end
+  else
+    (* cumulative ack: everything below expected' has been delivered *)
+    send_ack (expected' - 1)
+
+let sender s_engine ~resend_period =
+  incr sender_ids;
+  { s_engine; s_id = !sender_ids; resend_period; next_seq = 0; unacked = []; route = None;
+    stopped = false; timer_running = false }
+
+let unacked s = List.length s.unacked
+
+let transmit s route entry =
+  entry.last_sent <- Sim.Engine.now s.s_engine;
+  Sim.Link.send route.data ~size_bytes:entry.size (fun () ->
+      receive route.dest ~sender_id:s.s_id ~seq:entry.seq entry.msg ~send_ack:(fun acked ->
+          Sim.Link.send route.ack (fun () ->
+              s.unacked <- List.filter (fun e -> e.seq > acked) s.unacked)))
+
+let rec arm_timer s =
+  if (not s.timer_running) && not s.stopped then begin
+    s.timer_running <- true;
+    Sim.Engine.schedule s.s_engine ~delay:s.resend_period (fun () ->
+        s.timer_running <- false;
+        if not s.stopped then begin
+          let now = Sim.Engine.now s.s_engine in
+          (match (s.unacked, s.route) with
+          | [], _ | _, None -> ()
+          | backlog, Some route ->
+            (* retransmit only entries that have been in flight for a full
+               period — fresh entries are just waiting on the normal RTT *)
+            List.iter
+              (fun e ->
+                if Sim.Time.compare (Sim.Time.sub now e.last_sent) s.resend_period >= 0 then
+                  transmit s route e)
+              backlog);
+          if s.unacked <> [] then arm_timer s
+        end)
+  end
+
+let send s ?(size_bytes = 0) msg =
+  match s.route with
+  | None -> invalid_arg "Reliable_fifo.send: not connected"
+  | Some route ->
+    let seq = s.next_seq in
+    s.next_seq <- seq + 1;
+    let entry = { seq; size = size_bytes; msg; last_sent = Sim.Engine.now s.s_engine } in
+    s.unacked <- s.unacked @ [ entry ];
+    transmit s route entry;
+    arm_timer s
+
+let connect s ~data ~ack dest =
+  s.route <- Some { data; ack; dest };
+  List.iter (transmit s { data; ack; dest }) s.unacked;
+  if s.unacked <> [] then arm_timer s
+
+let stop s = s.stopped <- true

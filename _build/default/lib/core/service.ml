@@ -1,0 +1,191 @@
+type msg = { uid : int * int; label : Label.t; targets : int list }
+
+type t = {
+  engine : Sim.Engine.t;
+  topo : Sim.Topology.t;
+  config : Config.t;
+  deliver : dc:int -> Label.t -> unit;
+  interest : Label.t -> int list;
+  mutable chains : msg Chain.t array;
+  edge_senders : (int * int, msg Reliable_fifo.sender) Hashtbl.t;
+  edge_links : (int * int, Sim.Link.t * Sim.Link.t) Hashtbl.t; (* a->b: data, ack *)
+  dc_in_senders : msg Reliable_fifo.sender array;
+  dc_out_senders : (int, Label.t Reliable_fifo.sender) Hashtbl.t;
+  uid_counter : int array;
+  mutable n_input : int;
+  mutable n_delivered : int;
+  mutable all_senders : (unit -> unit) list; (* stop functions *)
+}
+
+let resend_period lat = Sim.Time.add (Sim.Time.add lat lat) (Sim.Time.of_ms 50)
+
+let route t s msg =
+  let tree = Config.tree t.config in
+  let local = List.filter (fun dc -> List.mem dc (Tree.dcs_at tree s)) msg.targets in
+  List.iter
+    (fun dc ->
+      let delta = Config.delay t.config ~from:s ~hop:(To_dc dc) in
+      let sender = Hashtbl.find t.dc_out_senders dc in
+      Sim.Engine.schedule t.engine ~delay:delta (fun () ->
+          Reliable_fifo.send sender ~size_bytes:Label.size_bytes msg.label))
+    local;
+  List.iter
+    (fun b ->
+      let behind = Tree.dcs_behind tree ~from:s ~via:b in
+      let sub = List.filter (fun dc -> List.mem dc behind) msg.targets in
+      if sub <> [] then begin
+        let delta = Config.delay t.config ~from:s ~hop:(To_serializer b) in
+        let sender = Hashtbl.find t.edge_senders (s, b) in
+        let forwarded = { msg with targets = sub } in
+        Sim.Engine.schedule t.engine ~delay:delta (fun () ->
+            Reliable_fifo.send sender ~size_bytes:Label.size_bytes forwarded)
+      end)
+    (Tree.neighbors tree s)
+
+let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
+    ?(intra_latency = Sim.Time.of_us 300) () =
+  let tree = Config.tree config in
+  let n_ser = Tree.n_serializers tree in
+  let n_dcs = Tree.n_dcs tree in
+  let t =
+    {
+      engine;
+      topo;
+      config;
+      deliver;
+      interest;
+      chains = [||];
+      edge_senders = Hashtbl.create 16;
+      edge_links = Hashtbl.create 16;
+      dc_in_senders = Array.make n_dcs (Reliable_fifo.sender engine ~resend_period:(Sim.Time.of_ms 100));
+      dc_out_senders = Hashtbl.create 16;
+      uid_counter = Array.make n_dcs 0;
+      n_input = 0;
+      n_delivered = 0;
+      all_senders = [];
+    }
+  in
+  t.chains <-
+    Array.init n_ser (fun s ->
+        Chain.create engine ~replicas:serializer_replicas ~intra_latency
+          ~deliver:(fun msg -> route t s msg)
+          ());
+  let register_sender s = t.all_senders <- (fun () -> Reliable_fifo.stop s) :: t.all_senders in
+  let ingress_receivers : msg Reliable_fifo.receiver list array = Array.make n_ser [] in
+  (* chain ingress shared by every inbound channel of serializer [s].
+     Sequencing state of the receivers is modelled as surviving replica
+     crashes: in a real deployment the healed chain re-syncs senders from
+     its committed prefix, and the chain's dedup-by-origin already gives the
+     exactly-once commit that such a re-sync provides. *)
+  let ingest s msg ~confirm = Chain.input t.chains.(s) ~ext_key:msg.uid msg ~confirm in
+  let chain_ingress s =
+    let recv = Reliable_fifo.receiver_deferred engine ~deliver:(ingest s) in
+    ingress_receivers.(s) <- recv :: ingress_receivers.(s);
+    recv
+  in
+  (* a head crash loses sequence numbers the dead head never replicated;
+     replaying unconfirmed channel messages re-ingests them exactly once *)
+  Array.iteri
+    (fun s chain ->
+      Chain.set_on_head_change chain (fun () ->
+          List.iter
+            (fun recv -> Reliable_fifo.redeliver_unconfirmed recv ~deliver:(ingest s))
+            ingress_receivers.(s)))
+    t.chains;
+  (* serializer-to-serializer edges *)
+  List.iter
+    (fun (a, b) ->
+      List.iter
+        (fun (x, y) ->
+          let lat = Sim.Topology.latency topo (Config.site_of_serializer config x) (Config.site_of_serializer config y) in
+          let data = Sim.Link.create engine ~latency:lat () in
+          let ack = Sim.Link.create engine ~latency:lat () in
+          Hashtbl.replace t.edge_links (x, y) (data, ack);
+          let sender = Reliable_fifo.sender engine ~resend_period:(resend_period lat) in
+          Reliable_fifo.connect sender ~data ~ack (chain_ingress y);
+          Hashtbl.replace t.edge_senders (x, y) sender;
+          register_sender sender)
+        [ (a, b); (b, a) ])
+    (Tree.edges tree);
+  (* datacenter attachments: ingress (sink -> serializer) and egress
+     (serializer -> remote proxy) *)
+  for dc = 0 to n_dcs - 1 do
+    let s = Tree.serializer_of tree ~dc in
+    let lat = Sim.Topology.latency topo (Config.site_of_dc config dc) (Config.site_of_serializer config s) in
+    let data = Sim.Link.create engine ~latency:lat () in
+    let ack = Sim.Link.create engine ~latency:lat () in
+    let sender = Reliable_fifo.sender engine ~resend_period:(resend_period lat) in
+    Reliable_fifo.connect sender ~data ~ack (chain_ingress s);
+    t.dc_in_senders.(dc) <- sender;
+    register_sender sender;
+    let out_data = Sim.Link.create engine ~latency:lat () in
+    let out_ack = Sim.Link.create engine ~latency:lat () in
+    let out_sender = Reliable_fifo.sender engine ~resend_period:(resend_period lat) in
+    let out_recv =
+      Reliable_fifo.receiver engine ~deliver:(fun label ->
+          t.n_delivered <- t.n_delivered + 1;
+          deliver ~dc label)
+    in
+    Reliable_fifo.connect out_sender ~data:out_data ~ack:out_ack out_recv;
+    Hashtbl.replace t.dc_out_senders dc out_sender;
+    register_sender out_sender
+  done;
+  t
+
+let input t ~dc label =
+  t.n_input <- t.n_input + 1;
+  let targets = List.filter (fun d -> d <> dc) (t.interest label) in
+  if targets <> [] then begin
+    let uid = (dc, t.uid_counter.(dc)) in
+    t.uid_counter.(dc) <- t.uid_counter.(dc) + 1;
+    Reliable_fifo.send t.dc_in_senders.(dc) ~size_bytes:Label.size_bytes { uid; label; targets }
+  end
+
+let config t = t.config
+
+let crash_replica t ~serializer ~replica = Chain.crash_replica t.chains.(serializer) replica
+
+let crash_serializer t s =
+  let chain = t.chains.(s) in
+  (* crash replicas until none remain; ids are original indices *)
+  let rec go i =
+    if not (Chain.is_down chain) then
+      if i >= 16 then ()
+      else begin
+        (try Chain.crash_replica chain i with Invalid_argument _ -> ());
+        go (i + 1)
+      end
+  in
+  go 0
+
+let serializer_down t s = Chain.is_down t.chains.(s)
+
+let cut_edge t a b =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.edge_links key with
+      | Some (data, ack) ->
+        Sim.Link.cut data;
+        Sim.Link.cut ack
+      | None -> invalid_arg "Service.cut_edge: not an edge")
+    [ (a, b); (b, a) ]
+
+let restore_edge t a b =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.edge_links key with
+      | Some (data, ack) ->
+        Sim.Link.restore data;
+        Sim.Link.restore ack
+      | None -> invalid_arg "Service.restore_edge: not an edge")
+    [ (a, b); (b, a) ]
+
+let labels_input t = t.n_input
+let labels_delivered t = t.n_delivered
+
+let edge_traffic t =
+  Hashtbl.fold (fun edge (data, _) acc -> (edge, Sim.Link.delivered_count data) :: acc) t.edge_links []
+
+let total_label_hops t =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (edge_traffic t) + t.n_delivered
+let shutdown t = List.iter (fun stop -> stop ()) t.all_senders

@@ -1,0 +1,61 @@
+(** Runtime of Saturn's metadata service: the serializer tree (§5.3).
+
+    Builds, from a {!Config.t}, one chain-replicated serializer per tree
+    node and reliable FIFO channels along every tree edge (and between each
+    datacenter and its serializer). Labels enter at the origin datacenter's
+    serializer and are forwarded hop by hop in arrival order; at each hop a
+    label is only propagated toward subtrees that contain an interested
+    datacenter — genuine partial replication — and each outgoing hop adds
+    the configured artificial delay δ.
+
+    Edge cuts are transparent (retransmission resumes after {!restore_edge});
+    serializer crashes stall the affected subtree until the application
+    switches trees or falls back to timestamp order, exactly the paper's
+    availability story. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  topo:Sim.Topology.t ->
+  config:Config.t ->
+  interest:(Label.t -> int list) ->
+  deliver:(dc:int -> Label.t -> unit) ->
+  ?serializer_replicas:int ->
+  ?intra_latency:Sim.Time.t ->
+  unit ->
+  t
+(** [interest label] lists the datacenters that must receive [label]
+    (the origin itself is filtered out automatically). [deliver] is invoked
+    at each interested datacenter, in that datacenter's serialization
+    order. *)
+
+val input : t -> dc:int -> Label.t -> unit
+(** Called by datacenter [dc]'s label sink, in a causality-compliant order. *)
+
+val config : t -> Config.t
+
+val crash_serializer : t -> int -> unit
+(** Crashes every remaining replica of serializer [i]. *)
+
+val crash_replica : t -> serializer:int -> replica:int -> unit
+val serializer_down : t -> int -> bool
+
+val cut_edge : t -> int -> int -> unit
+(** Cuts both directions of the serializer edge (transient partition). *)
+
+val restore_edge : t -> int -> int -> unit
+
+val labels_input : t -> int
+val labels_delivered : t -> int
+
+val edge_traffic : t -> ((int * int) * int) list
+(** Labels sent over each directed serializer edge — the quantitative face
+    of genuine partial replication: subtrees without interested
+    datacenters see no traffic. *)
+
+val total_label_hops : t -> int
+(** Sum of labels over every tree hop (serializer edges + dc egress). *)
+
+val shutdown : t -> unit
+(** Stops retransmission timers (end-of-run teardown). *)

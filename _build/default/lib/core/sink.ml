@@ -1,0 +1,46 @@
+type t = {
+  gears : Gear.t array;
+  buffer : Label.t Sim.Heap.t;
+  emit : Label.t -> unit;
+  mutable emitted : int;
+  mutable last_emitted_ts : Sim.Time.t;
+  mutable stopped : bool;
+}
+
+let stable_ts t =
+  Array.fold_left (fun acc g -> Sim.Time.min acc (Gear.floor g)) max_int t.gears
+
+let flush t =
+  let stable = stable_ts t in
+  let rec drain () =
+    match Sim.Heap.peek t.buffer with
+    | Some l when Sim.Time.compare l.Label.ts stable <= 0 ->
+      let l = Sim.Heap.pop_exn t.buffer in
+      (* the stability rule guarantees monotone emission *)
+      assert (Sim.Time.compare l.Label.ts t.last_emitted_ts >= 0);
+      t.last_emitted_ts <- l.Label.ts;
+      t.emitted <- t.emitted + 1;
+      t.emit l;
+      drain ()
+    | Some _ | None -> ()
+  in
+  drain ()
+
+let create engine ~gears ~period ~emit () =
+  let t =
+    {
+      gears;
+      buffer = Sim.Heap.create ~cmp:Label.compare_ts_src ();
+      emit;
+      emitted = 0;
+      last_emitted_ts = Sim.Time.zero;
+      stopped = false;
+    }
+  in
+  Sim.Engine.periodic engine ~every:period (fun () -> flush t) ~stop:(fun () -> t.stopped);
+  t
+
+let offer t label = Sim.Heap.push t.buffer label
+let stop t = t.stopped <- true
+let emitted t = t.emitted
+let buffered t = Sim.Heap.size t.buffer

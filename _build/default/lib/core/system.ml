@@ -1,0 +1,255 @@
+type params = {
+  topo : Sim.Topology.t;
+  dc_sites : Sim.Topology.site array;
+  partitions : int;
+  frontends : int;
+  cost : Cost_model.t;
+  rmap : Kvstore.Replica_map.t;
+  config : Config.t;
+  serializer_replicas : int;
+  peer_mode : bool;
+  bulk_factor : float;
+  clock_offsets : Sim.Time.t array option;
+}
+
+let default_params ~topo ~dc_sites ~rmap ~config =
+  {
+    topo;
+    dc_sites;
+    partitions = 4;
+    frontends = 2;
+    cost = Cost_model.default;
+    rmap;
+    config;
+    serializer_replicas = 1;
+    peer_mode = false;
+    bulk_factor = 1.0;
+    clock_offsets = None;
+  }
+
+type hooks = {
+  on_visible :
+    dc:int -> key:int -> origin_dc:int -> origin_time:Sim.Time.t -> value:Kvstore.Value.t -> unit;
+}
+
+let no_hooks = { on_visible = (fun ~dc:_ ~key:_ ~origin_dc:_ ~origin_time:_ ~value:_ -> ()) }
+
+type route = { mutable to_next : bool; mutable marker : Label.t option }
+
+type t = {
+  engine : Sim.Engine.t;
+  p : params;
+  hooks : hooks;
+  mutable dcs : Datacenter.t array;
+  bulk : Sim.Link.t array array; (* [src].[dst]; diagonal unused *)
+  mutable service : Service.t option;
+  mutable next_service : Service.t option;
+  routes : route array; (* per-dc: which tree the sink currently feeds *)
+  mutable epoch : int;
+  mutable stopped : bool;
+}
+
+let n_dcs t = Array.length t.dcs
+let engine t = t.engine
+let datacenter t i = t.dcs.(i)
+let service t = t.service
+let params t = t.p
+
+let interest_of p label =
+  match label.Label.target with
+  | Label.Update { key } -> Kvstore.Replica_map.replicas p.rmap ~key
+  | Label.Migration { dest_dc } -> [ dest_dc ]
+  | Label.Epoch_change _ -> List.init (Array.length p.dc_sites) Fun.id
+
+let deliver_current t ~dc label = Proxy.on_label (Datacenter.proxy t.dcs.(dc)) label
+let deliver_next t ~dc label = Proxy.on_label_next (Datacenter.proxy t.dcs.(dc)) label
+
+let route_label t dc label =
+  let route = t.routes.(dc) in
+  let input service = Service.input service ~dc label in
+  (if route.to_next then Option.iter input t.next_service
+   else Option.iter input t.service);
+  (* the epoch-change marker is the last label through the old tree *)
+  match route.marker with
+  | Some m when Label.equal m label -> route.to_next <- true
+  | Some _ | None -> ()
+
+let create engine p hooks =
+  let n = Array.length p.dc_sites in
+  let bulk =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let lat =
+              if i = j then Sim.Time.zero else Sim.Topology.latency p.topo p.dc_sites.(i) p.dc_sites.(j)
+            in
+            let lat = Sim.Time.of_us (int_of_float (float_of_int (Sim.Time.to_us lat) *. p.bulk_factor)) in
+            Sim.Link.create engine ~latency:lat ()))
+  in
+  let t =
+    {
+      engine;
+      p;
+      hooks;
+      dcs = [||];
+      bulk;
+      service = None;
+      next_service = None;
+      routes = Array.init n (fun _ -> { to_next = false; marker = None });
+      epoch = 0;
+      stopped = false;
+    }
+  in
+  t.dcs <-
+    Array.init n (fun dc ->
+        let hooks_dc =
+          {
+            Datacenter.ship_payload =
+              (fun ~dst payload ->
+                let size = payload.Proxy.value.Kvstore.Value.size_bytes + Label.size_bytes in
+                Sim.Link.send t.bulk.(dc).(dst) ~size_bytes:size (fun () ->
+                    Proxy.on_payload (Datacenter.proxy t.dcs.(dst)) payload));
+            emit_label = (fun label -> route_label t dc label);
+            on_remote_visible =
+              (fun ~key ~origin_dc ~origin_time ~value ->
+                hooks.on_visible ~dc ~key ~origin_dc ~origin_time ~value);
+          }
+        in
+        let clock_offset =
+          match p.clock_offsets with Some offs -> offs.(dc) | None -> Sim.Time.zero
+        in
+        Datacenter.create engine ~dc ~n_dcs:n ~partitions:p.partitions ~frontends:p.frontends
+          ~cost:p.cost ~rmap:p.rmap ~hooks:hooks_dc ~clock_offset
+          ~proxy_mode:(if p.peer_mode then Proxy.Fallback else Proxy.Stream)
+          ());
+  if not p.peer_mode then
+    t.service <-
+      Some
+        (Service.create engine ~topo:p.topo ~config:p.config ~interest:(interest_of p)
+           ~deliver:(fun ~dc label -> deliver_current t ~dc label)
+           ~serializer_replicas:p.serializer_replicas ());
+  (* bulk-channel heartbeats: each datacenter periodically promises its gear
+     floor to every other datacenter (liveness for attach stabilization and
+     for the timestamp fallback) *)
+  for dc = 0 to n - 1 do
+    Sim.Engine.periodic engine ~every:p.cost.Cost_model.heartbeat_period
+      (fun () ->
+        let floor = Datacenter.gear_floor t.dcs.(dc) in
+        for dst = 0 to n - 1 do
+          if dst <> dc then
+            Sim.Link.send t.bulk.(dc).(dst) (fun () ->
+                Proxy.on_heartbeat (Datacenter.proxy t.dcs.(dst)) ~src:dc floor)
+        done)
+      ~stop:(fun () -> t.stopped)
+  done;
+  t
+
+(* ---- client operations -------------------------------------------------- *)
+
+let request_latency t client ~dc =
+  let dc_site = t.p.dc_sites.(dc) in
+  let home = Client_lib.home_site client in
+  if home = dc_site then Sim.Time.of_us t.p.cost.Cost_model.intra_dc_us
+  else Sim.Topology.latency t.p.topo home dc_site
+
+let round_trip t client ~dc work ~k =
+  let lat = request_latency t client ~dc in
+  Sim.Engine.schedule t.engine ~delay:lat (fun () ->
+      work (fun result -> Sim.Engine.schedule t.engine ~delay:lat (fun () -> k result)))
+
+let attach t client ~dc ~k =
+  round_trip t client ~dc
+    (fun reply ->
+      Datacenter.attach t.dcs.(dc) ~client_label:(Client_lib.causal_past client) ~k:(fun () ->
+          reply ()))
+    ~k:(fun () ->
+      Client_lib.set_current_dc client dc;
+      k ())
+
+let read t client ~key ~k =
+  let dc = Client_lib.current_dc client in
+  round_trip t client ~dc
+    (fun reply -> Datacenter.read t.dcs.(dc) ~key ~k:reply)
+    ~k:(fun result ->
+      match result with
+      | Some (value, label) ->
+        Client_lib.observe client label;
+        k (Some value)
+      | None -> k None)
+
+let update_with_label t client ~key ~value ~k =
+  let dc = Client_lib.current_dc client in
+  round_trip t client ~dc
+    (fun reply ->
+      Datacenter.update t.dcs.(dc) ~key ~value ~client_ts:(Client_lib.causal_ts client) ~k:reply)
+    ~k:(fun label ->
+      Client_lib.observe client label;
+      k label)
+
+let update t client ~key ~value ~k = update_with_label t client ~key ~value ~k:(fun _ -> k ())
+
+let migrate t client ~dest_dc ~k =
+  let dc = Client_lib.current_dc client in
+  (* Migration labels are an optimization (§4.4), not a requirement: they
+     pay one request round-trip to the current datacenter. That is free
+     when the client is at its preferred site, but from a remote datacenter
+     the request itself crosses the WAN, costing more than the conservative
+     attach it would save — so a returning client attaches directly
+     (Algorithm 1 handles its label: instantly when the causal past was
+     generated at the destination, per-source stabilization otherwise). *)
+  if dc = Client_lib.preferred_dc client && not t.p.peer_mode then
+    round_trip t client ~dc
+      (fun reply ->
+        Datacenter.migrate t.dcs.(dc) ~dest_dc ~client_ts:(Client_lib.causal_ts client) ~k:reply)
+      ~k:(fun label ->
+        Client_lib.observe client label;
+        attach t client ~dc:dest_dc ~k)
+  else attach t client ~dc:dest_dc ~k
+
+(* ---- reconfiguration ---------------------------------------------------- *)
+
+let switch_config t config2 ~graceful =
+  t.epoch <- t.epoch + 1;
+  let epoch = t.epoch in
+  let service2 =
+    Service.create t.engine ~topo:t.p.topo ~config:config2 ~interest:(interest_of t.p)
+      ~deliver:(fun ~dc label -> deliver_next t ~dc label)
+      ~serializer_replicas:t.p.serializer_replicas ()
+  in
+  t.next_service <- Some service2;
+  Array.iteri
+    (fun dc dcx ->
+      let proxy = Datacenter.proxy dcx in
+      if graceful then begin
+        Proxy.start_graceful_switch proxy ~epoch;
+        (* inject the epoch-change marker through the old tree; labels the
+           sink emits after it flow through the new tree *)
+        let marker = Datacenter.emit_epoch_label dcx ~epoch in
+        t.routes.(dc).marker <- Some marker
+      end
+      else begin
+        Proxy.start_forced_switch proxy;
+        t.routes.(dc).to_next <- true
+      end)
+    t.dcs
+
+let switch_complete t =
+  Array.for_all (fun dcx -> Proxy.switch_complete (Datacenter.proxy dcx)) t.dcs
+
+let crash_serializer t s =
+  match t.service with
+  | Some service -> Service.crash_serializer service s
+  | None -> invalid_arg "System.crash_serializer: peer mode has no serializers"
+
+let enter_fallback t =
+  Array.iter (fun dcx -> Proxy.set_mode (Datacenter.proxy dcx) Proxy.Fallback) t.dcs
+
+let stop t =
+  t.stopped <- true;
+  Array.iter Datacenter.stop t.dcs;
+  Option.iter Service.shutdown t.service;
+  Option.iter Service.shutdown t.next_service
+
+let total_updates t = Array.fold_left (fun acc d -> acc + Datacenter.updates_originated d) 0 t.dcs
+
+let total_remote_applied t =
+  Array.fold_left (fun acc d -> acc + Datacenter.remote_applied d) 0 t.dcs

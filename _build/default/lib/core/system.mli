@@ -1,0 +1,98 @@
+(** The full Saturn deployment: datacenters + bulk-data transfer + the
+    metadata service, wired over a geographic topology.
+
+    This is the module a user of the library instantiates: give it a
+    topology, a replica map and a Saturn configuration, and drive it with
+    clients. Baseline systems (eventual, GentleRain, Cure) live in the
+    [baselines] library and expose the same operation surface through the
+    harness. *)
+
+type params = {
+  topo : Sim.Topology.t;
+  dc_sites : Sim.Topology.site array;  (** geographic site of each datacenter *)
+  partitions : int;
+  frontends : int;
+  cost : Cost_model.t;
+  rmap : Kvstore.Replica_map.t;
+  config : Config.t;
+  serializer_replicas : int;
+  peer_mode : bool;
+      (** true = P-configuration: no serializer tree; remote updates applied
+          in conservative timestamp order from the bulk channel only *)
+  bulk_factor : float;
+      (** bulk-data path inflation over the shortest-path latency matrix:
+          bulk transfers do not necessarily take the shortest path (§5.3),
+          which is when artificial delays δ earn their keep *)
+  clock_offsets : Sim.Time.t array option;
+      (** per-datacenter physical-clock skew (NTP residue); [None] = all
+          synchronized. Gears discipline timestamps regardless. *)
+}
+
+val default_params :
+  topo:Sim.Topology.t ->
+  dc_sites:Sim.Topology.site array ->
+  rmap:Kvstore.Replica_map.t ->
+  config:Config.t ->
+  params
+
+type hooks = {
+  on_visible :
+    dc:int -> key:int -> origin_dc:int -> origin_time:Sim.Time.t -> value:Kvstore.Value.t -> unit;
+}
+
+val no_hooks : hooks
+
+type t
+
+val create : Sim.Engine.t -> params -> hooks -> t
+
+val engine : t -> Sim.Engine.t
+val n_dcs : t -> int
+val datacenter : t -> int -> Datacenter.t
+val service : t -> Service.t option
+(** [None] in peer mode. *)
+
+val params : t -> params
+
+(** {2 Client operations} (continuation-passing; includes network latency
+    from the client's home site to the target datacenter) *)
+
+val attach : t -> Client_lib.t -> dc:int -> k:(unit -> unit) -> unit
+val read : t -> Client_lib.t -> key:int -> k:(Kvstore.Value.t option -> unit) -> unit
+(** At the client's current datacenter. *)
+
+val update : t -> Client_lib.t -> key:int -> value:Kvstore.Value.t -> k:(unit -> unit) -> unit
+
+val update_with_label :
+  t -> Client_lib.t -> key:int -> value:Kvstore.Value.t -> k:(Label.t -> unit) -> unit
+(** Like {!update} but hands the minted label to the continuation, as the
+    paper's frontend does (Algorithm 1 returns the label to the client
+    library). Useful for tools and session-guarantee checks. *)
+
+val migrate : t -> Client_lib.t -> dest_dc:int -> k:(unit -> unit) -> unit
+(** Issues the migration label at the current datacenter, then attaches at
+    [dest_dc]; on completion the client is attached there. *)
+
+(** {2 Online reconfiguration (§6.2)} *)
+
+val switch_config : t -> Config.t -> graceful:bool -> unit
+(** Installs a new tree. [graceful = true] runs the epoch-change protocol
+    through the old tree; [graceful = false] runs the fallback protocol for
+    a broken old tree (timestamp order during the transition). One switch
+    per system lifetime is supported — the paper's reconfigurations are
+    rare, operator-triggered events; chain further switches by rebuilding. *)
+
+val switch_complete : t -> bool
+
+(** {2 Failure injection} *)
+
+val crash_serializer : t -> int -> unit
+val enter_fallback : t -> unit
+(** Puts every proxy in timestamp-fallback mode (Saturn outage response). *)
+
+val stop : t -> unit
+
+(** {2 Statistics} *)
+
+val total_updates : t -> int
+val total_remote_applied : t -> int

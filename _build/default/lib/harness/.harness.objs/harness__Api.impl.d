@@ -1,0 +1,1 @@
+lib/harness/api.ml: Client Kvstore

@@ -1,0 +1,1 @@
+lib/harness/api.mli: Client Kvstore

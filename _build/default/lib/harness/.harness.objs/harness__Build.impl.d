@@ -1,0 +1,1 @@
+lib/harness/build.ml: Api Array Baselines Client Hashtbl Kvstore Metrics Option Saturn Sim

@@ -1,0 +1,1 @@
+lib/harness/build.mli: Api Baselines Kvstore Metrics Saturn Sim

@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Api Array Client List Metrics Sim Workload

@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Api Client Metrics Sim Workload

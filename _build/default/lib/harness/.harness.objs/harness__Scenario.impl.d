@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Array Build Client Driver Format Hashtbl List Metrics Option Saturn Sim Stats Workload

@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Kvstore Metrics Saturn Sim Workload

@@ -1,0 +1,9 @@
+type t = {
+  name : string;
+  attach : Client.t -> dc:int -> k:(unit -> unit) -> unit;
+  read : Client.t -> key:int -> k:(Kvstore.Value.t option -> unit) -> unit;
+  update : Client.t -> key:int -> value:Kvstore.Value.t -> k:(unit -> unit) -> unit;
+  migrate : Client.t -> dest_dc:int -> k:(unit -> unit) -> unit;
+  stop : unit -> unit;
+  store_value : dc:int -> key:int -> Kvstore.Value.t option;
+}

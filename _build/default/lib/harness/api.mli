@@ -1,0 +1,18 @@
+(** Uniform operation surface over Saturn and every baseline, so the driver
+    and the benchmarks treat all systems identically. *)
+
+type t = {
+  name : string;
+  attach : Client.t -> dc:int -> k:(unit -> unit) -> unit;
+      (** attach (with stabilization wait where the protocol requires it)
+          and move the client's [current_dc] *)
+  read : Client.t -> key:int -> k:(Kvstore.Value.t option -> unit) -> unit;
+      (** at the client's current datacenter *)
+  update : Client.t -> key:int -> value:Kvstore.Value.t -> k:(unit -> unit) -> unit;
+  migrate : Client.t -> dest_dc:int -> k:(unit -> unit) -> unit;
+      (** protocol-specific fast path where available (Saturn's migration
+          labels); plain attach otherwise *)
+  stop : unit -> unit;
+  store_value : dc:int -> key:int -> Kvstore.Value.t option;
+      (** test/diagnostic access to the visible version at a datacenter *)
+}

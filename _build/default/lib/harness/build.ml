@@ -1,0 +1,287 @@
+type spec = {
+  topo : Sim.Topology.t;
+  dc_sites : Sim.Topology.site array;
+  partitions : int;
+  frontends : int;
+  cost : Saturn.Cost_model.t;
+  rmap : Kvstore.Replica_map.t;
+  saturn_config : Saturn.Config.t option;
+  serializer_replicas : int;
+  bulk_factor : float;
+}
+
+let default_spec ~topo ~dc_sites ~rmap =
+  {
+    topo;
+    dc_sites;
+    partitions = 2;
+    frontends = 2;
+    cost = Saturn.Cost_model.default;
+    rmap;
+    saturn_config = None;
+    serializer_replicas = 1;
+    bulk_factor = 1.0;
+  }
+
+let solve_config spec =
+  let bulk i j =
+    let lat = Sim.Topology.latency spec.topo spec.dc_sites.(i) spec.dc_sites.(j) in
+    Sim.Time.of_us (int_of_float (float_of_int (Sim.Time.to_us lat) *. spec.bulk_factor))
+  in
+  let crit = Saturn.Mismatch.of_replica_map spec.rmap ~bulk in
+  let crit =
+    (* fully-disjoint replica maps would zero every weight; fall back to
+       uniform weights in that case *)
+    let any = ref false in
+    for i = 0 to Array.length spec.dc_sites - 1 do
+      for j = 0 to Array.length spec.dc_sites - 1 do
+        if i <> j && crit.Saturn.Mismatch.weight i j > 0. then any := true
+      done
+    done;
+    if !any then crit else Saturn.Mismatch.uniform ~n_dcs:(Array.length spec.dc_sites) ~bulk
+  in
+  let problem =
+    {
+      Saturn.Config_solver.topo = spec.topo;
+      dc_sites = Array.copy spec.dc_sites;
+      candidates = Saturn.Config_solver.default_candidates ~dc_sites:spec.dc_sites;
+      crit;
+    }
+  in
+  fst (Saturn.Config_gen.find_configuration ~seed:11 problem)
+
+let hooks_of_metrics metrics =
+  {
+    Saturn.System.on_visible =
+      (fun ~dc ~key ~origin_dc ~origin_time ~value ->
+        Metrics.on_visible metrics ~dc ~key ~origin_dc ~origin_time ~value);
+  }
+
+let saturn_with ~peer engine spec metrics =
+  let config =
+    match spec.saturn_config with
+    | Some c -> c
+    | None ->
+      if peer then
+        (* placeholder tree; unused in peer mode *)
+        Saturn.Config.create
+          ~tree:(Saturn.Tree.star ~n_dcs:(Array.length spec.dc_sites))
+          ~placement:[| spec.dc_sites.(0) |] ~dc_sites:(Array.copy spec.dc_sites) ()
+      else solve_config spec
+  in
+  let params =
+    {
+      Saturn.System.topo = spec.topo;
+      dc_sites = Array.copy spec.dc_sites;
+      partitions = spec.partitions;
+      frontends = spec.frontends;
+      cost = spec.cost;
+      rmap = spec.rmap;
+      config;
+      serializer_replicas = spec.serializer_replicas;
+      peer_mode = peer;
+      bulk_factor = spec.bulk_factor;
+      clock_offsets = None;
+    }
+  in
+  let system = Saturn.System.create engine params (hooks_of_metrics metrics) in
+  let table : (int, Saturn.Client_lib.t) Hashtbl.t = Hashtbl.create 256 in
+  let lib (c : Client.t) =
+    match Hashtbl.find_opt table c.Client.id with
+    | Some l -> l
+    | None ->
+      let l =
+        Saturn.Client_lib.create ~id:c.Client.id ~home_site:c.Client.home_site
+          ~preferred_dc:c.Client.preferred_dc
+      in
+      Hashtbl.replace table c.Client.id l;
+      l
+  in
+  let api =
+    {
+      Api.name = (if peer then "saturn-peer" else "saturn");
+      attach =
+        (fun c ~dc ~k ->
+          Saturn.System.attach system (lib c) ~dc ~k:(fun () ->
+              c.Client.current_dc <- dc;
+              k ()));
+      read = (fun c ~key ~k -> Saturn.System.read system (lib c) ~key ~k);
+      update = (fun c ~key ~value ~k -> Saturn.System.update system (lib c) ~key ~value ~k);
+      migrate =
+        (fun c ~dest_dc ~k ->
+          Saturn.System.migrate system (lib c) ~dest_dc ~k:(fun () ->
+              c.Client.current_dc <- dest_dc;
+              k ()));
+      stop = (fun () -> Saturn.System.stop system);
+      store_value =
+        (fun ~dc ~key ->
+          let store = Saturn.Datacenter.store_of_key (Saturn.System.datacenter system dc) ~key in
+          Option.map fst (Kvstore.Store.get store ~key));
+    }
+  in
+  (api, system)
+
+let saturn engine spec metrics = saturn_with ~peer:false engine spec metrics
+let saturn_peer engine spec metrics = saturn_with ~peer:true engine spec metrics
+
+let baseline_params spec =
+  {
+    Baselines.Common.topo = spec.topo;
+    dc_sites = Array.copy spec.dc_sites;
+    partitions = spec.partitions;
+    frontends = spec.frontends;
+    cost = spec.cost;
+    rmap = spec.rmap;
+    bulk_factor = spec.bulk_factor;
+  }
+
+let baseline_hooks metrics =
+  {
+    Baselines.Common.on_visible =
+      (fun ~dc ~key ~origin_dc ~origin_time ~value ->
+        Metrics.on_visible metrics ~dc ~key ~origin_dc ~origin_time ~value);
+  }
+
+let eventual engine spec metrics =
+  let sys = Baselines.Eventual.create engine (baseline_params spec) (baseline_hooks metrics) in
+  {
+    Api.name = "eventual";
+    attach =
+      (fun c ~dc ~k ->
+        Baselines.Eventual.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc ~k:(fun () ->
+            c.Client.current_dc <- dc;
+            k ()));
+    read =
+      (fun c ~key ~k ->
+        Baselines.Eventual.read sys ~client:c.Client.id ~home:c.Client.home_site
+          ~dc:c.Client.current_dc ~key ~k);
+    update =
+      (fun c ~key ~value ~k ->
+        Baselines.Eventual.update sys ~client:c.Client.id ~home:c.Client.home_site
+          ~dc:c.Client.current_dc ~key ~value ~k);
+    migrate =
+      (fun c ~dest_dc ~k ->
+        Baselines.Eventual.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc:dest_dc
+          ~k:(fun () ->
+            c.Client.current_dc <- dest_dc;
+            k ()));
+    stop = (fun () -> Baselines.Eventual.stop sys);
+    store_value = (fun ~dc ~key -> Baselines.Eventual.store_value sys ~dc ~key);
+  }
+
+let gentlerain engine spec metrics =
+  let sys = Baselines.Gentlerain.create engine (baseline_params spec) (baseline_hooks metrics) in
+  {
+    Api.name = "gentlerain";
+    attach =
+      (fun c ~dc ~k ->
+        Baselines.Gentlerain.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc
+          ~k:(fun () ->
+            c.Client.current_dc <- dc;
+            k ()));
+    read =
+      (fun c ~key ~k ->
+        Baselines.Gentlerain.read sys ~client:c.Client.id ~home:c.Client.home_site
+          ~dc:c.Client.current_dc ~key ~k);
+    update =
+      (fun c ~key ~value ~k ->
+        Baselines.Gentlerain.update sys ~client:c.Client.id ~home:c.Client.home_site
+          ~dc:c.Client.current_dc ~key ~value ~k);
+    migrate =
+      (fun c ~dest_dc ~k ->
+        Baselines.Gentlerain.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc:dest_dc
+          ~k:(fun () ->
+            c.Client.current_dc <- dest_dc;
+            k ()));
+    stop = (fun () -> Baselines.Gentlerain.stop sys);
+    store_value = (fun ~dc ~key -> Baselines.Gentlerain.store_value sys ~dc ~key);
+  }
+
+let cure engine spec metrics =
+  let sys = Baselines.Cure.create engine (baseline_params spec) (baseline_hooks metrics) in
+  {
+    Api.name = "cure";
+    attach =
+      (fun c ~dc ~k ->
+        Baselines.Cure.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc ~k:(fun () ->
+            c.Client.current_dc <- dc;
+            k ()));
+    read =
+      (fun c ~key ~k ->
+        Baselines.Cure.read sys ~client:c.Client.id ~home:c.Client.home_site
+          ~dc:c.Client.current_dc ~key ~k);
+    update =
+      (fun c ~key ~value ~k ->
+        Baselines.Cure.update sys ~client:c.Client.id ~home:c.Client.home_site
+          ~dc:c.Client.current_dc ~key ~value ~k);
+    migrate =
+      (fun c ~dest_dc ~k ->
+        Baselines.Cure.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc:dest_dc
+          ~k:(fun () ->
+            c.Client.current_dc <- dest_dc;
+            k ()));
+    stop = (fun () -> Baselines.Cure.stop sys);
+    store_value = (fun ~dc ~key -> Baselines.Cure.store_value sys ~dc ~key);
+  }
+
+let cops engine spec metrics ~prune_on_write =
+  let sys =
+    Baselines.Cops.create engine (baseline_params spec) (baseline_hooks metrics) ~prune_on_write
+  in
+  let api =
+    {
+      Api.name = "cops";
+      attach =
+        (fun c ~dc ~k ->
+          Baselines.Cops.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc ~k:(fun () ->
+              c.Client.current_dc <- dc;
+              k ()));
+      read =
+        (fun c ~key ~k ->
+          Baselines.Cops.read sys ~client:c.Client.id ~home:c.Client.home_site
+            ~dc:c.Client.current_dc ~key ~k);
+      update =
+        (fun c ~key ~value ~k ->
+          Baselines.Cops.update sys ~client:c.Client.id ~home:c.Client.home_site
+            ~dc:c.Client.current_dc ~key ~value ~k);
+      migrate =
+        (fun c ~dest_dc ~k ->
+          Baselines.Cops.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc:dest_dc
+            ~k:(fun () ->
+              c.Client.current_dc <- dest_dc;
+              k ()));
+      stop = (fun () -> Baselines.Cops.stop sys);
+      store_value = (fun ~dc ~key -> Baselines.Cops.store_value sys ~dc ~key);
+    }
+  in
+  (api, sys)
+
+let orbe engine spec metrics =
+  let sys = Baselines.Orbe.create engine (baseline_params spec) (baseline_hooks metrics) in
+  let api =
+    {
+      Api.name = "orbe";
+      attach =
+        (fun c ~dc ~k ->
+          Baselines.Orbe.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc ~k:(fun () ->
+              c.Client.current_dc <- dc;
+              k ()));
+      read =
+        (fun c ~key ~k ->
+          Baselines.Orbe.read sys ~client:c.Client.id ~home:c.Client.home_site
+            ~dc:c.Client.current_dc ~key ~k);
+      update =
+        (fun c ~key ~value ~k ->
+          Baselines.Orbe.update sys ~client:c.Client.id ~home:c.Client.home_site
+            ~dc:c.Client.current_dc ~key ~value ~k);
+      migrate =
+        (fun c ~dest_dc ~k ->
+          Baselines.Orbe.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc:dest_dc
+            ~k:(fun () ->
+              c.Client.current_dc <- dest_dc;
+              k ()));
+      stop = (fun () -> Baselines.Orbe.stop sys);
+      store_value = (fun ~dc ~key -> Baselines.Orbe.store_value sys ~dc ~key);
+    }
+  in
+  (api, sys)

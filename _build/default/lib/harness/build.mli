@@ -1,0 +1,37 @@
+(** Builders: instantiate each system behind the uniform {!Api.t}. *)
+
+type spec = {
+  topo : Sim.Topology.t;
+  dc_sites : Sim.Topology.site array;
+  partitions : int;
+  frontends : int;
+  cost : Saturn.Cost_model.t;
+  rmap : Kvstore.Replica_map.t;
+  saturn_config : Saturn.Config.t option;
+      (** serializer tree for Saturn builders; when [None], a configuration
+          is computed with the generator (uniform weights) *)
+  serializer_replicas : int;
+  bulk_factor : float;  (** bulk-path inflation; 1.0 = shortest path *)
+}
+
+val default_spec :
+  topo:Sim.Topology.t ->
+  dc_sites:Sim.Topology.site array ->
+  rmap:Kvstore.Replica_map.t ->
+  spec
+
+val solve_config : spec -> Saturn.Config.t
+(** Runs the configuration generator (Algorithm 3) for the spec's
+    datacenters, weighting pairs by shared keys. *)
+
+val saturn : Sim.Engine.t -> spec -> Metrics.t -> Api.t * Saturn.System.t
+val saturn_peer : Sim.Engine.t -> spec -> Metrics.t -> Api.t * Saturn.System.t
+(** The P-configuration: timestamp order only, no serializer tree. *)
+
+val eventual : Sim.Engine.t -> spec -> Metrics.t -> Api.t
+val gentlerain : Sim.Engine.t -> spec -> Metrics.t -> Api.t
+val cure : Sim.Engine.t -> spec -> Metrics.t -> Api.t
+val cops : Sim.Engine.t -> spec -> Metrics.t -> prune_on_write:bool -> Api.t * Baselines.Cops.t
+val orbe : Sim.Engine.t -> spec -> Metrics.t -> Api.t * Baselines.Orbe.t
+(** Dependency-matrix explicit checking; sound under full replication only
+    (see {!Baselines.Orbe}). *)

@@ -1,0 +1,11 @@
+type t = {
+  id : int;
+  home_site : Sim.Topology.site;
+  preferred_dc : int;
+  mutable current_dc : int;
+  mutable completed : int;
+  mutable total : int;
+}
+
+let create ~id ~home_site ~preferred_dc =
+  { id; home_site; preferred_dc; current_dc = preferred_dc; completed = 0; total = 0 }

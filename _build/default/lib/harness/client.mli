@@ -1,0 +1,17 @@
+(** Harness-level client handle, protocol-agnostic.
+
+    Protocol-specific causal metadata (Saturn labels, GentleRain scalars,
+    Cure vectors, COPS contexts) is tracked inside each system, keyed by
+    the client id; the harness only knows where the client lives and where
+    it is attached. *)
+
+type t = {
+  id : int;
+  home_site : Sim.Topology.site;
+  preferred_dc : int;
+  mutable current_dc : int;
+  mutable completed : int;  (** ops completed within the measurement window *)
+  mutable total : int;  (** ops completed overall *)
+}
+
+val create : id:int -> home_site:Sim.Topology.site -> preferred_dc:int -> t

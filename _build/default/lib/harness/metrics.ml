@@ -1,0 +1,67 @@
+type t = {
+  engine : Sim.Engine.t;
+  topo : Sim.Topology.t;
+  dc_sites : Sim.Topology.site array;
+  bulk_factor : float;
+  mutable start_at : Sim.Time.t;
+  mutable end_at : Sim.Time.t;
+  visibility : Stats.Sample.t;
+  extra : Stats.Sample.t;
+  pairs : (int * int, Stats.Sample.t) Hashtbl.t;
+  mutable count : int;
+  mutable observers :
+    (dc:int -> key:int -> origin_dc:int -> origin_time:Sim.Time.t -> value:Kvstore.Value.t -> unit) list;
+}
+
+let create ?(bulk_factor = 1.0) engine ~topo ~dc_sites =
+  {
+    engine;
+    topo;
+    dc_sites;
+    bulk_factor;
+    start_at = Sim.Time.zero;
+    end_at = max_int;
+    visibility = Stats.Sample.create ();
+    extra = Stats.Sample.create ();
+    pairs = Hashtbl.create 64;
+    count = 0;
+    observers = [];
+  }
+
+let set_window t ~start_at ~end_at =
+  t.start_at <- start_at;
+  t.end_at <- end_at
+
+let in_window t =
+  let now = Sim.Engine.now t.engine in
+  Sim.Time.compare now t.start_at >= 0 && Sim.Time.compare now t.end_at <= 0
+
+let pair_visibility t ~origin ~dest =
+  match Hashtbl.find_opt t.pairs (origin, dest) with
+  | Some s -> s
+  | None ->
+    let s = Stats.Sample.create () in
+    Hashtbl.replace t.pairs (origin, dest) s;
+    s
+
+let subscribe t f = t.observers <- f :: t.observers
+
+let on_visible t ~dc ~key ~origin_dc ~origin_time ~value =
+  List.iter (fun f -> f ~dc ~key ~origin_dc ~origin_time ~value) t.observers;
+  ignore key;
+  if in_window t then begin
+    let now = Sim.Engine.now t.engine in
+    let latency = Sim.Time.sub now origin_time in
+    let optimal =
+      let lat = Sim.Topology.latency t.topo t.dc_sites.(origin_dc) t.dc_sites.(dc) in
+      Sim.Time.of_us (int_of_float (float_of_int (Sim.Time.to_us lat) *. t.bulk_factor))
+    in
+    t.count <- t.count + 1;
+    Stats.Sample.add_time t.visibility latency;
+    Stats.Sample.add t.extra (Sim.Time.to_ms_float (Sim.Time.sub latency optimal));
+    Stats.Sample.add_time (pair_visibility t ~origin:origin_dc ~dest:dc) latency
+  end
+
+let visibility t = t.visibility
+let extra_visibility t = t.extra
+let visible_count t = t.count

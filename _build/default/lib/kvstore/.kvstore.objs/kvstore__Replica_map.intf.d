@@ -1,0 +1,1 @@
+lib/kvstore/replica_map.mli:

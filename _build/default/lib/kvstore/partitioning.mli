@@ -1,0 +1,16 @@
+(** Key-to-partition assignment inside a datacenter.
+
+    Each datacenter shards its keyspace over [n] storage servers; the
+    frontend routes a request to the responsible server. We use a mixed
+    multiplicative hash so that consecutive key ids spread evenly, which is
+    what Riak Core's consistent hashing gives the paper's prototype. *)
+
+type t
+
+val create : partitions:int -> t
+(** @raise Invalid_argument when [partitions < 1]. *)
+
+val partitions : t -> int
+
+val responsible : t -> key:int -> int
+(** Partition index in [0, partitions). Deterministic in the key. *)

@@ -1,0 +1,8 @@
+type t = { payload : int; size_bytes : int }
+
+let make ~payload ~size_bytes =
+  if size_bytes < 0 then invalid_arg "Value.make: negative size";
+  { payload; size_bytes }
+
+let equal a b = a.payload = b.payload && a.size_bytes = b.size_bytes
+let pp ppf v = Format.fprintf ppf "v%d(%dB)" v.payload v.size_bytes

@@ -1,0 +1,12 @@
+(** Stored values.
+
+    The evaluation only exercises value *size* (transfer and handling cost)
+    and identity (to check convergence and causal visibility), so a value is
+    a payload tag plus a declared size in bytes. The tag uniquely identifies
+    the update that wrote it. *)
+
+type t = { payload : int; size_bytes : int }
+
+val make : payload:int -> size_bytes:int -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

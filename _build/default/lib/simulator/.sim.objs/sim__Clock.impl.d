@@ -1,0 +1,1 @@
+lib/simulator/clock.ml: Engine Time

@@ -1,0 +1,1 @@
+lib/simulator/clock.mli: Engine Time

@@ -1,0 +1,1 @@
+lib/simulator/ec2.ml: Fun List Topology

@@ -1,0 +1,1 @@
+lib/simulator/ec2.mli: Topology

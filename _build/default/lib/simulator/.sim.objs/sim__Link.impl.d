@@ -1,0 +1,1 @@
+lib/simulator/link.ml: Engine Rng Time

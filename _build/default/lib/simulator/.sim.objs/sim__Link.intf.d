@@ -1,0 +1,1 @@
+lib/simulator/link.mli: Engine Rng Time

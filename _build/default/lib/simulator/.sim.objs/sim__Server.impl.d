@@ -1,0 +1,1 @@
+lib/simulator/server.ml: Engine Time

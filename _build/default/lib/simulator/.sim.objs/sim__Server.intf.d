@@ -1,0 +1,1 @@
+lib/simulator/server.mli: Engine Time

@@ -1,0 +1,1 @@
+lib/simulator/time.ml: Float Format Int Stdlib

@@ -1,0 +1,1 @@
+lib/simulator/time.mli: Format

@@ -1,0 +1,1 @@
+lib/simulator/topology.ml: Array Format Fun List String Time

@@ -1,0 +1,1 @@
+lib/simulator/topology.mli: Format Time

@@ -1,0 +1,1 @@
+lib/simulator/trace.ml: Array Engine Format List Time

@@ -1,0 +1,22 @@
+type t = {
+  engine : Engine.t;
+  offset : Time.t;
+  drift_ppm : float;
+  mutable last : Time.t;
+}
+
+let create ?(offset = Time.zero) ?(drift_ppm = 0.) engine =
+  { engine; offset; drift_ppm; last = Time.zero }
+
+let raw t =
+  let now = Engine.now t.engine in
+  let drift = int_of_float (float_of_int (Time.to_us now) *. t.drift_ppm /. 1_000_000.) in
+  Time.max Time.zero (Time.add now (Time.add t.offset (Time.of_us drift)))
+
+let peek t = Time.max (raw t) t.last
+
+let read t =
+  let v = raw t in
+  let v = if Time.compare v t.last <= 0 then Time.add t.last (Time.of_us 1) else v in
+  t.last <- v;
+  v

@@ -1,0 +1,21 @@
+(** Simulated physical clock with bounded skew and drift.
+
+    The paper's gears use NTP-synchronized physical clocks to generate
+    monotonically increasing label timestamps. We model each site's clock as
+    [true_time + offset + drift * true_time], with small defaults matching
+    the paper's "negligible after NTP sync" observation. Reads are forced
+    monotonic, exactly like a real gear's clock discipline. *)
+
+type t
+
+val create : ?offset:Time.t -> ?drift_ppm:float -> Engine.t -> t
+(** [offset] is a constant skew (may be negative); [drift_ppm] a rate error
+    in parts per million. Defaults: zero offset, zero drift. *)
+
+val read : t -> Time.t
+(** Current clock value. Guaranteed strictly monotonic across calls: two
+    successive reads never return the same value, mirroring gears that must
+    emit unique, increasing timestamps. *)
+
+val peek : t -> Time.t
+(** Clock value without the monotonic-bump side effect. *)

@@ -1,0 +1,23 @@
+let region_names = [| "NV"; "NC"; "O"; "I"; "F"; "T"; "S" |]
+
+(* Table 1 of the paper: average half-RTT in milliseconds. *)
+let latency_ms =
+  [|
+    [| 0; 37; 49; 41; 45; 73; 115 |];
+    [| 37; 0; 10; 74; 84; 52; 79 |];
+    [| 49; 10; 0; 69; 79; 45; 81 |];
+    [| 41; 74; 69; 0; 10; 107; 154 |];
+    [| 45; 84; 79; 10; 0; 118; 161 |];
+    [| 73; 52; 45; 107; 118; 0; 52 |];
+    [| 115; 79; 81; 154; 161; 52; 0 |];
+  |]
+
+let topology = Topology.create ~names:region_names ~latency_ms
+let nv = 0
+let nc = 1
+let o = 2
+let i = 3
+let f = 4
+let t = 5
+let s = 6
+let first_n n = List.init n Fun.id

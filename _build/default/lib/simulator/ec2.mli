@@ -1,0 +1,20 @@
+(** The paper's Table 1: measured half-RTT latencies among seven Amazon EC2
+    regions. This matrix is the network substrate for every experiment. *)
+
+val topology : Topology.t
+(** Sites in order: NV (N. Virginia), NC (N. California), O (Oregon),
+    I (Ireland), F (Frankfurt), T (Tokyo), S (Sydney). *)
+
+val nv : Topology.site
+val nc : Topology.site
+val o : Topology.site
+val i : Topology.site
+val f : Topology.site
+val t : Topology.site
+val s : Topology.site
+
+val region_names : string array
+
+val first_n : int -> Topology.site list
+(** The first [n] regions in table order, used by the 3–7 datacenter
+    scaling experiments (Fig. 1). *)

@@ -1,0 +1,61 @@
+type event = { at : Time.t; seq : int; run : unit -> unit }
+
+let compare_event a b =
+  match Time.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
+
+type t = {
+  queue : event Heap.t;
+  mutable now : Time.t;
+  mutable seq : int;
+  mutable processed : int;
+}
+
+let create () =
+  { queue = Heap.create ~cmp:compare_event (); now = Time.zero; seq = 0; processed = 0 }
+
+let now t = t.now
+
+let schedule_at t at run =
+  let at = Time.max at t.now in
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.push t.queue { at; seq; run }
+
+let schedule t ~delay run =
+  let delay = Time.max delay Time.zero in
+  schedule_at t (Time.add t.now delay) run
+
+let periodic t ~every run ~stop =
+  let rec tick () =
+    if not (stop ()) then begin
+      run ();
+      schedule t ~delay:every tick
+    end
+  in
+  schedule t ~delay:every tick
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.now <- ev.at;
+    t.processed <- t.processed + 1;
+    ev.run ();
+    true
+
+let run ?until t =
+  let horizon_reached () =
+    match until with
+    | None -> false
+    | Some h -> ( match Heap.peek t.queue with None -> false | Some ev -> Time.compare ev.at h > 0 )
+  in
+  let continue = ref true in
+  while !continue do
+    if horizon_reached () then continue := false else if not (step t) then continue := false
+  done;
+  match until with
+  | Some h when Time.compare t.now h < 0 -> t.now <- h
+  | Some _ | None -> ()
+
+let pending t = Heap.size t.queue
+let events_processed t = t.processed

@@ -1,0 +1,39 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded scheduler drives the whole simulated distributed
+    system: datacenters, serializers, links and clients are all closures
+    registered as timed events. Events with equal timestamps fire in
+    scheduling (FIFO) order, which keeps runs deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t + delay]. Negative delays are
+    clamped to zero. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+(** [schedule_at t when_ f] runs [f] at absolute time [when_] (clamped to
+    [now] if already past). *)
+
+val periodic : t -> every:Time.t -> (unit -> unit) -> stop:(unit -> bool) -> unit
+(** [periodic t ~every f ~stop] runs [f] every [every] until [stop ()] is
+    true (checked before each firing). *)
+
+val run : ?until:Time.t -> t -> unit
+(** Processes events until the queue is empty or simulated time would pass
+    [until]. After [run ~until], [now] equals [until] if the horizon was
+    reached. *)
+
+val step : t -> bool
+(** Processes a single event. Returns [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val events_processed : t -> int
+(** Total number of events processed since creation. *)

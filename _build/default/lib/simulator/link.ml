@@ -1,0 +1,75 @@
+type t = {
+  engine : Engine.t;
+  mutable base_latency : Time.t;
+  jitter_us : int;
+  bandwidth : float option;
+  rng : Rng.t option;
+  mutable last_arrival : Time.t;
+  mutable up : bool;
+  mutable epoch : int; (* bumped on cut: invalidates in-flight messages *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let create ?(jitter_us = 0) ?bandwidth_bytes_per_us ?rng engine ~latency () =
+  if jitter_us > 0 && rng = None then invalid_arg "Link.create: jitter requires an rng";
+  {
+    engine;
+    base_latency = latency;
+    jitter_us;
+    bandwidth = bandwidth_bytes_per_us;
+    rng;
+    last_arrival = Time.zero;
+    up = true;
+    epoch = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let delay t ~size_bytes =
+  let jitter =
+    match (t.jitter_us, t.rng) with
+    | 0, _ | _, None -> 0
+    | j, Some rng -> Rng.int rng j
+  in
+  let transmission =
+    match t.bandwidth with
+    | None -> 0
+    | Some bw -> if bw <= 0. then 0 else int_of_float (float_of_int size_bytes /. bw)
+  in
+  Time.add t.base_latency (Time.of_us (jitter + transmission))
+
+let send t ?(size_bytes = 0) deliver =
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + size_bytes;
+  if not t.up then t.dropped <- t.dropped + 1
+  else begin
+    let now = Engine.now t.engine in
+    let arrival = Time.max (Time.add now (delay t ~size_bytes)) t.last_arrival in
+    t.last_arrival <- arrival;
+    let epoch = t.epoch in
+    Engine.schedule_at t.engine arrival (fun () ->
+        if t.up && t.epoch = epoch then begin
+          t.delivered <- t.delivered + 1;
+          deliver ()
+        end
+        else t.dropped <- t.dropped + 1)
+  end
+
+let set_latency t l = t.base_latency <- l
+let latency t = t.base_latency
+
+let cut t =
+  t.up <- false;
+  t.epoch <- t.epoch + 1
+
+let restore t = t.up <- true
+let is_up t = t.up
+let sent_count t = t.sent
+let delivered_count t = t.delivered
+let dropped_count t = t.dropped
+let bytes_sent t = t.bytes

@@ -1,0 +1,48 @@
+(** Point-to-point FIFO network link.
+
+    Links model the two transports the paper relies on:
+    - the bulk-data transfer service between datacenters, and
+    - the FIFO channels connecting serializers and datacenters
+      (FIFO order is what makes the tree dissemination causal).
+
+    Delivery time is [now + base latency + jitter + size/bandwidth], but
+    never before a previously sent message: FIFO is enforced even under
+    jitter. A link can be cut and restored to model partitions; messages in
+    flight when the link is cut are dropped, messages sent while the link is
+    down are dropped. *)
+
+type t
+
+val create :
+  ?jitter_us:int ->
+  ?bandwidth_bytes_per_us:float ->
+  ?rng:Rng.t ->
+  Engine.t ->
+  latency:Time.t ->
+  unit ->
+  t
+(** [jitter_us] adds a uniform random [0, jitter_us) component per message
+    (requires [rng] when non-zero). [bandwidth_bytes_per_us], when given,
+    adds a size-proportional transmission delay. *)
+
+val send : t -> ?size_bytes:int -> (unit -> unit) -> unit
+(** Schedules [deliver] on the receiving side after the link delay.
+    [size_bytes] defaults to 0 (metadata-sized message). *)
+
+val set_latency : t -> Time.t -> unit
+(** Changes the base latency for subsequent messages (used by the
+    latency-variability experiment, Fig. 6). *)
+
+val latency : t -> Time.t
+
+val cut : t -> unit
+(** Take the link down: in-flight and future messages are dropped. *)
+
+val restore : t -> unit
+
+val is_up : t -> bool
+
+val sent_count : t -> int
+val delivered_count : t -> int
+val dropped_count : t -> int
+val bytes_sent : t -> int

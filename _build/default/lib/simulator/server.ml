@@ -1,0 +1,31 @@
+type t = {
+  engine : Engine.t;
+  mutable free_at : Time.t; (* time at which the server drains its queue *)
+  mutable busy : Time.t;
+  mutable completed : int;
+  mutable queued : int;
+}
+
+let create engine =
+  { engine; free_at = Time.zero; busy = Time.zero; completed = 0; queued = 0 }
+
+let submit t ~cost k =
+  let cost = Time.max cost Time.zero in
+  let now = Engine.now t.engine in
+  let start = Time.max now t.free_at in
+  let finish = Time.add start cost in
+  t.free_at <- finish;
+  t.busy <- Time.add t.busy cost;
+  t.queued <- t.queued + 1;
+  Engine.schedule_at t.engine finish (fun () ->
+      t.queued <- t.queued - 1;
+      t.completed <- t.completed + 1;
+      k ())
+
+let busy_time t = t.busy
+let completed t = t.completed
+let queue_length t = t.queued
+
+let backlog t =
+  let now = Engine.now t.engine in
+  if Time.compare t.free_at now <= 0 then Time.zero else Time.sub t.free_at now

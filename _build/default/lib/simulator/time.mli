@@ -1,0 +1,37 @@
+(** Simulated time.
+
+    All simulated time is kept as an integer number of microseconds since the
+    start of the run. Integer time keeps the simulator fully deterministic:
+    event ordering never depends on floating-point rounding. *)
+
+type t = int
+(** Microseconds since simulation start. Always non-negative. *)
+
+val zero : t
+
+val of_us : int -> t
+(** [of_us n] is [n] microseconds. *)
+
+val of_ms : int -> t
+(** [of_ms n] is [n] milliseconds. *)
+
+val of_sec : float -> t
+(** [of_sec s] is [s] seconds, rounded to the nearest microsecond. *)
+
+val to_us : t -> int
+val to_ms_float : t -> float
+val to_sec_float : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val max : t -> t -> t
+val min : t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints a human-readable duration, e.g. ["12.430ms"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,57 @@
+type site = int
+
+type t = { names : string array; lat : Time.t array array }
+
+let create ~names ~latency_ms =
+  let n = Array.length names in
+  if Array.length latency_ms <> n then
+    invalid_arg "Topology.create: matrix size does not match names";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then invalid_arg "Topology.create: non-square matrix";
+      Array.iteri
+        (fun j v ->
+          if i = j && v <> 0 then invalid_arg "Topology.create: non-zero diagonal";
+          if v < 0 then invalid_arg "Topology.create: negative latency";
+          if latency_ms.(j).(i) <> v then invalid_arg "Topology.create: asymmetric matrix")
+        row)
+    latency_ms;
+  let lat = Array.map (Array.map Time.of_ms) latency_ms in
+  { names; lat }
+
+let n_sites t = Array.length t.names
+let name t s = t.names.(s)
+
+let site_of_name t n =
+  let rec loop i =
+    if i >= Array.length t.names then raise Not_found
+    else if String.equal t.names.(i) n then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let latency t a b = t.lat.(a).(b)
+let sites t = List.init (n_sites t) Fun.id
+
+let sub t chosen =
+  let chosen = Array.of_list chosen in
+  let n = Array.length chosen in
+  let names = Array.map (fun s -> t.names.(s)) chosen in
+  let lat = Array.init n (fun i -> Array.init n (fun j -> t.lat.(chosen.(i)).(chosen.(j)))) in
+  ({ names; lat }, chosen)
+
+let pp_matrix ppf t =
+  let n = n_sites t in
+  Format.fprintf ppf "%6s" "";
+  for j = 1 to n - 1 do
+    Format.fprintf ppf "%8s" t.names.(j)
+  done;
+  Format.fprintf ppf "@.";
+  for i = 0 to n - 2 do
+    Format.fprintf ppf "%6s" t.names.(i);
+    for j = 1 to n - 1 do
+      if j <= i then Format.fprintf ppf "%8s" "-"
+      else Format.fprintf ppf "%6dms" (Time.to_us t.lat.(i).(j) / 1000)
+    done;
+    Format.fprintf ppf "@."
+  done

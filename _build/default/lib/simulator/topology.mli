@@ -1,0 +1,32 @@
+(** Named sites and the inter-site latency matrix.
+
+    A topology is the static description of the geo-distributed substrate:
+    a set of sites (potential datacenter and serializer locations) and the
+    one-way latency between each pair. *)
+
+type site = int
+(** Dense site identifier, [0 .. n_sites-1]. *)
+
+type t
+
+val create : names:string array -> latency_ms:int array array -> t
+(** [latency_ms] must be square, symmetric, with a zero diagonal.
+    @raise Invalid_argument otherwise. *)
+
+val n_sites : t -> int
+val name : t -> site -> string
+
+val site_of_name : t -> string -> site
+(** @raise Not_found for an unknown name. *)
+
+val latency : t -> site -> site -> Time.t
+(** One-way latency between two sites ([Time.zero] on the diagonal). *)
+
+val sites : t -> site list
+
+val sub : t -> site list -> t * site array
+(** [sub t chosen] restricts the topology to [chosen] sites; also returns
+    the mapping from new dense ids to the original ids. *)
+
+val pp_matrix : Format.formatter -> t -> unit
+(** Renders the latency matrix in the format of the paper's Table 1. *)

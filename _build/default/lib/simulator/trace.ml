@@ -1,0 +1,50 @@
+type entry = { at : Time.t; component : string; msg : string }
+
+type t = {
+  engine : Engine.t;
+  capacity : int;
+  mutable enabled : bool;
+  buf : entry option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create ?(capacity = 65536) engine =
+  { engine; capacity; enabled = false; buf = Array.make capacity None; next = 0; count = 0 }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+
+let log t ~component msg =
+  if t.enabled then begin
+    t.buf.(t.next) <- Some { at = Engine.now t.engine; component; msg };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.count <- min (t.count + 1) t.capacity
+  end
+
+let logf t ~component fmt =
+  if t.enabled then Format.kasprintf (fun msg -> log t ~component msg) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let entries t =
+  let start = if t.count < t.capacity then 0 else t.next in
+  let rec loop i acc =
+    if i >= t.count then List.rev acc
+    else
+      let idx = (start + i) mod t.capacity in
+      match t.buf.(idx) with
+      | None -> loop (i + 1) acc
+      | Some e -> loop (i + 1) ((e.at, e.component, e.msg) :: acc)
+  in
+  loop 0 []
+
+let dump t ppf =
+  List.iter
+    (fun (at, component, msg) ->
+      Format.fprintf ppf "[%a] %-16s %s@." Time.pp at component msg)
+    (entries t)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0

@@ -1,0 +1,28 @@
+(** Lightweight event tracing for debugging simulated runs.
+
+    Disabled by default; when enabled, components log timestamped lines that
+    can be dumped or filtered after a run. Kept in the simulator library so
+    every layer can trace without extra dependencies. *)
+
+type t
+
+val create : ?capacity:int -> Engine.t -> t
+(** Ring buffer of at most [capacity] entries (default 65536). *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val log : t -> component:string -> string -> unit
+(** Records a line tagged with the current simulated time. No-op when
+    disabled; the message is built eagerly, so guard expensive formatting
+    with [enabled]. *)
+
+val logf : t -> component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Like {!log} but with lazy formatting: the format arguments are only
+    rendered when tracing is enabled. *)
+
+val entries : t -> (Time.t * string * string) list
+(** Oldest first. *)
+
+val dump : t -> Format.formatter -> unit
+val clear : t -> unit

@@ -1,0 +1,51 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+let cell_f v = Printf.sprintf "%.1f" v
+let cell_pct v = Printf.sprintf "%+.1f%%" v
+
+let add_float_row t label values _ =
+  add_row t (label :: List.map cell_f values)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.columns;
+  let sep = List.mapi (fun i _ -> String.make widths.(i) '-') t.columns in
+  render_row sep;
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let title t = t.title
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let row r = Buffer.add_string buf (String.concat "," (List.map csv_cell r) ^ "\n") in
+  row t.columns;
+  List.iter row (List.rev t.rows);
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** ASCII table rendering for benchmark output.
+
+    The benchmark harness prints every reproduced figure/table as an aligned
+    text table with a caption, so the bench output reads like the paper's
+    evaluation section. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+val add_float_row : t -> string -> float list -> t -> unit
+(** [add_float_row t label values t] appends [label] followed by each value
+    formatted with one decimal. (The trailing [t] is ignored; kept for
+    pipeline style.) *)
+
+val render : t -> string
+val print : t -> unit
+
+val to_csv : t -> string
+(** Comma-separated rendering (header row + data rows); cells containing
+    commas or quotes are quoted. *)
+
+val title : t -> string
+
+val cell_f : float -> string
+(** Standard float formatting used across benches ("%.1f"). *)
+
+val cell_pct : float -> string
+(** Percentage with sign, e.g. ["-12.3%"]. *)

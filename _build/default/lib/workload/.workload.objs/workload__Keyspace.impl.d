@@ -1,0 +1,1 @@
+lib/workload/keyspace.ml: Array Float Format Fun Int Kvstore List Sim

@@ -1,0 +1,1 @@
+lib/workload/op.ml: Format Kvstore

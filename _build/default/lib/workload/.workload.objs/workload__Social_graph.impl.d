@@ -1,0 +1,1 @@
+lib/workload/social_graph.ml: Array Hashtbl Int Sim

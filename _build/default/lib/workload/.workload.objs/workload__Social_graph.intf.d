@@ -1,0 +1,1 @@
+lib/workload/social_graph.mli:

@@ -1,0 +1,1 @@
+lib/workload/social_ops.ml: Array Format Hashtbl Kvstore Op Sim Social_graph Social_partition

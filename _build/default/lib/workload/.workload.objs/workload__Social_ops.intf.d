@@ -1,0 +1,1 @@
+lib/workload/social_ops.mli: Format Op Social_partition

@@ -1,0 +1,1 @@
+lib/workload/social_partition.ml: Array Fun Int Kvstore List Sim Social_graph

@@ -1,0 +1,1 @@
+lib/workload/social_partition.mli: Kvstore Social_graph

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Fun Hashtbl Kvstore List Op Sim

@@ -1,0 +1,1 @@
+lib/workload/synthetic.mli: Kvstore Op Sim

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Buffer Fun Hashtbl Int Kvstore List Op Printf Queue String

@@ -1,0 +1,36 @@
+(** Key-to-datacenter replication patterns (§7.3.2 "Correlation").
+
+    The correlation between two datacenters is the amount of data they
+    share. The paper sweeps four patterns — exponential, proportional,
+    uniform and full — where the distance-based patterns give nearby
+    datacenters (e.g. Ireland/Frankfurt) many common keys and distant ones
+    (Ireland/Sydney) few. Figure 1b instead sweeps a fixed replication
+    degree with nearest-neighbour placement. *)
+
+type correlation =
+  | Exponential  (** share ∝ exp(−latency/τ): prominent partial replication *)
+  | Proportional  (** share decays linearly with latency: smoother *)
+  | Uniform of int  (** every key at a fixed number of uniformly-chosen DCs *)
+  | Full  (** full geo-replication *)
+
+val pp_correlation : Format.formatter -> correlation -> unit
+
+val make :
+  rng:Sim.Rng.t ->
+  topo:Sim.Topology.t ->
+  dc_sites:Sim.Topology.site array ->
+  n_keys:int ->
+  correlation ->
+  Kvstore.Replica_map.t
+(** Every key's home datacenter is [key mod n_dcs]; other datacenters join
+    the replica set according to the pattern. Distance-based patterns
+    guarantee a minimum degree of 2 (the closest datacenter always joins). *)
+
+val nearest_degree :
+  topo:Sim.Topology.t ->
+  dc_sites:Sim.Topology.site array ->
+  n_keys:int ->
+  degree:int ->
+  Kvstore.Replica_map.t
+(** Figure 1b's sweep: each key replicated at its home datacenter plus its
+    [degree − 1] nearest neighbours by latency. *)

@@ -1,0 +1,9 @@
+type t =
+  | Read of { key : int }
+  | Write of { key : int; value : Kvstore.Value.t }
+  | Remote_read of { key : int; at : int }
+
+let pp ppf = function
+  | Read { key } -> Format.fprintf ppf "read(%d)" key
+  | Write { key; value } -> Format.fprintf ppf "write(%d,%a)" key Kvstore.Value.pp value
+  | Remote_read { key; at } -> Format.fprintf ppf "remote-read(%d@@dc%d)" key at

@@ -1,0 +1,29 @@
+(** Synthetic social graph — the stand-in for the (no longer distributed)
+    New Orleans Facebook dataset [52] used by §7.4.
+
+    The original network has 61,096 users and 905,565 edges (mean degree
+    ≈ 29.6) with a heavy-tailed degree distribution and strong community
+    structure. The generator reproduces those statistics at a configurable
+    scale: users join communities round-robin and attach by preferential
+    attachment, biased toward their own community, which yields a power-law
+    tail plus locality — the two properties the benchmark and the
+    partitioner consume. *)
+
+type t
+
+val generate : n_users:int -> mean_degree:int -> communities:int -> locality:float -> seed:int -> t
+(** [locality] ∈ [0,1] is the probability a new edge stays inside the
+    node's community. @raise Invalid_argument on nonsensical parameters. *)
+
+val facebook_scaled : n_users:int -> seed:int -> t
+(** The New Orleans statistics (mean degree ≈ 30, strong communities)
+    scaled to [n_users]. *)
+
+val n_users : t -> int
+val n_edges : t -> int
+val friends : t -> int -> int array
+val degree : t -> int -> int
+val community : t -> int -> int
+val n_communities : t -> int
+val mean_degree : t -> float
+val max_degree : t -> int

@@ -1,0 +1,28 @@
+(** Synthetic workload generator — the Basho-Bench-style micro-benchmarks
+    of §7.3 (defaults in parentheses as in the paper): value size (2 B),
+    read:write ratio (9:1), correlation (exponential), remote reads (0%). *)
+
+type params = {
+  n_keys : int;
+  value_size : int;
+  read_ratio : float;  (** fraction of operations that are reads *)
+  remote_read_ratio : float;  (** fraction of {e reads} targeting remote data *)
+  seed : int;
+}
+
+val default : params
+
+type t
+
+val create : params -> rmap:Kvstore.Replica_map.t -> topo:Sim.Topology.t -> dc_sites:Sim.Topology.site array -> t
+
+val next : t -> dc:int -> Op.t
+(** Next operation for a client whose preferred datacenter is [dc]. Local
+    operations pick uniformly among keys replicated at [dc]; remote reads
+    pick a key not replicated at [dc] and the nearest datacenter that has
+    it. When every key is local (full replication), a remote read falls
+    back to reading a shared key at the nearest other datacenter, which
+    still exercises the remote-attach path. *)
+
+val fresh_payload : t -> int
+(** Unique payload id for writes. *)

@@ -1,0 +1,98 @@
+type t = { queues : (int, Op.t Queue.t) Hashtbl.t; mutable remaining : int }
+
+let queue_of t client =
+  match Hashtbl.find_opt t.queues client with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t.queues client q;
+    q
+
+let of_ops ops =
+  let t = { queues = Hashtbl.create 16; remaining = 0 } in
+  List.iter
+    (fun (client, op) ->
+      Queue.push op (queue_of t client);
+      t.remaining <- t.remaining + 1)
+    ops;
+  t
+
+let record ~clients ~next ~ops_per_client =
+  of_ops
+    (List.concat_map
+       (fun client -> List.init ops_per_client (fun _ -> (client, next ~client)))
+       clients)
+
+let next t ~client =
+  match Hashtbl.find_opt t.queues client with
+  | None -> None
+  | Some q ->
+    if Queue.is_empty q then None
+    else begin
+      t.remaining <- t.remaining - 1;
+      Some (Queue.pop q)
+    end
+
+let remaining t = t.remaining
+
+let line_of client op =
+  match op with
+  | Op.Read { key } -> Printf.sprintf "R %d %d" client key
+  | Op.Write { key; value } -> Printf.sprintf "W %d %d %d" client key value.Kvstore.Value.size_bytes
+  | Op.Remote_read { key; at } -> Printf.sprintf "RR %d %d %d" client key at
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let clients = Hashtbl.fold (fun c _ acc -> c :: acc) t.queues [] in
+  List.iter
+    (fun client ->
+      Queue.iter
+        (fun op ->
+          Buffer.add_string buf (line_of client op);
+          Buffer.add_char buf '\n')
+        (Hashtbl.find t.queues client))
+    (List.sort Int.compare clients);
+  Buffer.contents buf
+
+let payload_counter = ref 0
+
+let parse_line lineno line =
+  let fail () = failwith (Printf.sprintf "Trace: malformed line %d: %S" lineno line) in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] -> None
+  | s :: _ when String.length s > 0 && s.[0] = '#' -> None
+  | [ "R"; client; key ] -> (
+    match (int_of_string_opt client, int_of_string_opt key) with
+    | Some c, Some k -> Some (c, Op.Read { key = k })
+    | _ -> fail ())
+  | [ "W"; client; key; size ] -> (
+    match (int_of_string_opt client, int_of_string_opt key, int_of_string_opt size) with
+    | Some c, Some k, Some sz ->
+      incr payload_counter;
+      Some (c, Op.Write { key = k; value = Kvstore.Value.make ~payload:!payload_counter ~size_bytes:sz })
+    | _ -> fail ())
+  | [ "RR"; client; key; at ] -> (
+    match (int_of_string_opt client, int_of_string_opt key, int_of_string_opt at) with
+    | Some c, Some k, Some a -> Some (c, Op.Remote_read { key = k; at = a })
+    | _ -> fail ())
+  | _ -> fail ()
+
+let of_string s =
+  let ops =
+    String.split_on_char '\n' s
+    |> List.mapi (fun i line -> parse_line (i + 1) line)
+    |> List.filter_map Fun.id
+  in
+  of_ops ops
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

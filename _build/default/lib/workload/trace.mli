@@ -1,0 +1,36 @@
+(** Record and replay operation traces.
+
+    A trace is an ordered list of (client, operation) pairs with a trivial
+    line-based text format, so experiments can be captured once and
+    replayed bit-identically against any system — or shared the way the
+    paper shares its Basho Bench configurations.
+
+    Format, one operation per line:
+    {v
+    R <client> <key>               read
+    W <client> <key> <size>       write (payloads are re-minted on replay)
+    RR <client> <key> <at>        remote read at datacenter <at>
+    # comment / blank lines ignored
+    v} *)
+
+type t
+
+val of_ops : (int * Op.t) list -> t
+(** Build a replayable trace from explicit (client, op) pairs; per-client
+    order is preserved. *)
+
+val record :
+  clients:int list -> next:(client:int -> Op.t) -> ops_per_client:int -> t
+(** Capture [ops_per_client] operations per client from a generator. *)
+
+val next : t -> client:int -> Op.t option
+(** Pops the client's next operation; [None] when its script is exhausted. *)
+
+val remaining : t -> int
+
+val save : t -> path:string -> unit
+val load : path:string -> t
+(** @raise Failure on a malformed line. *)
+
+val to_string : t -> string
+val of_string : string -> t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Kvstore List Saturn Sim

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Fun Harness Hashtbl Int Kvstore List Option Printf Saturn Set Sim String

@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Array Int Kvstore List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_label.ml: Alcotest Array Format Gen List QCheck QCheck_alcotest Saturn Sim

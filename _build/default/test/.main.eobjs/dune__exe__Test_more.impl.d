@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Format Harness Helpers Kvstore List QCheck QCheck_alcotest Saturn Sim Stats String Workload

@@ -1,0 +1,1 @@
+test/test_proxy.ml: Alcotest Kvstore List Saturn Sim

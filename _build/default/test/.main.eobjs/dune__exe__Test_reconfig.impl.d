@@ -1,0 +1,1 @@
+test/test_reconfig.ml: Alcotest Array Fun Helpers Kvstore List Option Saturn Sim String

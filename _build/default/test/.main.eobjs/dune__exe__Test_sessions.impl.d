@@ -1,0 +1,1 @@
+test/test_sessions.ml: Alcotest Array Harness Hashtbl Kvstore List Printf Saturn Sim

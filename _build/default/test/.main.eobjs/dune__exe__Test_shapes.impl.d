@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Build Client Driver Harness Metrics Saturn Scenario Sim Workload

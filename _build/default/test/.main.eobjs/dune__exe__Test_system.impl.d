@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Array Helpers Kvstore List Printf Saturn Sim

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Array Fun Hashtbl Int List QCheck QCheck_alcotest Saturn Sim

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Float Fun Int Kvstore List Printf QCheck QCheck_alcotest Saturn Sim

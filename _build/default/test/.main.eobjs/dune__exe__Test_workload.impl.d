@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Kvstore List QCheck QCheck_alcotest Sim Workload

@@ -1,0 +1,43 @@
+(* Shared helpers for the test suites. *)
+
+let time = Alcotest.testable Sim.Time.pp Sim.Time.equal
+
+let label = Alcotest.testable Saturn.Label.pp Saturn.Label.equal
+
+(* A 3-datacenter star deployment over the first EC2 regions with full
+   replication: the workhorse fixture for integration tests. *)
+let star_system ?(n_dcs = 3) ?(n_keys = 64) ?(partitions = 2) ?(peer_mode = false)
+    ?(serializer_replicas = 1) ?rmap ?hooks () =
+  let engine = Sim.Engine.create () in
+  let dc_sites = Array.of_list (Sim.Ec2.first_n n_dcs) in
+  let rmap =
+    match rmap with
+    | Some rm -> rm
+    | None -> Kvstore.Replica_map.full ~n_dcs ~n_keys
+  in
+  let tree = Saturn.Tree.star ~n_dcs in
+  let config =
+    Saturn.Config.create ~tree ~placement:[| dc_sites.(0) |] ~dc_sites:(Array.copy dc_sites) ()
+  in
+  let params =
+    { (Saturn.System.default_params ~topo:Sim.Ec2.topology ~dc_sites ~rmap ~config) with
+      partitions;
+      peer_mode;
+      serializer_replicas;
+    }
+  in
+  let hooks = match hooks with Some h -> h | None -> Saturn.System.no_hooks in
+  let system = Saturn.System.create engine params hooks in
+  (engine, system)
+
+let client ~id ~dc =
+  Saturn.Client_lib.create ~id ~home_site:(List.nth (Sim.Ec2.first_n 7) dc) ~preferred_dc:dc
+
+(* Run the engine until the continuation result materialises. *)
+let run_until_some engine result =
+  Sim.Engine.run ~until:(Sim.Time.of_sec 30.) engine;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "operation did not complete within simulated 30s"
+
+let value ?(size = 8) payload = Kvstore.Value.make ~payload ~size_bytes:size

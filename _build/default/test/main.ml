@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "saturn"
+    [
+      ("sim", Test_sim.suite);
+      ("stats", Test_stats.suite);
+      ("kvstore", Test_kvstore.suite);
+      ("label", Test_label.suite);
+      ("tree", Test_tree.suite);
+      ("transport", Test_transport.suite);
+      ("proxy", Test_proxy.suite);
+      ("integration", Test_integration.suite);
+      ("system", Test_system.suite);
+      ("baselines", Test_baselines.suite);
+      ("workload", Test_workload.suite);
+      ("reconfig", Test_reconfig.suite);
+      ("consistency", Test_consistency.suite);
+      ("harness", Test_harness.suite);
+      ("more", Test_more.suite);
+      ("sessions", Test_sessions.suite);
+      ("shapes", Test_shapes.suite);
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the baseline protocols: eventual, GentleRain, Cure and the
+   COPS-style explicit-check system. *)
+
+let fixture ?(n_dcs = 3) ?(n_keys = 16) ?rmap () =
+  let engine = Sim.Engine.create () in
+  let dc_sites = Array.of_list (Sim.Ec2.first_n n_dcs) in
+  let rmap = match rmap with Some r -> r | None -> Kvstore.Replica_map.full ~n_dcs ~n_keys in
+  let metrics = Harness.Metrics.create engine ~topo:Sim.Ec2.topology ~dc_sites in
+  let spec = Harness.Build.default_spec ~topo:Sim.Ec2.topology ~dc_sites ~rmap in
+  (engine, dc_sites, spec, metrics)
+
+let v n = Kvstore.Value.make ~payload:n ~size_bytes:2
+
+let test_eventual_visibility_is_bulk_latency () =
+  let engine, dc_sites, spec, metrics = fixture () in
+  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:max_int;
+  let api = Harness.Build.eventual engine spec metrics in
+  let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c ~key:1 ~value:(v 1) ~k:(fun () -> ()));
+  Sim.Engine.run ~until:(Sim.Time.of_sec 1.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  (* visibility at dc1 (NV->NC 37 ms) must be the bulk latency exactly *)
+  let s = Harness.Metrics.pair_visibility metrics ~origin:0 ~dest:1 in
+  Alcotest.(check int) "one observation" 1 (Stats.Sample.count s);
+  let lat = Stats.Sample.mean s in
+  if lat < 37.0 || lat > 39.0 then Alcotest.failf "eventual visibility should be ~37ms, got %.1f" lat
+
+let test_gentlerain_visibility_bounded_by_furthest () =
+  (* GentleRain's lower bound is the latency to the furthest datacenter
+     regardless of the originator (§7.3.1) *)
+  let engine, dc_sites, spec, metrics = fixture ~n_dcs:4 () in
+  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:max_int;
+  let api = Harness.Build.gentlerain engine spec metrics in
+  let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  (* NV -> NC bulk is 37 ms, but dc3 is Ireland: lat(I, NC) = 74 ms, so the
+     GST at NC lags ~84ms (Frankfurt not in this 4-dc set; max into NC is I at 74) *)
+  api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c ~key:1 ~value:(v 1) ~k:(fun () -> ()));
+  Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  let s = Harness.Metrics.pair_visibility metrics ~origin:0 ~dest:1 in
+  Alcotest.(check int) "one observation" 1 (Stats.Sample.count s);
+  let lat = Stats.Sample.mean s in
+  if lat < 70.0 then
+    Alcotest.failf "GentleRain visibility must be gated by the furthest DC (>= ~74ms), got %.1f" lat
+
+let test_cure_visibility_near_direct () =
+  (* Cure's lower bound is the direct latency plus a stabilization round *)
+  let engine, dc_sites, spec, metrics = fixture ~n_dcs:4 () in
+  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:max_int;
+  let api = Harness.Build.cure engine spec metrics in
+  let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c ~key:1 ~value:(v 1) ~k:(fun () -> ()));
+  Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  let s = Harness.Metrics.pair_visibility metrics ~origin:0 ~dest:1 in
+  Alcotest.(check int) "one observation" 1 (Stats.Sample.count s);
+  let lat = Stats.Sample.mean s in
+  if lat < 37.0 || lat > 60.0 then
+    Alcotest.failf "Cure visibility should be direct latency + stabilization, got %.1f" lat
+
+let test_gentlerain_attach_waits_for_gst () =
+  let engine, dc_sites, spec, metrics = fixture ~n_dcs:3 () in
+  let api = Harness.Build.gentlerain engine spec metrics in
+  let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  let attached_at = ref None in
+  api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c ~key:1 ~value:(v 1) ~k:(fun () ->
+          let t0 = Sim.Engine.now engine in
+          (* remote attach right after a fresh local write must wait for the
+             destination's stable time to pass the write's timestamp *)
+          api.Harness.Api.migrate c ~dest_dc:1 ~k:(fun () ->
+              attached_at := Some (Sim.Time.sub (Sim.Engine.now engine) t0))));
+  Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  match !attached_at with
+  | None -> Alcotest.fail "attach never completed"
+  | Some d ->
+    let ms = Sim.Time.to_ms_float d in
+    (* NC's GST lags by max incoming latency (NV 37, O 10 -> 37) + rounds;
+       the request itself takes 37 each way; the wait must exceed a plain
+       RTT (74) because of stabilization *)
+    if ms < 74.0 then Alcotest.failf "GentleRain attach should include a GST wait, got %.1f" ms
+
+let test_eventual_attach_immediate () =
+  let engine, dc_sites, spec, metrics = fixture ~n_dcs:3 () in
+  let api = Harness.Build.eventual engine spec metrics in
+  let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  let attached_at = ref None in
+  api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c ~key:1 ~value:(v 1) ~k:(fun () ->
+          let t0 = Sim.Engine.now engine in
+          api.Harness.Api.migrate c ~dest_dc:1 ~k:(fun () ->
+              attached_at := Some (Sim.Time.sub (Sim.Engine.now engine) t0))));
+  Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  match !attached_at with
+  | None -> Alcotest.fail "attach never completed"
+  | Some d ->
+    let ms = Sim.Time.to_ms_float d in
+    if ms > 75.0 then Alcotest.failf "eventual attach is just an RTT (74ms), got %.1f" ms
+
+let test_cops_dependency_growth () =
+  (* pruning on: tiny contexts; pruning off (the only sound option under
+     partial replication): contexts grow with the read history *)
+  let run ~prune_on_write =
+    let engine, dc_sites, spec, metrics = fixture ~n_keys:32 () in
+    let api, cops = Harness.Build.cops engine spec metrics ~prune_on_write in
+    let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+    let rec ops i k = if i = 0 then k () else begin
+        api.Harness.Api.update c ~key:(i mod 32) ~value:(v i) ~k:(fun () ->
+            api.Harness.Api.read c ~key:((i + 7) mod 32) ~k:(fun _ -> ops (i - 1) k))
+      end
+    in
+    api.Harness.Api.attach c ~dc:0 ~k:(fun () -> ops 40 (fun () -> ()));
+    Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+    api.Harness.Api.stop ();
+    Sim.Engine.run engine;
+    Baselines.Cops.mean_dependency_size cops
+  in
+  let pruned = run ~prune_on_write:true in
+  let unpruned = run ~prune_on_write:false in
+  if pruned > 3.0 then Alcotest.failf "pruned contexts should stay tiny, got %.1f" pruned;
+  if unpruned < 2. *. pruned then
+    Alcotest.failf "unpruned contexts should grow (pruned %.1f vs unpruned %.1f)" pruned unpruned
+
+let test_cops_checks_dependencies () =
+  (* an update must not become visible before a dependency it can check *)
+  let engine, dc_sites, spec, metrics = fixture ~n_dcs:3 () in
+  let order = ref [] in
+  Harness.Metrics.subscribe metrics (fun ~dc ~key ~origin_dc:_ ~origin_time:_ ~value:_ ->
+      if dc = 2 then order := key :: !order);
+  let api, _ = Harness.Build.cops engine spec metrics ~prune_on_write:false in
+  let c0 = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  let c1 = Harness.Client.create ~id:1 ~home_site:dc_sites.(1) ~preferred_dc:1 in
+  api.Harness.Api.attach c0 ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c0 ~key:1 ~value:(v 11) ~k:(fun () -> ()));
+  let rec poll () =
+    api.Harness.Api.read c1 ~key:1 ~k:(fun r ->
+        match r with
+        | Some _ -> api.Harness.Api.update c1 ~key:2 ~value:(v 22) ~k:(fun () -> ())
+        | None -> Sim.Engine.schedule engine ~delay:(Sim.Time.of_ms 5) poll)
+  in
+  api.Harness.Api.attach c1 ~dc:1 ~k:poll;
+  Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  match List.rev !order with
+  | [ 1; 2 ] -> ()
+  | other ->
+    Alcotest.failf "expected key1 then key2 at dc2, got [%s]"
+      (String.concat ";" (List.map string_of_int other))
+
+let test_orbe_dependency_order () =
+  (* the causal chain must hold under explicit matrix checking *)
+  let engine, dc_sites, spec, metrics = fixture ~n_dcs:3 () in
+  let order = ref [] in
+  Harness.Metrics.subscribe metrics (fun ~dc ~key ~origin_dc:_ ~origin_time:_ ~value:_ ->
+      if dc = 2 then order := key :: !order);
+  let api, orbe = Harness.Build.orbe engine spec metrics in
+  let c0 = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  let c1 = Harness.Client.create ~id:1 ~home_site:dc_sites.(1) ~preferred_dc:1 in
+  api.Harness.Api.attach c0 ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c0 ~key:1 ~value:(v 11) ~k:(fun () -> ()));
+  let rec poll () =
+    api.Harness.Api.read c1 ~key:1 ~k:(fun r ->
+        match r with
+        | Some _ -> api.Harness.Api.update c1 ~key:2 ~value:(v 22) ~k:(fun () -> ())
+        | None -> Sim.Engine.schedule engine ~delay:(Sim.Time.of_ms 5) poll)
+  in
+  api.Harness.Api.attach c1 ~dc:1 ~k:poll;
+  Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  (match List.rev !order with
+  | [ 1; 2 ] -> ()
+  | other ->
+    Alcotest.failf "expected key1 then key2 at dc2, got [%s]"
+      (String.concat ";" (List.map string_of_int other)));
+  Alcotest.(check int) "nothing stuck under full replication" 0
+    (Baselines.Orbe.blocked_updates orbe ~dc:2);
+  Alcotest.(check bool) "matrix metadata shipped" true (Baselines.Orbe.mean_matrix_entries orbe > 0.)
+
+let test_orbe_blocks_under_partial_replication () =
+  (* the Table 2 "no partial replication" row, demonstrated: a dependency on
+     a partition whose updates never reach dc2 wedges the dependent update *)
+  let n_keys = 16 in
+  let rmap =
+    Kvstore.Replica_map.create ~n_dcs:3 ~n_keys ~assign:(fun key ->
+        if key = 1 then [ 0; 1 ] (* key 1 never reaches dc2 *) else [ 0; 1; 2 ])
+  in
+  let engine, dc_sites, spec, metrics = fixture ~n_dcs:3 ~rmap () in
+  let api, orbe = Harness.Build.orbe engine spec metrics in
+  let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  (* write key 1 (not at dc2), then a dependent write on key 0 (everywhere):
+     dc2 can never satisfy the dependency matrix *)
+  api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c ~key:1 ~value:(v 1) ~k:(fun () ->
+          api.Harness.Api.update c ~key:0 ~value:(v 2) ~k:(fun () -> ())));
+  Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "dependent update wedged at dc2" true
+    (Baselines.Orbe.blocked_updates orbe ~dc:2 > 0)
+
+let suite =
+  [
+    Alcotest.test_case "eventual: visibility = bulk latency" `Quick test_eventual_visibility_is_bulk_latency;
+    Alcotest.test_case "gentlerain: visibility gated by furthest DC" `Quick
+      test_gentlerain_visibility_bounded_by_furthest;
+    Alcotest.test_case "cure: visibility near direct latency" `Quick test_cure_visibility_near_direct;
+    Alcotest.test_case "gentlerain: attach waits for GST" `Quick test_gentlerain_attach_waits_for_gst;
+    Alcotest.test_case "eventual: attach is immediate" `Quick test_eventual_attach_immediate;
+    Alcotest.test_case "cops: dependency metadata growth" `Quick test_cops_dependency_growth;
+    Alcotest.test_case "cops: dependency checking order" `Quick test_cops_checks_dependencies;
+    Alcotest.test_case "orbe: dependency-matrix order" `Quick test_orbe_dependency_order;
+    Alcotest.test_case "orbe: wedges under partial replication" `Quick
+      test_orbe_blocks_under_partial_replication;
+  ]

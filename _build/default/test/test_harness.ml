@@ -1,0 +1,93 @@
+(* Tests for the measurement harness: metrics windowing, the closed-loop
+   driver, and an end-to-end scenario smoke check. *)
+
+let test_metrics_windowing () =
+  let engine = Sim.Engine.create () in
+  let dc_sites = Array.of_list (Sim.Ec2.first_n 2) in
+  let m = Harness.Metrics.create engine ~topo:Sim.Ec2.topology ~dc_sites in
+  Harness.Metrics.set_window m ~start_at:(Sim.Time.of_ms 10) ~end_at:(Sim.Time.of_ms 20);
+  let observe () =
+    Harness.Metrics.on_visible m ~dc:1 ~key:0 ~origin_dc:0
+      ~origin_time:(Sim.Time.sub (Sim.Engine.now engine) (Sim.Time.of_ms 40))
+      ~value:(Kvstore.Value.make ~payload:0 ~size_bytes:1)
+  in
+  observe (); (* t=0: outside *)
+  Sim.Engine.schedule engine ~delay:(Sim.Time.of_ms 15) observe; (* inside *)
+  Sim.Engine.schedule engine ~delay:(Sim.Time.of_ms 30) observe; (* outside *)
+  Sim.Engine.run engine;
+  Alcotest.(check int) "only in-window observations" 1 (Harness.Metrics.visible_count m);
+  (* visibility 40ms over a 37ms optimal path -> extra 3ms *)
+  Alcotest.(check (float 0.01)) "raw latency" 40.
+    (Stats.Sample.mean (Harness.Metrics.visibility m));
+  Alcotest.(check (float 0.01)) "extra latency" 3.
+    (Stats.Sample.mean (Harness.Metrics.extra_visibility m))
+
+let test_metrics_subscribe_ignores_window () =
+  let engine = Sim.Engine.create () in
+  let dc_sites = Array.of_list (Sim.Ec2.first_n 2) in
+  let m = Harness.Metrics.create engine ~topo:Sim.Ec2.topology ~dc_sites in
+  Harness.Metrics.set_window m ~start_at:(Sim.Time.of_ms 10) ~end_at:(Sim.Time.of_ms 20);
+  let seen = ref 0 in
+  Harness.Metrics.subscribe m (fun ~dc:_ ~key:_ ~origin_dc:_ ~origin_time:_ ~value:_ -> incr seen);
+  Harness.Metrics.on_visible m ~dc:1 ~key:0 ~origin_dc:0 ~origin_time:Sim.Time.zero
+    ~value:(Kvstore.Value.make ~payload:0 ~size_bytes:1);
+  Alcotest.(check int) "observer fired outside window" 1 !seen;
+  Alcotest.(check int) "sample not recorded" 0 (Harness.Metrics.visible_count m)
+
+let test_driver_counts_window_only () =
+  let engine = Sim.Engine.create () in
+  let dc_sites = Array.of_list (Sim.Ec2.first_n 2) in
+  let rmap = Kvstore.Replica_map.full ~n_dcs:2 ~n_keys:8 in
+  let metrics = Harness.Metrics.create engine ~topo:Sim.Ec2.topology ~dc_sites in
+  let spec = Harness.Build.default_spec ~topo:Sim.Ec2.topology ~dc_sites ~rmap in
+  let api = Harness.Build.eventual engine spec metrics in
+  let clients = Harness.Driver.make_clients ~dc_sites ~per_dc:2 in
+  Alcotest.(check int) "client count" 4 (List.length clients);
+  let w =
+    Workload.Synthetic.create
+      { Workload.Synthetic.default with Workload.Synthetic.n_keys = 8 }
+      ~rmap ~topo:Sim.Ec2.topology ~dc_sites
+  in
+  let result =
+    Harness.Driver.run engine api metrics ~clients
+      ~next_op:(fun c -> Workload.Synthetic.next w ~dc:c.Harness.Client.preferred_dc)
+      ~warmup:(Sim.Time.of_ms 100) ~measure:(Sim.Time.of_ms 500) ~cooldown:(Sim.Time.of_ms 100)
+  in
+  Alcotest.(check bool) "positive throughput" true (result.Harness.Driver.throughput > 0.);
+  (* windowed ops must be a strict subset of total ops *)
+  let total = List.fold_left (fun acc c -> acc + c.Harness.Client.total) 0 clients in
+  Alcotest.(check bool) "warmup/cooldown excluded" true (result.Harness.Driver.ops_completed < total)
+
+let test_scenario_smoke () =
+  (* a tiny comparative run must preserve the paper's headline ordering:
+     eventual >= saturn > cure on throughput; saturn extra << gentlerain *)
+  let setup =
+    { Harness.Scenario.default_setup with
+      Harness.Scenario.n_dcs = 3;
+      n_keys = 60;
+      clients_per_dc = 15;
+      measure = Sim.Time.of_ms 600;
+      warmup = Sim.Time.of_ms 200;
+      cooldown = Sim.Time.of_ms 100;
+    }
+  in
+  let ev = Harness.Scenario.run Harness.Scenario.Eventual setup in
+  let sat = Harness.Scenario.run Harness.Scenario.Saturn_sys setup in
+  let gr = Harness.Scenario.run Harness.Scenario.Gentlerain setup in
+  let cu = Harness.Scenario.run Harness.Scenario.Cure setup in
+  let t (o : Harness.Scenario.outcome) = o.Harness.Scenario.throughput in
+  if t ev < t sat then Alcotest.fail "eventual should be the throughput upper bound";
+  if t sat <= t cu then Alcotest.fail "saturn should beat cure on throughput";
+  if t sat < 0.9 *. t ev then Alcotest.fail "saturn overhead should be small";
+  let extra (o : Harness.Scenario.outcome) = o.Harness.Scenario.extra_visibility_ms in
+  if extra sat > 0.5 *. extra gr then
+    Alcotest.failf "saturn staleness (%.1f) should be far below gentlerain (%.1f)" (extra sat) (extra gr);
+  ignore (t gr)
+
+let suite =
+  [
+    Alcotest.test_case "metrics windowing" `Quick test_metrics_windowing;
+    Alcotest.test_case "metrics observers ignore the window" `Quick test_metrics_subscribe_ignores_window;
+    Alcotest.test_case "driver counts only the window" `Quick test_driver_counts_window_only;
+    Alcotest.test_case "scenario smoke: headline ordering" `Slow test_scenario_smoke;
+  ]

@@ -1,0 +1,235 @@
+(* Unit tests for the remote proxy: stream ordering, the concurrency
+   optimization, staging, fallback, watermarks and attach waits. *)
+
+let ulabel ~ts ~src ~key = Saturn.Label.update ~ts:(Sim.Time.of_ms ts) ~src_dc:src ~src_gear:0 ~key
+let mlabel ~ts ~src ~dest = Saturn.Label.migration ~ts:(Sim.Time.of_ms ts) ~src_dc:src ~src_gear:0 ~dest_dc:dest
+
+let payload ?(origin = 0.) label =
+  { Saturn.Proxy.label; value = Kvstore.Value.make ~payload:label.Saturn.Label.ts ~size_bytes:2;
+    origin_time = Sim.Time.of_sec origin }
+
+(* proxy with instantaneous staging and an install log *)
+type ctx = {
+  engine : Sim.Engine.t;
+  proxy : Saturn.Proxy.t;
+  installed : int list ref; (* label ts of installed payloads, in order *)
+  mutable stage_delay : Sim.Time.t;
+}
+
+let make_ctx ?(n_dcs = 3) ?(mode = Saturn.Proxy.Stream) () =
+  let engine = Sim.Engine.create () in
+  let installed = ref [] in
+  let ctx_ref = ref None in
+  let proxy =
+    Saturn.Proxy.create engine ~dc:0 ~n_dcs
+      ~stage_update:(fun _ ~k ->
+        match !ctx_ref with
+        | Some ctx -> Sim.Engine.schedule engine ~delay:ctx.stage_delay k
+        | None -> k ())
+      ~install_update:(fun p ->
+        installed := Sim.Time.to_us p.Saturn.Proxy.label.Saturn.Label.ts :: !installed)
+      ~mode ()
+  in
+  let ctx = { engine; proxy; installed; stage_delay = Sim.Time.zero } in
+  ctx_ref := Some ctx;
+  ctx
+
+let ts_us ms = ms * 1000
+
+let test_stream_applies_in_order () =
+  let ctx = make_ctx () in
+  let l1 = ulabel ~ts:10 ~src:1 ~key:1 and l2 = ulabel ~ts:20 ~src:1 ~key:2 in
+  Saturn.Proxy.on_payload ctx.proxy (payload l1);
+  Saturn.Proxy.on_payload ctx.proxy (payload l2);
+  Saturn.Proxy.on_label ctx.proxy l1;
+  Saturn.Proxy.on_label ctx.proxy l2;
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "in stream order" [ ts_us 10; ts_us 20 ] (List.rev !(ctx.installed));
+  Alcotest.(check int) "applied counter" 2 (Saturn.Proxy.applied_updates ctx.proxy);
+  Alcotest.(check bool) "label recorded applied" true (Saturn.Proxy.label_was_applied ctx.proxy l1)
+
+let test_stream_blocks_on_missing_payload () =
+  let ctx = make_ctx () in
+  let l1 = ulabel ~ts:10 ~src:1 ~key:1 and l2 = ulabel ~ts:20 ~src:2 ~key:2 in
+  Saturn.Proxy.on_label ctx.proxy l1;
+  Saturn.Proxy.on_label ctx.proxy l2;
+  Saturn.Proxy.on_payload ctx.proxy (payload l2);
+  Sim.Engine.run ctx.engine;
+  (* l2 (larger ts) must wait for l1 which has no payload yet *)
+  Alcotest.(check (list int)) "dependent entry held" [] !(ctx.installed);
+  Saturn.Proxy.on_payload ctx.proxy (payload l1);
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "both released in order" [ ts_us 10; ts_us 20 ] (List.rev !(ctx.installed))
+
+let test_concurrency_optimization () =
+  (* Saturn delivers a LARGER ts first: the later-delivered smaller-ts label
+     is concurrent and must not wait for the blocked head (§4.3) *)
+  let ctx = make_ctx () in
+  let head = ulabel ~ts:20 ~src:1 ~key:1 in
+  let concurrent = ulabel ~ts:10 ~src:2 ~key:2 in
+  Saturn.Proxy.on_label ctx.proxy head;
+  (* head has no payload: blocked *)
+  Saturn.Proxy.on_label ctx.proxy concurrent;
+  Saturn.Proxy.on_payload ctx.proxy (payload concurrent);
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "concurrent label applied around the blocked head"
+    [ ts_us 10 ] (List.rev !(ctx.installed));
+  Alcotest.(check int) "head still pending" 1 (Saturn.Proxy.pending_stream ctx.proxy)
+
+let test_migration_label_fires_hook () =
+  let ctx = make_ctx () in
+  let hook_fired = ref None in
+  Saturn.Proxy.on_migration_applicable ctx.proxy (fun l -> hook_fired := Some l);
+  let waited = ref false in
+  let m = mlabel ~ts:15 ~src:1 ~dest:0 in
+  Saturn.Proxy.wait_for_label ctx.proxy m (fun () -> waited := true);
+  Saturn.Proxy.on_label ctx.proxy m;
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check bool) "hook fired" true (!hook_fired <> None);
+  Alcotest.(check bool) "attach waiter released" true !waited;
+  (* waiting after application returns immediately *)
+  let late = ref false in
+  Saturn.Proxy.wait_for_label ctx.proxy m (fun () -> late := true);
+  Alcotest.(check bool) "late waiter immediate" true !late
+
+let test_staging_consumes_time () =
+  let ctx = make_ctx () in
+  ctx.stage_delay <- Sim.Time.of_ms 5;
+  let l = ulabel ~ts:10 ~src:1 ~key:1 in
+  Saturn.Proxy.on_label ctx.proxy l;
+  Saturn.Proxy.on_payload ctx.proxy (payload l);
+  Sim.Engine.run ~until:(Sim.Time.of_ms 3) ctx.engine;
+  Alcotest.(check (list int)) "not installed while staging" [] !(ctx.installed);
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "installed after staging" [ ts_us 10 ] !(ctx.installed)
+
+let test_fallback_ts_order () =
+  let ctx = make_ctx ~mode:Saturn.Proxy.Fallback () in
+  let l1 = ulabel ~ts:10 ~src:1 ~key:1 in
+  let l2 = ulabel ~ts:20 ~src:2 ~key:2 in
+  (* payloads arrive out of ts order; the bulk floor of each source reaches
+     its own payload's ts, so l1 (ts 10 <= min floor 10) is already stable,
+     while l2 (ts 20) must wait for src 1's promise to pass 20 *)
+  Saturn.Proxy.on_payload ctx.proxy (payload l2);
+  Saturn.Proxy.on_payload ctx.proxy (payload l1);
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "only the globally-stable prefix" [ ts_us 10 ] !(ctx.installed);
+  Saturn.Proxy.on_heartbeat ctx.proxy ~src:1 (Sim.Time.of_ms 30);
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "applied in timestamp order" [ ts_us 10; ts_us 20 ]
+    (List.rev !(ctx.installed))
+
+let test_fallback_partial_stability () =
+  let ctx = make_ctx ~mode:Saturn.Proxy.Fallback () in
+  let l1 = ulabel ~ts:10 ~src:1 ~key:1 in
+  Saturn.Proxy.on_payload ctx.proxy (payload l1);
+  (* only src 1 has promised past 10; src 2 is silent -> not stable *)
+  Saturn.Proxy.on_heartbeat ctx.proxy ~src:1 (Sim.Time.of_ms 30);
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "held until all sources promise" [] !(ctx.installed);
+  Saturn.Proxy.on_heartbeat ctx.proxy ~src:2 (Sim.Time.of_ms 12);
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "released" [ ts_us 10 ] !(ctx.installed)
+
+let test_wait_for_ts_watermarks () =
+  let ctx = make_ctx () in
+  let released = ref false in
+  Saturn.Proxy.wait_for_ts ctx.proxy (Sim.Time.of_ms 10) (fun () -> released := true);
+  Alcotest.(check bool) "blocked initially" false !released;
+  (* src1 applies an update with ts 15; src2 only heartbeats *)
+  let l = ulabel ~ts:15 ~src:1 ~key:1 in
+  Saturn.Proxy.on_payload ctx.proxy (payload l);
+  Saturn.Proxy.on_label ctx.proxy l;
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check bool) "still blocked on src2" false !released;
+  Saturn.Proxy.on_heartbeat ctx.proxy ~src:2 (Sim.Time.of_ms 11);
+  Alcotest.(check bool) "released once every source passed" true !released
+
+let test_heartbeat_floor_unsafe_with_pending () =
+  (* a pending (unstaged) payload with a small ts must hold the effective
+     watermark below a later heartbeat *)
+  let ctx = make_ctx () in
+  ctx.stage_delay <- Sim.Time.of_sec 1.;
+  let l = ulabel ~ts:5 ~src:1 ~key:1 in
+  Saturn.Proxy.on_payload ctx.proxy (payload l);
+  Saturn.Proxy.on_heartbeat ctx.proxy ~src:1 (Sim.Time.of_ms 50);
+  let wm = Saturn.Proxy.effective_watermark ctx.proxy ~src:1 in
+  Alcotest.(check bool) "watermark capped by pending payload" true
+    (Sim.Time.compare wm (Sim.Time.of_ms 5) < 0)
+
+let test_epoch_graceful_switch () =
+  (* dc2 stays silent so the always-on timestamp sweep cannot install
+     anything: the test isolates the label-buffering of the protocol *)
+  let ctx = make_ctx ~n_dcs:3 () in
+  Saturn.Proxy.start_graceful_switch ctx.proxy ~epoch:1;
+  (* a C2 label arrives early and must be buffered *)
+  let future = ulabel ~ts:40 ~src:1 ~key:9 in
+  Saturn.Proxy.on_payload ctx.proxy (payload future);
+  Saturn.Proxy.on_label_next ctx.proxy future;
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "buffered during switch" [] !(ctx.installed);
+  Alcotest.(check bool) "switch not complete" false (Saturn.Proxy.switch_complete ctx.proxy);
+  (* the other dcs' epoch-change labels flow through C1 *)
+  Saturn.Proxy.on_label ctx.proxy (Saturn.Label.epoch_change ~ts:(Sim.Time.of_ms 30) ~src_dc:1 ~epoch:1);
+  Saturn.Proxy.on_label ctx.proxy (Saturn.Label.epoch_change ~ts:(Sim.Time.of_ms 31) ~src_dc:2 ~epoch:1);
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check bool) "switch complete" true (Saturn.Proxy.switch_complete ctx.proxy);
+  Alcotest.(check (list int)) "buffered label drained" [ ts_us 40 ] !(ctx.installed);
+  (* post-switch C2 labels flow directly *)
+  let next = ulabel ~ts:50 ~src:1 ~key:10 in
+  Saturn.Proxy.on_payload ctx.proxy (payload next);
+  Saturn.Proxy.on_label_next ctx.proxy next;
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "direct after switch" [ ts_us 40; ts_us 50 ] (List.rev !(ctx.installed))
+
+let test_epoch_forced_switch () =
+  (* three datacenters so that a silent source (src 2) gates stability *)
+  let ctx = make_ctx ~n_dcs:3 () in
+  (* C1 broke: fall back to ts order, buffer C2, adopt when stable *)
+  let l1 = ulabel ~ts:10 ~src:1 ~key:1 in
+  Saturn.Proxy.on_payload ctx.proxy (payload l1);
+  Saturn.Proxy.start_forced_switch ctx.proxy;
+  Alcotest.(check bool) "fallback mode" true (Saturn.Proxy.mode ctx.proxy = Saturn.Proxy.Fallback);
+  let c2 = ulabel ~ts:30 ~src:1 ~key:2 in
+  Saturn.Proxy.on_payload ctx.proxy (payload c2);
+  Saturn.Proxy.on_label_next ctx.proxy c2;
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "nothing before stability" [] !(ctx.installed);
+  Saturn.Proxy.on_heartbeat ctx.proxy ~src:1 (Sim.Time.of_ms 35);
+  Saturn.Proxy.on_heartbeat ctx.proxy ~src:2 (Sim.Time.of_ms 35);
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check bool) "adopted C2" true (Saturn.Proxy.switch_complete ctx.proxy);
+  Alcotest.(check bool) "back in stream mode" true (Saturn.Proxy.mode ctx.proxy = Saturn.Proxy.Stream);
+  Alcotest.(check (list int)) "ts-fallback applied both, no duplicates"
+    [ ts_us 10; ts_us 30 ] (List.rev !(ctx.installed))
+
+let test_no_duplicate_install_across_paths () =
+  (* a label applied via fallback must not re-install when it later arrives
+     in a stream *)
+  let ctx = make_ctx ~mode:Saturn.Proxy.Fallback () in
+  let l = ulabel ~ts:10 ~src:1 ~key:1 in
+  Saturn.Proxy.on_payload ctx.proxy (payload l);
+  Saturn.Proxy.on_heartbeat ctx.proxy ~src:1 (Sim.Time.of_ms 20);
+  Saturn.Proxy.on_heartbeat ctx.proxy ~src:2 (Sim.Time.of_ms 20);
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "applied once via fallback" [ ts_us 10 ] !(ctx.installed);
+  Saturn.Proxy.set_mode ctx.proxy Saturn.Proxy.Stream;
+  Saturn.Proxy.on_label ctx.proxy l;
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check (list int)) "no re-install" [ ts_us 10 ] !(ctx.installed)
+
+let suite =
+  [
+    Alcotest.test_case "stream applies in order" `Quick test_stream_applies_in_order;
+    Alcotest.test_case "stream blocks on missing payload" `Quick test_stream_blocks_on_missing_payload;
+    Alcotest.test_case "concurrency optimization (§4.3)" `Quick test_concurrency_optimization;
+    Alcotest.test_case "migration label applicability" `Quick test_migration_label_fires_hook;
+    Alcotest.test_case "staging consumes server time" `Quick test_staging_consumes_time;
+    Alcotest.test_case "fallback applies in ts order" `Quick test_fallback_ts_order;
+    Alcotest.test_case "fallback needs every source stable" `Quick test_fallback_partial_stability;
+    Alcotest.test_case "wait_for_ts watermark release" `Quick test_wait_for_ts_watermarks;
+    Alcotest.test_case "heartbeats unsafe over pending payloads" `Quick test_heartbeat_floor_unsafe_with_pending;
+    Alcotest.test_case "graceful epoch switch" `Quick test_epoch_graceful_switch;
+    Alcotest.test_case "forced epoch switch" `Quick test_epoch_forced_switch;
+    Alcotest.test_case "no duplicate installs across paths" `Quick test_no_duplicate_install_across_paths;
+  ]

@@ -1,0 +1,116 @@
+(* Tests for the statistics library. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let sample_of xs =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) xs;
+  s
+
+let test_sample_basic () =
+  let s = sample_of [ 3.; 1.; 2. ] in
+  Alcotest.(check int) "count" 3 (Stats.Sample.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.Sample.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.Sample.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 3. (Stats.Sample.max_value s);
+  Alcotest.(check (float 1e-9)) "median" 2. (Stats.Sample.median s);
+  Alcotest.(check (float 1e-9)) "p0" 1. (Stats.Sample.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100" 3. (Stats.Sample.percentile s 100.);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 1.5 (Stats.Sample.percentile s 25.)
+
+let test_sample_errors () =
+  let s = Stats.Sample.create () in
+  Alcotest.check_raises "empty percentile" (Invalid_argument "Sample.percentile: empty sample")
+    (fun () -> ignore (Stats.Sample.percentile s 50.));
+  Stats.Sample.add s 1.;
+  Alcotest.check_raises "out of range" (Invalid_argument "Sample.percentile: p out of [0,100]")
+    (fun () -> ignore (Stats.Sample.percentile s 101.))
+
+let test_sample_stddev () =
+  let s = sample_of [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check (float 1e-6)) "sample stddev" 2.13808993 (Stats.Sample.stddev s)
+
+let test_sample_insert_after_sort () =
+  let s = sample_of [ 5.; 1. ] in
+  Alcotest.(check (float 1e-9)) "median before" 3. (Stats.Sample.median s);
+  Stats.Sample.add s 10.;
+  (* the sorted cache must be invalidated *)
+  Alcotest.(check (float 1e-9)) "median after" 5. (Stats.Sample.median s)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone in p" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = sample_of xs in
+      let ps = [ 0.; 10.; 25.; 50.; 75.; 90.; 100. ] in
+      let vals = List.map (Stats.Sample.percentile s) ps in
+      let rec mono = function a :: (b :: _ as rest) -> a <= b && mono rest | _ -> true in
+      mono vals)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"cdf is non-decreasing and ends at 1" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 100.))
+    (fun xs ->
+      let s = sample_of xs in
+      let cdf = Stats.Sample.cdf s () in
+      let rec mono = function
+        | (v1, f1) :: ((v2, f2) :: _ as rest) -> v1 <= v2 && f1 <= f2 && mono rest
+        | _ -> true
+      in
+      mono cdf && snd (List.nth cdf (List.length cdf - 1)) = 1.)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 9.9; -1.; 42. ];
+  Alcotest.(check int) "count includes outliers" 6 (Stats.Histogram.count h);
+  Alcotest.(check int) "underflow" 1 (Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Stats.Histogram.overflow h);
+  let p50 = Stats.Histogram.percentile h 50. in
+  if p50 < 1.0 || p50 > 2.0 then Alcotest.failf "p50 should land in the 1-2 bucket: %f" p50
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:5 in
+  let b = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:5 in
+  Stats.Histogram.add a 1.;
+  Stats.Histogram.add b 9.;
+  let m = Stats.Histogram.merge a b in
+  Alcotest.(check int) "merged count" 2 (Stats.Histogram.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 5. (Stats.Histogram.mean m);
+  let c = Stats.Histogram.create ~lo:0. ~hi:5. ~buckets:5 in
+  Alcotest.check_raises "geometry mismatch" (Invalid_argument "Histogram.merge: geometry mismatch")
+    (fun () -> ignore (Stats.Histogram.merge a c))
+
+let prop_histogram_percentile_in_range =
+  QCheck.Test.make ~name:"histogram percentile within [lo,hi]" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 10.))
+    (fun xs ->
+      let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:20 in
+      List.iter (Stats.Histogram.add h) xs;
+      let p = Stats.Histogram.percentile h 90. in
+      p >= 0. && p <= 10.)
+
+let test_table_render () =
+  let t = Stats.Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Stats.Table.add_row t [ "x"; "1" ];
+  Stats.Table.add_row t [ "longer"; "2" ];
+  let out = Stats.Table.render t in
+  Alcotest.(check bool) "has title" true (String.length out > 0 && String.sub out 0 7 = "== demo");
+  (* rows render in insertion order *)
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count" 6 (List.length lines);
+  Alcotest.(check bool) "x row before longer row" true
+    (String.length (List.nth lines 3) >= 1 && (List.nth lines 3).[0] = 'x')
+
+let suite =
+  [
+    Alcotest.test_case "sample basics" `Quick test_sample_basic;
+    Alcotest.test_case "sample error cases" `Quick test_sample_errors;
+    Alcotest.test_case "sample stddev" `Quick test_sample_stddev;
+    Alcotest.test_case "sorted cache invalidation" `Quick test_sample_insert_after_sort;
+    qtest prop_percentile_monotone;
+    qtest prop_cdf_monotone;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    qtest prop_histogram_percentile_in_range;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+  ]
