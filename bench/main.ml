@@ -25,8 +25,34 @@ let experiments =
     ("micro", "Bechamel microbenchmarks", Micro.run);
   ]
 
+(* dune exec bench/main.exe -- smoke [--seed N] [--out DIR]
+   The observability smoke run: fixed-seed scenario, registry table,
+   trace.jsonl + trace.digest. CI runs it twice and diffs the digests. *)
+let smoke_cmd rest =
+  let seed = ref 42 and out_dir = ref None in
+  let rec parse = function
+    | "--seed" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n -> seed := n
+      | None ->
+        Printf.eprintf "smoke: --seed expects an integer, got %S\n" n;
+        exit 2);
+      parse rest
+    | "--out" :: dir :: rest ->
+      out_dir := Some dir;
+      parse rest
+    | [] -> ()
+    | x :: _ ->
+      Printf.eprintf "smoke: unknown argument %S (expected --seed N / --out DIR)\n" x;
+      exit 2
+  in
+  parse rest;
+  ignore (Harness.Obs.run_smoke ~seed:!seed ?out_dir:!out_dir ())
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  match List.tl (Array.to_list Sys.argv) with
+  | "smoke" :: rest -> smoke_cmd rest
+  | args ->
   (* --csv DIR: additionally write every printed table as a CSV artifact *)
   let rec extract_csv acc = function
     | "--csv" :: dir :: rest ->

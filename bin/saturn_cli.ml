@@ -216,7 +216,7 @@ let trace_replay path n_dcs sys =
   in
   let engine = Sim.Engine.create () in
   let metrics = Harness.Metrics.create engine ~topo:Sim.Ec2.topology ~dc_sites in
-  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:max_int;
+  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:Sim.Time.infinity;
   let spec = Harness.Build.default_spec ~topo:Sim.Ec2.topology ~dc_sites ~rmap in
   let api =
     match sys with
@@ -253,6 +253,34 @@ let trace_replay path n_dcs sys =
     (Stats.Sample.mean (Harness.Metrics.visibility metrics))
     (Harness.Metrics.visible_count metrics)
 
+(* ---- obs -------------------------------------------------------------------- *)
+
+let obs seed out check =
+  let r = Harness.Obs.run_smoke ~seed ?out_dir:out () in
+  if check then begin
+    (* determinism self-check: a second same-seed run must match *)
+    let r2 = Harness.Obs.smoke ~seed () in
+    if String.equal r.Harness.Obs.digest r2.Harness.Obs.digest then
+      Printf.printf "determinism check: OK (%s)\n" r.Harness.Obs.digest
+    else begin
+      Printf.printf "determinism check: FAILED (%s vs %s)\n" r.Harness.Obs.digest
+        r2.Harness.Obs.digest;
+      exit 1
+    end
+  end
+
+let obs_cmd =
+  let doc = "Run the observability smoke scenario: registry table + deterministic trace." in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write trace.jsonl and trace.digest under DIR.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Run the scenario twice and assert digest equality.")
+  in
+  Cmd.v (Cmd.info "obs" ~doc) Term.(const obs $ seed $ out $ check)
+
 let trace_cmd =
   let doc = "Record or replay an operation trace." in
   let record =
@@ -277,4 +305,4 @@ let trace_cmd =
 let () =
   let doc = "Saturn (EuroSys '17) reproduction toolkit" in
   let info = Cmd.info "saturn-cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ matrix_cmd; plan_cmd; bench_cmd; social_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ matrix_cmd; plan_cmd; bench_cmd; social_cmd; trace_cmd; obs_cmd ]))

@@ -79,7 +79,7 @@ let ship t ~src ~dst ~size_bytes k = Sim.Link.send t.bulk.(src).(dst) ~size_byte
 let gen_ts t ~dc ~part ~floor = Saturn.Gear.generate_ts t.dcs.(dc).gears.(part) ~client_ts:floor
 
 let dc_floor t ~dc =
-  Array.fold_left (fun acc g -> Sim.Time.min acc (Saturn.Gear.floor g)) max_int t.dcs.(dc).gears
+  Array.fold_left (fun acc g -> Sim.Time.min acc (Saturn.Gear.floor g)) Sim.Time.infinity t.dcs.(dc).gears
 
 let round_trip t ~home ~dc work ~k =
   let dc_site = t.p.dc_sites.(dc) in

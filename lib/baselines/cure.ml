@@ -35,6 +35,12 @@ let dominated ~except v ~by =
   Array.iteri (fun j x -> if j <> except && Sim.Time.compare x by.(j) > 0 then ok := false) v;
   !ok
 
+let probe_vec t ~dc ~src ts =
+  if Sim.Probe.active () then
+    Sim.Probe.emit
+      ~at:(Sim.Engine.now (Common.engine t.geo))
+      (Sim.Probe.Vec_advance { dc; src; ts = Sim.Time.to_us ts })
+
 let rec create engine p hooks =
   let geo = Common.create engine p in
   let n = Common.n_dcs geo in
@@ -57,7 +63,10 @@ let rec create engine p hooks =
           if dst <> dc then
             Common.ship geo ~src:dc ~dst ~size_bytes:(vector_wire_bytes n) (fun () ->
                 let d = t.dcs.(dst) in
-                d.vv.(dc) <- Sim.Time.max d.vv.(dc) floor)
+                if Sim.Time.compare floor d.vv.(dc) > 0 then begin
+                  d.vv.(dc) <- floor;
+                  probe_vec t ~dc:dst ~src:dc floor
+                end)
         done)
   done;
   (* the GSV advances only after every partition finishes its aggregation
@@ -85,6 +94,15 @@ and finish_stab_round t dc =
         (* the local entry is always stable: local updates are applied at
            commit time *)
         d.gsv.(dc) <- Sim.Time.max d.gsv.(dc) (Common.dc_floor geo ~dc);
+        if Sim.Probe.active () then begin
+          (* the stable snapshot is summarized by its oldest entry, matching
+             the scalar GST of the GentleRain probe *)
+          let oldest = ref Sim.Time.infinity in
+          Array.iter (fun x -> oldest := Sim.Time.min !oldest x) d.gsv;
+          Sim.Probe.emit
+            ~at:(Sim.Engine.now (Common.engine geo))
+            (Sim.Probe.Stab_round { dc; gst = Sim.Time.to_us !oldest })
+        end;
         (* a remote update is visible once the GSV dominates its dependency
            vector on every entry but its own *)
         let visible, still =
@@ -175,7 +193,10 @@ let update t ~client ~home ~dc ~key ~value ~k =
                   if dst <> dc then
                     Common.ship t.geo ~src:dc ~dst ~size_bytes:size (fun () ->
                         let dd = t.dcs.(dst) in
-                        dd.vv.(dc) <- Sim.Time.max dd.vv.(dc) ts;
+                        if Sim.Time.compare ts dd.vv.(dc) > 0 then begin
+                          dd.vv.(dc) <- ts;
+                          probe_vec t ~dc:dst ~src:dc ts
+                        end;
                         let apply_cost =
                           Saturn.Cost_model.cure_apply_us (cost t) ~n_dcs:n
                             ~size_bytes:value.Kvstore.Value.size_bytes

@@ -27,6 +27,12 @@ type t = {
 
 let meta_wire_bytes = 12 (* ts (8) + origin (4): one scalar, as in the paper *)
 
+let probe_vec t ~dc ~src ts =
+  if Sim.Probe.active () then
+    Sim.Probe.emit
+      ~at:(Sim.Engine.now (Common.engine t.geo))
+      (Sim.Probe.Vec_advance { dc; src; ts = Sim.Time.to_us ts })
+
 let rec create engine p hooks =
   let geo = Common.create engine p in
   let n = Common.n_dcs geo in
@@ -51,7 +57,10 @@ let rec create engine p hooks =
           if dst <> dc then
             Common.ship geo ~src:dc ~dst ~size_bytes:meta_wire_bytes (fun () ->
                 let d = t.dcs.(dst) in
-                d.vv.(dc) <- Sim.Time.max d.vv.(dc) floor)
+                if Sim.Time.compare floor d.vv.(dc) > 0 then begin
+                  d.vv.(dc) <- floor;
+                  probe_vec t ~dc:dst ~src:dc floor
+                end)
         done)
   done;
   (* the stabilization mechanism, every 5 ms as in the authors' setup; the
@@ -75,11 +84,15 @@ and finish_stab_round t dc =
   let n = Common.n_dcs geo in
   begin
     let d = t.dcs.(dc) in
-        let gst = ref max_int in
+        let gst = ref Sim.Time.infinity in
         for src = 0 to n - 1 do
           if src <> dc then gst := Sim.Time.min !gst d.vv.(src)
         done;
         if n > 1 then d.gst <- Sim.Time.max d.gst !gst;
+        if Sim.Probe.active () then
+          Sim.Probe.emit
+            ~at:(Sim.Engine.now (Common.engine geo))
+            (Sim.Probe.Stab_round { dc; gst = Sim.Time.to_us d.gst });
         (* flush newly-stable remote updates *)
         let rec flush () =
           match Sim.Heap.peek d.pending with
@@ -159,7 +172,10 @@ let update t ~client ~home ~dc ~key ~value ~k =
                   if dst <> dc then
                     Common.ship t.geo ~src:dc ~dst ~size_bytes:size (fun () ->
                         let dd = t.dcs.(dst) in
-                        dd.vv.(dc) <- Sim.Time.max dd.vv.(dc) ts;
+                        if Sim.Time.compare ts dd.vv.(dc) > 0 then begin
+                          dd.vv.(dc) <- ts;
+                          probe_vec t ~dc:dst ~src:dc ts
+                        end;
                         let apply_cost =
                           Saturn.Cost_model.gentlerain_apply_us (cost t)
                             ~size_bytes:value.Kvstore.Value.size_bytes

@@ -82,6 +82,8 @@ let rec try_commit t =
       (match Hashtbl.find_opt t.confirms seq with
       | Some confirm ->
         Hashtbl.remove t.confirms seq;
+        if Sim.Probe.active () then
+          Sim.Probe.emit ~at:(Sim.Engine.now t.engine) (Sim.Probe.Chain_ack { seq });
         (* the commit ack travels back up the chain before the external
            sender is acknowledged *)
         let upstream_hops = List.length t.order - 1 in

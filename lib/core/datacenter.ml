@@ -19,7 +19,7 @@ type t = {
   mutable next_gear : int;
   sink : Sink.t;
   mutable proxy : Proxy.t;
-  mutable updates_originated : int;
+  updates_counter : Stats.Registry.counter;
   mutable stopped : bool;
 }
 
@@ -31,7 +31,7 @@ let responsible t ~key = Kvstore.Partitioning.responsible t.partitioning ~key
 let store_of_key t ~key = t.stores.(responsible t ~key)
 
 let gear_floor t =
-  Array.fold_left (fun acc g -> Sim.Time.min acc (Gear.floor g)) max_int t.gears
+  Array.fold_left (fun acc g -> Sim.Time.min acc (Gear.floor g)) Sim.Time.infinity t.gears
 
 (* staging pays the remote-apply service time when the payload arrives;
    installation later flips visibility at the payload's position in the
@@ -58,11 +58,13 @@ let install_remote t (p : Proxy.payload) =
   | Label.Migration _ | Label.Epoch_change _ -> assert false
 
 let create engine ~dc ~n_dcs ~partitions ~frontends ~cost ~rmap ~hooks ?(clock_offset = Sim.Time.zero)
-    ?(proxy_mode = Proxy.Stream) () =
+    ?registry ?(proxy_mode = Proxy.Stream) () =
+  let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
   let clock = Sim.Clock.create ~offset:clock_offset engine in
   let gears = Array.init partitions (fun gear_id -> Gear.create clock ~dc ~gear_id) in
   let sink =
-    Sink.create engine ~gears ~period:cost.Cost_model.sink_period ~emit:(fun l -> hooks.emit_label l) ()
+    Sink.create engine ~gears ~period:cost.Cost_model.sink_period ~emit:(fun l -> hooks.emit_label l)
+      ~registry ~name:(Printf.sprintf "sink.dc%d" dc) ()
   in
   let t =
     {
@@ -83,8 +85,8 @@ let create engine ~dc ~n_dcs ~partitions ~frontends ~cost ~rmap ~hooks ?(clock_o
         Proxy.create engine ~dc ~n_dcs
           ~stage_update:(fun _ ~k -> k ())
           ~install_update:(fun _ -> ())
-          ~mode:proxy_mode ();
-      updates_originated = 0;
+          ~registry ~mode:proxy_mode ();
+      updates_counter = Stats.Registry.counter registry (Printf.sprintf "dc%d.updates_originated" dc);
       stopped = false;
     }
   in
@@ -93,7 +95,7 @@ let create engine ~dc ~n_dcs ~partitions ~frontends ~cost ~rmap ~hooks ?(clock_o
     Proxy.create engine ~dc ~n_dcs
       ~stage_update:(fun p ~k -> stage_remote t p ~k)
       ~install_update:(fun p -> install_remote t p)
-      ~mode:proxy_mode ();
+      ~registry ~mode:proxy_mode ();
   (* long-running deployments: bound the proxy's applied-label bookkeeping *)
   Sim.Engine.periodic engine ~every:(Sim.Time.of_sec 10.) (fun () -> Proxy.compact t.proxy)
     ~stop:(fun () -> t.stopped);
@@ -143,7 +145,7 @@ let update t ~key ~value ~client_ts ~k =
           let ts = Gear.generate_ts gear ~client_ts in
           let label = Label.update ~ts ~src_dc:t.dc ~src_gear:part ~key in
           Kvstore.Store.put t.stores.(part) ~key value label;
-          t.updates_originated <- t.updates_originated + 1;
+          Stats.Registry.incr t.updates_counter;
           let origin_time = Sim.Engine.now t.engine in
           List.iter
             (fun dst ->
@@ -175,5 +177,5 @@ let emit_epoch_label t ~epoch =
 let stop t =
   t.stopped <- true;
   Sink.stop t.sink
-let updates_originated t = t.updates_originated
+let updates_originated t = Stats.Registry.counter_value t.updates_counter
 let remote_applied t = Proxy.applied_updates t.proxy

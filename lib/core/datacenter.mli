@@ -28,9 +28,14 @@ val create :
   rmap:Kvstore.Replica_map.t ->
   hooks:hooks ->
   ?clock_offset:Sim.Time.t ->
+  ?registry:Stats.Registry.t ->
   ?proxy_mode:Proxy.mode ->
   unit ->
   t
+(** [registry] collects the datacenter's counters and those of its sink and
+    proxy, scoped by datacenter id ([dc0.updates_originated],
+    [sink.dc0.emitted], [proxy.dc0.applied_updates], …); a private registry
+    is created when omitted. *)
 
 val dc : t -> int
 val proxy : t -> Proxy.t

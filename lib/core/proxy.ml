@@ -28,12 +28,13 @@ type t = {
   next_buffer : Label.t Queue.t;
   mutable switch : switch_state option;
   mutable switch_done : bool;
-  mutable applied_updates : int;
+  applied_counter : Stats.Registry.counter;
   mutable scanning : bool;
   mutable need_rescan : bool;
 }
 
-let create engine ~dc ~n_dcs ~stage_update ~install_update ?(mode = Stream) () =
+let create engine ~dc ~n_dcs ~stage_update ~install_update ?registry ?(mode = Stream) () =
+  let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
   {
     engine;
     dc;
@@ -54,15 +55,31 @@ let create engine ~dc ~n_dcs ~stage_update ~install_update ?(mode = Stream) () =
     next_buffer = Queue.create ();
     switch = None;
     switch_done = false;
-    applied_updates = 0;
+    applied_counter = Stats.Registry.counter registry (Printf.sprintf "proxy.dc%d.applied_updates" dc);
     scanning = false;
     need_rescan = false;
   }
 
+let probe_mode t m =
+  if Sim.Probe.active () then
+    Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
+      (Sim.Probe.Proxy_mode
+         { dc = t.dc; mode = (match m with Stream -> Sim.Probe.Stream | Fallback -> Sim.Probe.Fallback) })
+
+let probe_apply t (label : Label.t) ~fallback =
+  if Sim.Probe.active () then
+    Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
+      (Sim.Probe.Proxy_apply
+         { dc = t.dc; src_dc = label.Label.src_dc; ts = Sim.Time.to_us label.Label.ts; fallback })
+
 let mode t = t.mode
-let set_mode t m = t.mode <- m
+
+let set_mode t m =
+  if m <> t.mode then probe_mode t m;
+  t.mode <- m
+
 let on_migration_applicable t f = t.migration_hook <- Some f
-let applied_updates t = t.applied_updates
+let applied_updates t = Stats.Registry.counter_value t.applied_counter
 let pending_stream t =
   let s = t.stream in
   let n = ref 0 in
@@ -90,7 +107,7 @@ let pending_min t src =
   peek ()
 
 let effective_watermark t ~src =
-  if src = t.dc then max_int
+  if src = t.dc then Sim.Time.infinity
   else begin
     let safe_floor =
       match pending_min t src with
@@ -127,7 +144,7 @@ let mark_applied t (label : Label.t) =
      labels in timestamp order *)
   if label.src_dc <> t.dc then
     t.applied_wm.(label.src_dc) <- Sim.Time.max t.applied_wm.(label.src_dc) label.ts;
-  if Label.is_update label then t.applied_updates <- t.applied_updates + 1;
+  if Label.is_update label then Stats.Registry.incr t.applied_counter;
   fire_label_waiters t label;
   check_ts_waiters t
 
@@ -180,7 +197,7 @@ let rec scan t =
       (* an entry is applicable when no earlier entry with a strictly
          smaller timestamp is still unapplied: Saturn delivering a larger
          timestamp first certifies concurrency (§4.3) *)
-      let min_unapplied = ref max_int in
+      let min_unapplied = ref Sim.Time.infinity in
       let blocked_seen = ref 0 in
       let i = ref s.head in
       while !i < s.tail && !blocked_seen < scan_window do
@@ -217,6 +234,7 @@ and try_apply t e =
       let p = Hashtbl.find t.payloads label in
       e.state <- Applied;
       t.install_update p;
+      probe_apply t label ~fallback:false;
       mark_applied t label;
       true
     end
@@ -245,12 +263,13 @@ and check_switch_completion t =
       (* nothing arrived through C2 yet; adopt once no in-flight C1-era
          payload remains to be ordered by the fallback *)
       if Hashtbl.length t.payloads = 0 then begin
+        if t.mode <> Stream then probe_mode t Stream;
         t.mode <- Stream;
         complete_switch t
       end
     | Some first ->
       (* adopt C2 once its first label is stable in timestamp order *)
-      let stable = ref max_int in
+      let stable = ref Sim.Time.infinity in
       for src = 0 to t.n_dcs - 1 do
         if src <> t.dc then stable := Sim.Time.min !stable (effective_watermark t ~src)
       done;
@@ -258,6 +277,7 @@ and check_switch_completion t =
         Hashtbl.mem t.applied_set first || Sim.Time.compare first.Label.ts !stable <= 0
       in
       if first_ready then begin
+        if t.mode <> Stream then probe_mode t Stream;
         t.mode <- Stream;
         complete_switch t
       end)
@@ -286,7 +306,7 @@ let on_label t label =
 (* ---- the timestamp-order fallback path --------------------------------- *)
 
 let stable_floor t =
-  let stable = ref max_int in
+  let stable = ref Sim.Time.infinity in
   for src = 0 to t.n_dcs - 1 do
     if src <> t.dc then stable := Sim.Time.min !stable t.bulk_floor.(src)
   done;
@@ -328,6 +348,7 @@ let rec try_fallback t =
       if Hashtbl.mem t.staged l then begin
         let p = Hashtbl.find t.payloads l in
         t.install_update p;
+        probe_apply t l ~fallback:true;
         mark_applied t l;
         (match t.mode with Stream -> scan t | Fallback -> ());
         check_switch_completion t;
@@ -368,11 +389,11 @@ let on_heartbeat t ~src ts =
 let compact_margin = Sim.Time.of_sec 5.
 
 let compact t =
-  let floor = ref max_int in
+  let floor = ref Sim.Time.infinity in
   for src = 0 to t.n_dcs - 1 do
     if src <> t.dc then floor := Sim.Time.min !floor t.bulk_floor.(src)
   done;
-  if Sim.Time.compare !floor max_int < 0 then begin
+  if Sim.Time.compare !floor Sim.Time.infinity < 0 then begin
     let cutoff = Sim.Time.sub !floor compact_margin in
     if Sim.Time.compare cutoff Sim.Time.zero > 0 then begin
       let stale =
@@ -405,6 +426,7 @@ let start_graceful_switch t ~epoch =
 
 let start_forced_switch t =
   t.switch <- Some Forced;
+  if t.mode <> Fallback then probe_mode t Fallback;
   t.mode <- Fallback;
   try_fallback t;
   check_switch_completion t

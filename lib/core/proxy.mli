@@ -36,6 +36,7 @@ val create :
   n_dcs:int ->
   stage_update:(payload -> k:(unit -> unit) -> unit) ->
   install_update:(payload -> unit) ->
+  ?registry:Stats.Registry.t ->
   ?mode:mode ->
   unit ->
   t
@@ -47,7 +48,10 @@ val create :
     stream's ordered installs off the storage servers' queues — remote
     updates are staged in parallel as they arrive and exposed in order, as
     in the paper's remote-proxy parallelism discussion (§4.3). Defaults to
-    [Stream] mode. *)
+    [Stream] mode. [registry] receives the proxy's counters, scoped
+    [proxy.dc<k>.*]; a private registry is created when omitted. Applies
+    and mode transitions are also traced through {!Sim.Probe} when a probe
+    is installed. *)
 
 val mode : t -> mode
 val set_mode : t -> mode -> unit

@@ -12,12 +12,17 @@ type t = {
   dc_in_senders : msg Reliable_fifo.sender array;
   dc_out_senders : (int, Label.t Reliable_fifo.sender) Hashtbl.t;
   uid_counter : int array;
-  mutable n_input : int;
-  mutable n_delivered : int;
+  input_counter : Stats.Registry.counter;
+  delivered_counter : Stats.Registry.counter;
   mutable all_senders : (unit -> unit) list; (* stop functions *)
 }
 
 let resend_period lat = Sim.Time.add (Sim.Time.add lat lat) (Sim.Time.of_ms 50)
+
+let probe_delay t s delta =
+  if Sim.Time.compare delta Sim.Time.zero > 0 then
+    Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
+      (Sim.Probe.Delay_wait { serializer = s; us = Sim.Time.to_us delta })
 
 let route t s msg =
   let tree = Config.tree t.config in
@@ -25,6 +30,10 @@ let route t s msg =
   List.iter
     (fun dc ->
       let delta = Config.delay t.config ~from:s ~hop:(To_dc dc) in
+      if Sim.Probe.active () then begin
+        Sim.Probe.emit ~at:(Sim.Engine.now t.engine) (Sim.Probe.Serializer_deliver { dc });
+        probe_delay t s delta
+      end;
       let sender = Hashtbl.find t.dc_out_senders dc in
       Sim.Engine.schedule t.engine ~delay:delta (fun () ->
           Reliable_fifo.send sender ~size_bytes:Label.size_bytes msg.label))
@@ -35,6 +44,11 @@ let route t s msg =
       let sub = List.filter (fun dc -> List.mem dc behind) msg.targets in
       if sub <> [] then begin
         let delta = Config.delay t.config ~from:s ~hop:(To_serializer b) in
+        if Sim.Probe.active () then begin
+          Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
+            (Sim.Probe.Serializer_hop { from_ser = s; to_ser = b });
+          probe_delay t s delta
+        end;
         let sender = Hashtbl.find t.edge_senders (s, b) in
         let forwarded = { msg with targets = sub } in
         Sim.Engine.schedule t.engine ~delay:delta (fun () ->
@@ -43,7 +57,8 @@ let route t s msg =
     (Tree.neighbors tree s)
 
 let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
-    ?(intra_latency = Sim.Time.of_us 300) () =
+    ?(intra_latency = Sim.Time.of_us 300) ?registry ?(name = "service") () =
+  let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
   let tree = Config.tree config in
   let n_ser = Tree.n_serializers tree in
   let n_dcs = Tree.n_dcs tree in
@@ -60,8 +75,8 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
       dc_in_senders = Array.make n_dcs (Reliable_fifo.sender engine ~resend_period:(Sim.Time.of_ms 100));
       dc_out_senders = Hashtbl.create 16;
       uid_counter = Array.make n_dcs 0;
-      n_input = 0;
-      n_delivered = 0;
+      input_counter = Stats.Registry.counter registry (name ^ ".labels_input");
+      delivered_counter = Stats.Registry.counter registry (name ^ ".labels_delivered");
       all_senders = [];
     }
   in
@@ -123,7 +138,7 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
     let out_sender = Reliable_fifo.sender engine ~resend_period:(resend_period lat) in
     let out_recv =
       Reliable_fifo.receiver engine ~deliver:(fun label ->
-          t.n_delivered <- t.n_delivered + 1;
+          Stats.Registry.incr t.delivered_counter;
           deliver ~dc label)
     in
     Reliable_fifo.connect out_sender ~data:out_data ~ack:out_ack out_recv;
@@ -133,7 +148,10 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
   t
 
 let input t ~dc label =
-  t.n_input <- t.n_input + 1;
+  Stats.Registry.incr t.input_counter;
+  if Sim.Probe.active () then
+    Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
+      (Sim.Probe.Label_forward { dc; ts = Sim.Time.to_us label.Label.ts });
   let targets = List.filter (fun d -> d <> dc) (t.interest label) in
   if targets <> [] then begin
     let uid = (dc, t.uid_counter.(dc)) in
@@ -180,12 +198,12 @@ let restore_edge t a b =
       | None -> invalid_arg "Service.restore_edge: not an edge")
     [ (a, b); (b, a) ]
 
-let labels_input t = t.n_input
-let labels_delivered t = t.n_delivered
+let labels_input t = Stats.Registry.counter_value t.input_counter
+let labels_delivered t = Stats.Registry.counter_value t.delivered_counter
 
 let edge_traffic t =
   Hashtbl.fold (fun edge (data, _) acc -> (edge, Sim.Link.delivered_count data) :: acc) t.edge_links []
 
 let total_label_hops t =
-  List.fold_left (fun acc (_, n) -> acc + n) 0 (edge_traffic t) + t.n_delivered
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (edge_traffic t) + labels_delivered t
 let shutdown t = List.iter (fun stop -> stop ()) t.all_senders

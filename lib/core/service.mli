@@ -23,12 +23,17 @@ val create :
   deliver:(dc:int -> Label.t -> unit) ->
   ?serializer_replicas:int ->
   ?intra_latency:Sim.Time.t ->
+  ?registry:Stats.Registry.t ->
+  ?name:string ->
   unit ->
   t
 (** [interest label] lists the datacenters that must receive [label]
     (the origin itself is filtered out automatically). [deliver] is invoked
     at each interested datacenter, in that datacenter's serialization
-    order. *)
+    order. [registry] receives the service's counters under [name]
+    (default ["service"]); a private registry is created when omitted.
+    Label ingress, serializer hops and artificial-delay waits are traced
+    through {!Sim.Probe} when a probe is installed. *)
 
 val input : t -> dc:int -> Label.t -> unit
 (** Called by datacenter [dc]'s label sink, in a causality-compliant order. *)

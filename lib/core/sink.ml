@@ -1,14 +1,15 @@
 type t = {
+  engine : Sim.Engine.t;
   gears : Gear.t array;
   buffer : Label.t Sim.Heap.t;
   emit : Label.t -> unit;
-  mutable emitted : int;
+  emitted_counter : Stats.Registry.counter;
   mutable last_emitted_ts : Sim.Time.t;
   mutable stopped : bool;
 }
 
 let stable_ts t =
-  Array.fold_left (fun acc g -> Sim.Time.min acc (Gear.floor g)) max_int t.gears
+  Array.fold_left (fun acc g -> Sim.Time.min acc (Gear.floor g)) Sim.Time.infinity t.gears
 
 let flush t =
   let stable = stable_ts t in
@@ -19,20 +20,25 @@ let flush t =
       (* the stability rule guarantees monotone emission *)
       assert (Sim.Time.compare l.Label.ts t.last_emitted_ts >= 0);
       t.last_emitted_ts <- l.Label.ts;
-      t.emitted <- t.emitted + 1;
+      Stats.Registry.incr t.emitted_counter;
+      if Sim.Probe.active () then
+        Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
+          (Sim.Probe.Sink_emit { dc = l.Label.src_dc; ts = Sim.Time.to_us l.Label.ts });
       t.emit l;
       drain ()
     | Some _ | None -> ()
   in
   drain ()
 
-let create engine ~gears ~period ~emit () =
+let create engine ~gears ~period ~emit ?registry ?(name = "sink") () =
+  let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
   let t =
     {
+      engine;
       gears;
       buffer = Sim.Heap.create ~cmp:Label.compare_ts_src ();
       emit;
-      emitted = 0;
+      emitted_counter = Stats.Registry.counter registry (name ^ ".emitted");
       last_emitted_ts = Sim.Time.zero;
       stopped = false;
     }
@@ -42,5 +48,5 @@ let create engine ~gears ~period ~emit () =
 
 let offer t label = Sim.Heap.push t.buffer label
 let stop t = t.stopped <- true
-let emitted t = t.emitted
+let emitted t = Stats.Registry.counter_value t.emitted_counter
 let buffered t = Sim.Heap.size t.buffer

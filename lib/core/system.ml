@@ -40,6 +40,7 @@ type t = {
   engine : Sim.Engine.t;
   p : params;
   hooks : hooks;
+  registry : Stats.Registry.t;
   mutable dcs : Datacenter.t array;
   bulk : Sim.Link.t array array; (* [src].[dst]; diagonal unused *)
   mutable service : Service.t option;
@@ -74,7 +75,8 @@ let route_label t dc label =
   | Some m when Label.equal m label -> route.to_next <- true
   | Some _ | None -> ()
 
-let create engine p hooks =
+let create ?registry engine p hooks =
+  let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
   let n = Array.length p.dc_sites in
   let bulk =
     Array.init n (fun i ->
@@ -90,6 +92,7 @@ let create engine p hooks =
       engine;
       p;
       hooks;
+      registry;
       dcs = [||];
       bulk;
       service = None;
@@ -118,7 +121,7 @@ let create engine p hooks =
           match p.clock_offsets with Some offs -> offs.(dc) | None -> Sim.Time.zero
         in
         Datacenter.create engine ~dc ~n_dcs:n ~partitions:p.partitions ~frontends:p.frontends
-          ~cost:p.cost ~rmap:p.rmap ~hooks:hooks_dc ~clock_offset
+          ~cost:p.cost ~rmap:p.rmap ~hooks:hooks_dc ~clock_offset ~registry
           ~proxy_mode:(if p.peer_mode then Proxy.Fallback else Proxy.Stream)
           ());
   if not p.peer_mode then
@@ -126,7 +129,7 @@ let create engine p hooks =
       Some
         (Service.create engine ~topo:p.topo ~config:p.config ~interest:(interest_of p)
            ~deliver:(fun ~dc label -> deliver_current t ~dc label)
-           ~serializer_replicas:p.serializer_replicas ());
+           ~serializer_replicas:p.serializer_replicas ~registry ~name:"service" ());
   (* bulk-channel heartbeats: each datacenter periodically promises its gear
      floor to every other datacenter (liveness for attach stabilization and
      for the timestamp fallback) *)
@@ -213,7 +216,8 @@ let switch_config t config2 ~graceful =
   let service2 =
     Service.create t.engine ~topo:t.p.topo ~config:config2 ~interest:(interest_of t.p)
       ~deliver:(fun ~dc label -> deliver_next t ~dc label)
-      ~serializer_replicas:t.p.serializer_replicas ()
+      ~serializer_replicas:t.p.serializer_replicas ~registry:t.registry
+      ~name:(Printf.sprintf "service.e%d" epoch) ()
   in
   t.next_service <- Some service2;
   Array.iteri

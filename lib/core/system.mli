@@ -44,7 +44,10 @@ val no_hooks : hooks
 
 type t
 
-val create : Sim.Engine.t -> params -> hooks -> t
+val create : ?registry:Stats.Registry.t -> Sim.Engine.t -> params -> hooks -> t
+(** [registry] collects every counter of the deployment (per-datacenter
+    counters are scoped by id, the serializer tree under ["service"]);
+    a private registry is created when omitted. *)
 
 val engine : t -> Sim.Engine.t
 val n_dcs : t -> int

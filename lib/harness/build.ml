@@ -57,7 +57,7 @@ let hooks_of_metrics metrics =
         Metrics.on_visible metrics ~dc ~key ~origin_dc ~origin_time ~value);
   }
 
-let saturn_with ~peer engine spec metrics =
+let saturn_with ~peer ?registry engine spec metrics =
   let config =
     match spec.saturn_config with
     | Some c -> c
@@ -84,7 +84,7 @@ let saturn_with ~peer engine spec metrics =
       clock_offsets = None;
     }
   in
-  let system = Saturn.System.create engine params (hooks_of_metrics metrics) in
+  let system = Saturn.System.create ?registry engine params (hooks_of_metrics metrics) in
   let table : (int, Saturn.Client_lib.t) Hashtbl.t = Hashtbl.create 256 in
   let lib (c : Client.t) =
     match Hashtbl.find_opt table c.Client.id with
@@ -121,8 +121,8 @@ let saturn_with ~peer engine spec metrics =
   in
   (api, system)
 
-let saturn engine spec metrics = saturn_with ~peer:false engine spec metrics
-let saturn_peer engine spec metrics = saturn_with ~peer:true engine spec metrics
+let saturn ?registry engine spec metrics = saturn_with ~peer:false ?registry engine spec metrics
+let saturn_peer ?registry engine spec metrics = saturn_with ~peer:true ?registry engine spec metrics
 
 let baseline_params spec =
   {

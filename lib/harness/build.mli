@@ -24,8 +24,10 @@ val solve_config : spec -> Saturn.Config.t
 (** Runs the configuration generator (Algorithm 3) for the spec's
     datacenters, weighting pairs by shared keys. *)
 
-val saturn : Sim.Engine.t -> spec -> Metrics.t -> Api.t * Saturn.System.t
-val saturn_peer : Sim.Engine.t -> spec -> Metrics.t -> Api.t * Saturn.System.t
+val saturn : ?registry:Stats.Registry.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t * Saturn.System.t
+(** [registry] collects the deployment's counters (see {!Saturn.System.create}). *)
+
+val saturn_peer : ?registry:Stats.Registry.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t * Saturn.System.t
 (** The P-configuration: timestamp order only, no serializer tree. *)
 
 val eventual : Sim.Engine.t -> spec -> Metrics.t -> Api.t

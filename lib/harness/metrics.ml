@@ -8,23 +8,24 @@ type t = {
   visibility : Stats.Sample.t;
   extra : Stats.Sample.t;
   pairs : (int * int, Stats.Sample.t) Hashtbl.t;
-  mutable count : int;
+  count : Stats.Registry.counter;
   mutable observers :
     (dc:int -> key:int -> origin_dc:int -> origin_time:Sim.Time.t -> value:Kvstore.Value.t -> unit) list;
 }
 
-let create ?(bulk_factor = 1.0) engine ~topo ~dc_sites =
+let create ?(bulk_factor = 1.0) ?registry engine ~topo ~dc_sites =
+  let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
   {
     engine;
     topo;
     dc_sites;
     bulk_factor;
     start_at = Sim.Time.zero;
-    end_at = max_int;
+    end_at = Sim.Time.infinity;
     visibility = Stats.Sample.create ();
     extra = Stats.Sample.create ();
     pairs = Hashtbl.create 64;
-    count = 0;
+    count = Stats.Registry.counter registry "metrics.visible_in_window";
     observers = [];
   }
 
@@ -56,7 +57,7 @@ let on_visible t ~dc ~key ~origin_dc ~origin_time ~value =
       let lat = Sim.Topology.latency t.topo t.dc_sites.(origin_dc) t.dc_sites.(dc) in
       Sim.Time.of_us (int_of_float (float_of_int (Sim.Time.to_us lat) *. t.bulk_factor))
     in
-    t.count <- t.count + 1;
+    Stats.Registry.incr t.count;
     Stats.Sample.add_time t.visibility latency;
     Stats.Sample.add t.extra (Sim.Time.to_ms_float (Sim.Time.sub latency optimal));
     Stats.Sample.add_time (pair_visibility t ~origin:origin_dc ~dest:dc) latency
@@ -64,4 +65,4 @@ let on_visible t ~dc ~key ~origin_dc ~origin_time ~value =
 
 let visibility t = t.visibility
 let extra_visibility t = t.extra
-let visible_count t = t.count
+let visible_count t = Stats.Registry.counter_value t.count

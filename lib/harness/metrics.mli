@@ -6,12 +6,15 @@ type t
 
 val create :
   ?bulk_factor:float ->
+  ?registry:Stats.Registry.t ->
   Sim.Engine.t ->
   topo:Sim.Topology.t ->
   dc_sites:Sim.Topology.site array ->
   t
 (** [bulk_factor] scales the optimal (bulk) latency used for the
-    extra-visibility computation; default 1.0. *)
+    extra-visibility computation; default 1.0. [registry] receives the
+    windowed visibility counter as [metrics.visible_in_window]; a private
+    registry is created when omitted. *)
 
 val set_window : t -> start_at:Sim.Time.t -> end_at:Sim.Time.t -> unit
 (** Only observations inside the window are recorded. *)

@@ -1,0 +1,99 @@
+type result = {
+  digest : string;
+  n_events : int;
+  ops : int;
+  registry : Stats.Registry.t;
+  probe : Sim.Probe.t;
+}
+
+(* three sites with unequal latencies, so the solver-independent chain tree
+   below has a genuinely asymmetric geography to work against *)
+let topo () =
+  Sim.Topology.create
+    ~names:[| "west"; "central"; "east" |]
+    ~latency_ms:[| [| 0; 40; 90 |]; [| 40; 0; 50 |]; [| 90; 50; 0 |] |]
+
+(* an explicit chain of three serializers (one per datacenter). The smoke
+   scenario must exercise serializer-to-serializer forwarding; the solved
+   configuration for three sites can collapse to a star, which never hops. *)
+let chain_config ~dc_sites =
+  let tree = Saturn.Tree.create ~n_serializers:3 ~edges:[ (0, 1); (1, 2) ] ~attach:[| 0; 1; 2 |] in
+  let config = Saturn.Config.create ~tree ~placement:(Array.copy dc_sites) ~dc_sites () in
+  (* small artificial delays so the δ-wait path is traced too *)
+  Saturn.Config.set_delay config ~from:1 ~hop:(Saturn.Config.To_dc 1) (Sim.Time.of_ms 2);
+  Saturn.Config.set_delay config ~from:0 ~hop:(Saturn.Config.To_serializer 1) (Sim.Time.of_ms 1);
+  config
+
+let smoke ?(seed = 42) () =
+  let topo = topo () in
+  let dc_sites = [| 0; 1; 2 |] in
+  let n_keys = 24 in
+  (* full replication: every update interests both remote datacenters, so
+     labels provably cross both tree edges *)
+  let rmap = Kvstore.Replica_map.full ~n_dcs:3 ~n_keys in
+  let engine = Sim.Engine.create () in
+  let registry = Stats.Registry.create () in
+  Stats.Registry.register_pull registry "engine.events_processed" (fun () ->
+      float_of_int (Sim.Engine.events_processed engine));
+  let probe = Sim.Probe.create ~keep:true () in
+  let spec =
+    {
+      (Build.default_spec ~topo ~dc_sites ~rmap) with
+      Build.saturn_config = Some (chain_config ~dc_sites);
+      partitions = 2;
+      frontends = 2;
+    }
+  in
+  let metrics = Metrics.create ~registry engine ~topo ~dc_sites in
+  let vis_hist = Stats.Registry.histogram registry "smoke.visibility_ms" ~lo:0. ~hi:1000. ~buckets:40 in
+  Metrics.subscribe metrics (fun ~dc:_ ~key:_ ~origin_dc:_ ~origin_time ~value:_ ->
+      Stats.Histogram.add vis_hist
+        (Sim.Time.to_ms_float (Sim.Time.sub (Sim.Engine.now engine) origin_time)));
+  let driver_result =
+    Sim.Probe.with_probe probe (fun () ->
+        let api, _system = Build.saturn ~registry engine spec metrics in
+        let clients = Driver.make_clients ~dc_sites ~per_dc:2 in
+        let syn =
+          Workload.Synthetic.create
+            { Workload.Synthetic.default with n_keys; read_ratio = 0.5; seed }
+            ~rmap ~topo ~dc_sites
+        in
+        Driver.run engine api metrics ~clients
+          ~next_op:(fun c -> Workload.Synthetic.next syn ~dc:c.Client.preferred_dc)
+          ~warmup:(Sim.Time.of_ms 200) ~measure:(Sim.Time.of_sec 1.) ~cooldown:(Sim.Time.of_ms 200))
+  in
+  (* fold the per-kind trace counts into the registry so one table shows
+     engine, link, tree and proxy activity side by side *)
+  List.iter
+    (fun (k, n) -> Stats.Registry.incr ~by:n (Stats.Registry.counter registry ("probe." ^ k)))
+    (Sim.Probe.counts_by_kind probe);
+  {
+    digest = Sim.Probe.digest probe;
+    n_events = Sim.Probe.count probe;
+    ops = driver_result.Driver.ops_completed;
+    registry;
+    probe;
+  }
+
+let write_artifacts r ~out_dir =
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let trace = Filename.concat out_dir "trace.jsonl" in
+  let oc = open_out trace in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Sim.Probe.write_jsonl r.probe oc);
+  let digest_file = Filename.concat out_dir "trace.digest" in
+  let oc = open_out digest_file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (r.digest ^ "\n"));
+  (trace, digest_file)
+
+let run_smoke ?(seed = 42) ?out_dir () =
+  let r = smoke ~seed () in
+  Stats.Registry.print ~title:(Printf.sprintf "smoke seed=%d" seed) r.registry;
+  Printf.printf "trace: %d events, digest %s\n" r.n_events r.digest;
+  (match out_dir with
+  | Some dir ->
+    let trace, digest_file = write_artifacts r ~out_dir:dir in
+    Printf.printf "wrote %s and %s\n" trace digest_file
+  | None -> ());
+  r

@@ -1,0 +1,28 @@
+(** The observability smoke scenario: a small fixed-seed Saturn run that
+    exercises every traced subsystem — engine steps, link traffic,
+    serializer hops and artificial delays on an explicit three-serializer
+    chain, sink emissions and proxy applies — with a probe installed and
+    every counter collected in one registry.
+
+    Because the simulator is deterministic, the probe digest is a pure
+    function of the seed: CI runs the scenario twice and asserts the two
+    digests are byte-identical. *)
+
+type result = {
+  digest : string;  (** FNV-1a digest of the JSONL trace *)
+  n_events : int;  (** probe events recorded *)
+  ops : int;  (** client operations completed in the measurement window *)
+  registry : Stats.Registry.t;
+  probe : Sim.Probe.t;
+}
+
+val smoke : ?seed:int -> unit -> result
+(** Runs the scenario (default seed 42). Pure apart from simulation. *)
+
+val write_artifacts : result -> out_dir:string -> string * string
+(** Writes [trace.jsonl] and [trace.digest] under [out_dir] (created if
+    missing); returns both paths. *)
+
+val run_smoke : ?seed:int -> ?out_dir:string -> unit -> result
+(** {!smoke}, then prints the registry table and the digest to stdout and,
+    when [out_dir] is given, writes the artifacts. *)

@@ -40,6 +40,7 @@ let step t =
   | Some ev ->
     t.now <- ev.at;
     t.processed <- t.processed + 1;
+    if Probe.active () then Probe.emit ~at:ev.at (Probe.Engine_step { seq = ev.seq });
     ev.run ();
     true
 

@@ -46,7 +46,11 @@ let delay t ~size_bytes =
 let send t ?(size_bytes = 0) deliver =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size_bytes;
-  if not t.up then t.dropped <- t.dropped + 1
+  if Probe.active () then Probe.emit ~at:(Engine.now t.engine) (Probe.Link_send { size_bytes });
+  if not t.up then begin
+    t.dropped <- t.dropped + 1;
+    if Probe.active () then Probe.emit ~at:(Engine.now t.engine) Probe.Link_drop
+  end
   else begin
     let now = Engine.now t.engine in
     let arrival = Time.max (Time.add now (delay t ~size_bytes)) t.last_arrival in
@@ -55,9 +59,13 @@ let send t ?(size_bytes = 0) deliver =
     Engine.schedule_at t.engine arrival (fun () ->
         if t.up && t.epoch = epoch then begin
           t.delivered <- t.delivered + 1;
+          if Probe.active () then Probe.emit ~at:(Engine.now t.engine) Probe.Link_deliver;
           deliver ()
         end
-        else t.dropped <- t.dropped + 1)
+        else begin
+          t.dropped <- t.dropped + 1;
+          if Probe.active () then Probe.emit ~at:(Engine.now t.engine) Probe.Link_drop
+        end)
   end
 
 let set_latency t l = t.base_latency <- l

@@ -1,0 +1,140 @@
+type mode = Stream | Fallback
+
+type event =
+  | Engine_step of { seq : int }
+  | Link_send of { size_bytes : int }
+  | Link_deliver
+  | Link_drop
+  | Label_forward of { dc : int; ts : int }
+  | Serializer_hop of { from_ser : int; to_ser : int }
+  | Serializer_deliver of { dc : int }
+  | Delay_wait of { serializer : int; us : int }
+  | Chain_ack of { seq : int }
+  | Sink_emit of { dc : int; ts : int }
+  | Proxy_apply of { dc : int; src_dc : int; ts : int; fallback : bool }
+  | Proxy_mode of { dc : int; mode : mode }
+  | Stab_round of { dc : int; gst : int }
+  | Vec_advance of { dc : int; src : int; ts : int }
+
+let kind = function
+  | Engine_step _ -> "engine_step"
+  | Link_send _ -> "link_send"
+  | Link_deliver -> "link_deliver"
+  | Link_drop -> "link_drop"
+  | Label_forward _ -> "label_forward"
+  | Serializer_hop _ -> "serializer_hop"
+  | Serializer_deliver _ -> "serializer_deliver"
+  | Delay_wait _ -> "delay_wait"
+  | Chain_ack _ -> "chain_ack"
+  | Sink_emit _ -> "sink_emit"
+  | Proxy_apply _ -> "proxy_apply"
+  | Proxy_mode _ -> "proxy_mode"
+  | Stab_round _ -> "stab_round"
+  | Vec_advance _ -> "vec_advance"
+
+let mode_string = function Stream -> "stream" | Fallback -> "fallback"
+
+let to_json at ev =
+  let t = Time.to_us at in
+  match ev with
+  | Engine_step { seq } -> Printf.sprintf {|{"t":%d,"ev":"engine_step","seq":%d}|} t seq
+  | Link_send { size_bytes } -> Printf.sprintf {|{"t":%d,"ev":"link_send","bytes":%d}|} t size_bytes
+  | Link_deliver -> Printf.sprintf {|{"t":%d,"ev":"link_deliver"}|} t
+  | Link_drop -> Printf.sprintf {|{"t":%d,"ev":"link_drop"}|} t
+  | Label_forward { dc; ts } -> Printf.sprintf {|{"t":%d,"ev":"label_forward","dc":%d,"ts":%d}|} t dc ts
+  | Serializer_hop { from_ser; to_ser } ->
+    Printf.sprintf {|{"t":%d,"ev":"serializer_hop","from":%d,"to":%d}|} t from_ser to_ser
+  | Serializer_deliver { dc } -> Printf.sprintf {|{"t":%d,"ev":"serializer_deliver","dc":%d}|} t dc
+  | Delay_wait { serializer; us } ->
+    Printf.sprintf {|{"t":%d,"ev":"delay_wait","serializer":%d,"us":%d}|} t serializer us
+  | Chain_ack { seq } -> Printf.sprintf {|{"t":%d,"ev":"chain_ack","seq":%d}|} t seq
+  | Sink_emit { dc; ts } -> Printf.sprintf {|{"t":%d,"ev":"sink_emit","dc":%d,"ts":%d}|} t dc ts
+  | Proxy_apply { dc; src_dc; ts; fallback } ->
+    Printf.sprintf {|{"t":%d,"ev":"proxy_apply","dc":%d,"src":%d,"ts":%d,"via":"%s"}|} t dc src_dc ts
+      (if fallback then "fallback" else "stream")
+  | Proxy_mode { dc; mode } ->
+    Printf.sprintf {|{"t":%d,"ev":"proxy_mode","dc":%d,"mode":"%s"}|} t dc (mode_string mode)
+  | Stab_round { dc; gst } -> Printf.sprintf {|{"t":%d,"ev":"stab_round","dc":%d,"gst":%d}|} t dc gst
+  | Vec_advance { dc; src; ts } ->
+    Printf.sprintf {|{"t":%d,"ev":"vec_advance","dc":%d,"src":%d,"ts":%d}|} t dc src ts
+
+(* FNV-1a, 64-bit: stable across runs, processes and architectures — the
+   digest doubles as CI's determinism oracle, so no Hashtbl.hash/Marshal *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+type t = {
+  keep : bool;
+  mutable items : (Time.t * event) array;
+  mutable len : int;
+  mutable hash : int64;
+  counts : (string, int) Hashtbl.t;
+}
+
+let create ?(keep = true) () =
+  { keep; items = Array.make 1024 (Time.zero, Link_deliver); len = 0; hash = fnv_offset;
+    counts = Hashtbl.create 16 }
+
+let count t = t.len
+
+let record t at ev =
+  t.hash <- fnv_string (fnv_string t.hash (to_json at ev)) "\n";
+  let k = kind ev in
+  Hashtbl.replace t.counts k (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts k));
+  if t.keep then begin
+    if t.len = Array.length t.items then begin
+      let bigger = Array.make (2 * t.len) (Time.zero, Link_deliver) in
+      Array.blit t.items 0 bigger 0 t.len;
+      t.items <- bigger
+    end;
+    t.items.(t.len) <- (at, ev)
+  end;
+  t.len <- t.len + 1
+
+let events t = if not t.keep then [] else List.init t.len (fun i -> t.items.(i))
+
+let counts_by_kind t =
+  List.sort (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.counts [])
+
+let digest t = Printf.sprintf "%016Lx" t.hash
+
+let iter_jsonl t f =
+  if not t.keep then invalid_arg "Probe.write_jsonl: probe created with ~keep:false";
+  for i = 0 to t.len - 1 do
+    let at, ev = t.items.(i) in
+    f (to_json at ev)
+  done
+
+let write_jsonl t oc =
+  iter_jsonl t (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+
+(* ---- the global sink ---------------------------------------------------- *)
+
+(* One process-wide sink, Logs-reporter style: instrumentation points all
+   over the simulator and the systems built on it stay a single branch on
+   the fast path, and nothing has to thread a probe handle through every
+   constructor. The simulator is single-threaded; installs are scoped by
+   the observability entry points (smoke runs, tests). *)
+let current : t option ref = ref None
+
+let install t = current := Some t
+let uninstall () = current := None
+let installed () = !current
+let active () = !current <> None
+
+let emit ~at ev = match !current with None -> () | Some t -> record t at ev
+
+let with_probe t f =
+  let prev = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := prev) f

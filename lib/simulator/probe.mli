@@ -1,0 +1,80 @@
+(** Structured simulation tracing.
+
+    A probe records typed events — event-loop steps, link traffic, label
+    forwarding, serializer hops, proxy applies, chain acks, stabilization
+    rounds — keyed by simulated time. Because the simulator is
+    deterministic, the stream of events (and hence its digest) is a pure
+    function of the scenario and its seed: two same-seed runs must produce
+    byte-identical traces, which CI asserts as a regression oracle.
+
+    The facility is zero-cost when disabled: instrumentation points guard
+    with {!active} (one ref read and a branch) and allocate nothing unless
+    a sink is installed. Exactly one process-wide sink can be installed at
+    a time, in the style of a [Logs] reporter. *)
+
+type mode = Stream | Fallback
+
+type event =
+  | Engine_step of { seq : int }  (** the event loop dispatched one event *)
+  | Link_send of { size_bytes : int }  (** message entered a FIFO link *)
+  | Link_deliver  (** message came out the far end *)
+  | Link_drop  (** link was down or cut mid-flight *)
+  | Label_forward of { dc : int; ts : int }  (** label entered the metadata service at [dc] *)
+  | Serializer_hop of { from_ser : int; to_ser : int }  (** serializer-to-serializer forward *)
+  | Serializer_deliver of { dc : int }  (** service egress toward [dc]'s proxy *)
+  | Delay_wait of { serializer : int; us : int }  (** artificial delay δ applied on a hop *)
+  | Chain_ack of { seq : int }  (** chain commit acknowledged back to the sender *)
+  | Sink_emit of { dc : int; ts : int }  (** label sink emitted a stable label *)
+  | Proxy_apply of { dc : int; src_dc : int; ts : int; fallback : bool }
+      (** remote update installed; [fallback] tells which path ordered it *)
+  | Proxy_mode of { dc : int; mode : mode }  (** proxy switched ordering modes *)
+  | Stab_round of { dc : int; gst : int }  (** baseline stabilization round completed *)
+  | Vec_advance of { dc : int; src : int; ts : int }  (** baseline version-vector advance *)
+
+type t
+
+val create : ?keep:bool -> unit -> t
+(** [keep] (default true) buffers every event for {!events} and
+    {!write_jsonl}. With [~keep:false] only the running digest and
+    per-kind counts are maintained, so unbounded runs stay O(1) space. *)
+
+(** {2 The process-wide sink} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val installed : unit -> t option
+
+val active : unit -> bool
+(** Cheap guard for instrumentation points: check before building an
+    event so disabled probes cost one branch and no allocation. *)
+
+val emit : at:Time.t -> event -> unit
+(** Records into the installed sink, if any. *)
+
+val with_probe : t -> (unit -> 'a) -> 'a
+(** Installs [t] for the duration of the callback, restoring the previous
+    sink afterwards (exception-safe). *)
+
+(** {2 Reading a probe} *)
+
+val count : t -> int
+val events : t -> (Time.t * event) list
+
+val counts_by_kind : t -> (string * int) list
+(** Event counts grouped by {!kind}, name-sorted. Available regardless of
+    [keep]. *)
+
+val digest : t -> string
+(** 64-bit FNV-1a over the JSONL rendering of the event stream, as a
+    16-character hex string. Incremental, stable across processes, and
+    independent of [keep] — the CI determinism gate compares these. *)
+
+(** {2 Export} *)
+
+val kind : event -> string
+val to_json : Time.t -> event -> string
+(** One JSON object, e.g. [{"t":1200,"ev":"serializer_hop","from":0,"to":1}]. *)
+
+val write_jsonl : t -> out_channel -> unit
+(** One {!to_json} line per recorded event, in emission order.
+    @raise Invalid_argument if the probe was created with [~keep:false]. *)

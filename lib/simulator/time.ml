@@ -1,6 +1,7 @@
 type t = int
 
 let zero = 0
+let infinity = max_int
 let of_us n = n
 let of_ms n = n * 1_000
 let of_sec s = int_of_float (Float.round (s *. 1_000_000.))

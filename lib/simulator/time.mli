@@ -9,6 +9,12 @@ type t = int
 
 val zero : t
 
+val infinity : t
+(** A time later than every reachable simulated instant. Use it for
+    open-ended measurement windows and as the identity of [min]-folds over
+    watermarks/floors, instead of leaking [max_int] through the
+    abstraction. [add]ing to it is meaningless. *)
+
 val of_us : int -> t
 (** [of_us n] is [n] microseconds. *)
 

@@ -13,7 +13,7 @@ let v n = Kvstore.Value.make ~payload:n ~size_bytes:2
 
 let test_eventual_visibility_is_bulk_latency () =
   let engine, dc_sites, spec, metrics = fixture () in
-  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:max_int;
+  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:Sim.Time.infinity;
   let api = Harness.Build.eventual engine spec metrics in
   let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
   api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
@@ -31,7 +31,7 @@ let test_gentlerain_visibility_bounded_by_furthest () =
   (* GentleRain's lower bound is the latency to the furthest datacenter
      regardless of the originator (§7.3.1) *)
   let engine, dc_sites, spec, metrics = fixture ~n_dcs:4 () in
-  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:max_int;
+  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:Sim.Time.infinity;
   let api = Harness.Build.gentlerain engine spec metrics in
   let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
   (* NV -> NC bulk is 37 ms, but dc3 is Ireland: lat(I, NC) = 74 ms, so the
@@ -50,7 +50,7 @@ let test_gentlerain_visibility_bounded_by_furthest () =
 let test_cure_visibility_near_direct () =
   (* Cure's lower bound is the direct latency plus a stabilization round *)
   let engine, dc_sites, spec, metrics = fixture ~n_dcs:4 () in
-  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:max_int;
+  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:Sim.Time.infinity;
   let api = Harness.Build.cure engine spec metrics in
   let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
   api.Harness.Api.attach c ~dc:0 ~k:(fun () ->

@@ -1,0 +1,177 @@
+(* Observability layer: registry, probe and smoke-run determinism. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- registry --------------------------------------------------------------- *)
+
+let test_registry_counters () =
+  let r = Stats.Registry.create () in
+  let c = Stats.Registry.counter r "a.hits" in
+  Alcotest.(check int) "fresh counter" 0 (Stats.Registry.counter_value c);
+  Stats.Registry.incr c;
+  Stats.Registry.incr ~by:4 c;
+  Alcotest.(check int) "incremented" 5 (Stats.Registry.counter_value c);
+  Alcotest.(check string) "name" "a.hits" (Stats.Registry.counter_name c);
+  (* get-or-create: same name is the same counter *)
+  let c' = Stats.Registry.counter r "a.hits" in
+  Stats.Registry.incr c';
+  Alcotest.(check int) "shared" 6 (Stats.Registry.counter_value c)
+
+let test_registry_snapshot () =
+  let r = Stats.Registry.create () in
+  Stats.Registry.incr ~by:2 (Stats.Registry.counter r "z.count");
+  Stats.Registry.set (Stats.Registry.gauge r "a.level") 1.5;
+  let snap = Stats.Registry.snapshot r in
+  Alcotest.(check (list string)) "name-sorted" [ "a.level"; "z.count" ] (List.map fst snap);
+  (match Stats.Registry.find r "z.count" with
+  | Some (Stats.Registry.Counter 2) -> ()
+  | _ -> Alcotest.fail "z.count should be Counter 2");
+  match Stats.Registry.find r "missing" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "missing name should be absent"
+
+let test_registry_kind_clash () =
+  let r = Stats.Registry.create () in
+  ignore (Stats.Registry.counter r "x");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Registry: \"x\" already registered as a counter, not a gauge") (fun () ->
+      ignore (Stats.Registry.gauge r "x"))
+
+let test_registry_pull () =
+  let r = Stats.Registry.create () in
+  let v = ref 0 in
+  Stats.Registry.register_pull r "engine.steps" (fun () -> float_of_int !v);
+  v := 7;
+  (match Stats.Registry.find r "engine.steps" with
+  | Some (Stats.Registry.Gauge g) -> Alcotest.(check (float 1e-9)) "sampled now" 7. g
+  | _ -> Alcotest.fail "pull gauge should read as a gauge");
+  Alcotest.check_raises "duplicate pull"
+    (Invalid_argument "Registry: \"engine.steps\" already registered as a pull gauge, not a pull gauge")
+    (fun () -> Stats.Registry.register_pull r "engine.steps" (fun () -> 0.))
+
+let test_registry_sum_prefix () =
+  let r = Stats.Registry.create () in
+  Stats.Registry.incr ~by:3 (Stats.Registry.counter r "proxy.dc0.applied");
+  Stats.Registry.incr ~by:4 (Stats.Registry.counter r "proxy.dc1.applied");
+  Stats.Registry.incr ~by:9 (Stats.Registry.counter r "sink.dc0.emitted");
+  Alcotest.(check int) "proxy total" 7 (Stats.Registry.sum_counters r ~prefix:"proxy.");
+  Alcotest.(check int) "no match" 0 (Stats.Registry.sum_counters r ~prefix:"nope.")
+
+(* ---- probe ------------------------------------------------------------------ *)
+
+let test_probe_record_and_digest () =
+  let p = Sim.Probe.create () in
+  Sim.Probe.install p;
+  Alcotest.(check bool) "active" true (Sim.Probe.active ());
+  Sim.Probe.emit ~at:(Sim.Time.of_us 5) (Sim.Probe.Engine_step { seq = 0 });
+  Sim.Probe.emit ~at:(Sim.Time.of_us 9) (Sim.Probe.Serializer_hop { from_ser = 0; to_ser = 1 });
+  Sim.Probe.uninstall ();
+  Alcotest.(check bool) "inactive" false (Sim.Probe.active ());
+  Alcotest.(check int) "count" 2 (Sim.Probe.count p);
+  Alcotest.(check (list (pair string int)))
+    "counts by kind"
+    [ ("engine_step", 1); ("serializer_hop", 1) ]
+    (Sim.Probe.counts_by_kind p);
+  (* same events, same digest; one more event, different digest *)
+  let q = Sim.Probe.create () in
+  Sim.Probe.with_probe q (fun () ->
+      Sim.Probe.emit ~at:(Sim.Time.of_us 5) (Sim.Probe.Engine_step { seq = 0 });
+      Sim.Probe.emit ~at:(Sim.Time.of_us 9) (Sim.Probe.Serializer_hop { from_ser = 0; to_ser = 1 }));
+  Alcotest.(check string) "replayed digest" (Sim.Probe.digest p) (Sim.Probe.digest q);
+  Sim.Probe.with_probe q (fun () -> Sim.Probe.emit ~at:(Sim.Time.of_us 11) Sim.Probe.Link_deliver);
+  Alcotest.(check bool) "digest moved" false
+    (String.equal (Sim.Probe.digest p) (Sim.Probe.digest q))
+
+let test_probe_json_stable () =
+  (* the digest hashes this rendering: lock the format *)
+  Alcotest.(check string)
+    "serializer_hop json" {|{"t":1200,"ev":"serializer_hop","from":0,"to":1}|}
+    (Sim.Probe.to_json (Sim.Time.of_us 1200) (Sim.Probe.Serializer_hop { from_ser = 0; to_ser = 1 }));
+  Alcotest.(check string)
+    "proxy_apply json" {|{"t":7,"ev":"proxy_apply","dc":2,"src":0,"ts":33,"via":"fallback"}|}
+    (Sim.Probe.to_json (Sim.Time.of_us 7)
+       (Sim.Probe.Proxy_apply { dc = 2; src_dc = 0; ts = 33; fallback = true }))
+
+let test_probe_unbuffered () =
+  let p = Sim.Probe.create ~keep:false () in
+  Sim.Probe.with_probe p (fun () ->
+      Sim.Probe.emit ~at:Sim.Time.zero Sim.Probe.Link_deliver;
+      Sim.Probe.emit ~at:Sim.Time.zero Sim.Probe.Link_drop);
+  Alcotest.(check int) "counted" 2 (Sim.Probe.count p);
+  Alcotest.(check (list (pair string int)))
+    "kinds survive" [ ("link_deliver", 1); ("link_drop", 1) ]
+    (Sim.Probe.counts_by_kind p);
+  Alcotest.(check int) "no buffered events" 0 (List.length (Sim.Probe.events p));
+  (* digest matches a buffered probe over the same stream *)
+  let q = Sim.Probe.create () in
+  Sim.Probe.with_probe q (fun () ->
+      Sim.Probe.emit ~at:Sim.Time.zero Sim.Probe.Link_deliver;
+      Sim.Probe.emit ~at:Sim.Time.zero Sim.Probe.Link_drop);
+  Alcotest.(check string) "keep-independent digest" (Sim.Probe.digest q) (Sim.Probe.digest p)
+
+let prop_smoke_digest_deterministic =
+  QCheck.Test.make ~name:"same-seed smoke runs digest identically" ~count:3
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let a = Harness.Obs.smoke ~seed () in
+      let b = Harness.Obs.smoke ~seed () in
+      String.equal a.Harness.Obs.digest b.Harness.Obs.digest
+      && a.Harness.Obs.n_events = b.Harness.Obs.n_events)
+
+let test_smoke_counters_nonzero () =
+  let r = Harness.Obs.smoke ~seed:42 () in
+  let reg = r.Harness.Obs.registry in
+  let counter name =
+    match Stats.Registry.find reg name with
+    | Some (Stats.Registry.Counter n) -> n
+    | _ -> Alcotest.failf "counter %s missing" name
+  in
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " > 0") true (counter name > 0))
+    [ "probe.engine_step"; "probe.link_send"; "probe.serializer_hop"; "probe.proxy_apply" ];
+  Alcotest.(check bool) "proxies applied" true (Stats.Registry.sum_counters reg ~prefix:"proxy." > 0);
+  Alcotest.(check bool) "different seed, different digest" false
+    (String.equal r.Harness.Obs.digest (Harness.Obs.smoke ~seed:7 ()).Harness.Obs.digest)
+
+(* ---- metrics window edges --------------------------------------------------- *)
+
+let test_metrics_window_edges () =
+  let topo = Sim.Topology.create ~names:[| "a"; "b" |] ~latency_ms:[| [| 0; 10 |]; [| 10; 0 |] |] in
+  let engine = Sim.Engine.create () in
+  let metrics = Harness.Metrics.create engine ~topo ~dc_sites:[| 0; 1 |] in
+  Harness.Metrics.set_window metrics ~start_at:(Sim.Time.of_ms 10) ~end_at:(Sim.Time.of_ms 20);
+  let at ms = Sim.Engine.run ~until:(Sim.Time.of_ms ms) engine in
+  at 5;
+  Alcotest.(check bool) "before window" false (Harness.Metrics.in_window metrics);
+  at 10;
+  Alcotest.(check bool) "start edge is inside" true (Harness.Metrics.in_window metrics);
+  at 15;
+  Alcotest.(check bool) "middle" true (Harness.Metrics.in_window metrics);
+  at 20;
+  Alcotest.(check bool) "end edge is inside" true (Harness.Metrics.in_window metrics);
+  at 25;
+  Alcotest.(check bool) "after window" false (Harness.Metrics.in_window metrics)
+
+let test_time_infinity () =
+  Alcotest.(check bool) "zero < infinity" true
+    (Sim.Time.compare Sim.Time.zero Sim.Time.infinity < 0);
+  Alcotest.(check bool) "later than an hour" true
+    (Sim.Time.compare (Sim.Time.of_sec 3600.) Sim.Time.infinity < 0);
+  Alcotest.(check int) "min with infinity" (Sim.Time.to_us (Sim.Time.of_ms 3))
+    (Sim.Time.to_us (Sim.Time.min Sim.Time.infinity (Sim.Time.of_ms 3)))
+
+let suite =
+  [
+    Alcotest.test_case "registry counters" `Quick test_registry_counters;
+    Alcotest.test_case "registry snapshot" `Quick test_registry_snapshot;
+    Alcotest.test_case "registry kind clash" `Quick test_registry_kind_clash;
+    Alcotest.test_case "registry pull gauges" `Quick test_registry_pull;
+    Alcotest.test_case "registry sum by prefix" `Quick test_registry_sum_prefix;
+    Alcotest.test_case "probe record + digest" `Quick test_probe_record_and_digest;
+    Alcotest.test_case "probe json format" `Quick test_probe_json_stable;
+    Alcotest.test_case "probe unbuffered mode" `Quick test_probe_unbuffered;
+    Alcotest.test_case "smoke counters nonzero" `Slow test_smoke_counters_nonzero;
+    qtest prop_smoke_digest_deterministic;
+    Alcotest.test_case "metrics window edges" `Quick test_metrics_window_edges;
+    Alcotest.test_case "time infinity" `Quick test_time_infinity;
+  ]
