@@ -20,6 +20,7 @@ let experiments =
     ("fig8a", "Figure 8a: Facebook benchmark throughput", Exp_fig8.run_a);
     ("fig8b", "Figure 8b: Facebook benchmark visibility", Exp_fig8.run_b);
     ("table2", "Table 2: systems classification + COPS metadata growth", Exp_table2.run);
+    ("faults", "Fault injection: crash / partition / latency-spike matrix", Exp_faults.run);
     ("ablation", "Design ablations (delays, migration labels, chains)", Exp_ablation.run);
     ("sensitivity", "Sensitivity: partial-replication traffic, stabilization/sink periods", Exp_sensitivity.run);
     ("micro", "Bechamel microbenchmarks", Micro.run);
@@ -83,7 +84,11 @@ let () =
     (fun (id, _, run) ->
       let t0 = Unix.gettimeofday () in
       Util.current_section := id;
-      run ();
+      (* count-only probe around every experiment: the flame table below
+         shows which subsystems the run actually exercised *)
+      let probe = Sim.Probe.create ~keep:false () in
+      Sim.Probe.with_probe probe run;
+      Util.flame_table (Sim.Probe.counts_by_kind probe);
       Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0))
     selected;
   Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. wall)

@@ -45,6 +45,32 @@ let cdf_columns = "latency ms at CDF" :: List.map (fun p -> Printf.sprintf "p%.0
 
 let pct_vs baseline v = if baseline = 0. then 0. else (v -. baseline) /. baseline *. 100.
 
+(* per-subsystem "flame" table: probe event counts by kind, with a bar
+   proportional to each kind's share — a quick where-does-the-time-go view
+   printed after every experiment *)
+let flame_table counts =
+  match List.filter (fun (_, n) -> n > 0) counts with
+  | [] -> ()
+  | counts ->
+    let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+    let widest = List.fold_left (fun acc (_, n) -> max acc n) 0 counts in
+    let table =
+      Stats.Table.create ~title:"probe flame (events by kind)"
+        ~columns:[ "kind"; "events"; "share"; "" ]
+    in
+    List.iter
+      (fun (kind, n) ->
+        let bar = String.make (max 1 (n * 24 / widest)) '#' in
+        Stats.Table.add_row table
+          [
+            kind;
+            string_of_int n;
+            Printf.sprintf "%.1f%%" (100. *. float_of_int n /. float_of_int total);
+            bar;
+          ])
+      (List.sort (fun (_, a) (_, b) -> compare b a) counts);
+    print_table table
+
 (* quick scenario variants used across experiments: short, stable windows *)
 let quick_setup =
   { Harness.Scenario.default_setup with

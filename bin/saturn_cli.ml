@@ -5,7 +5,9 @@
      plan     run the configuration generator (Algorithm 3) over regions
      bench    run one comparative workload and print the measurements
      social   run the Facebook-like benchmark
-     trace    record / replay operation traces *)
+     trace    record / replay operation traces
+     obs      observability smoke run (deterministic trace + counter gate)
+     faults   fault-injection scenario matrix with invariant checking *)
 
 open Cmdliner
 
@@ -255,7 +257,7 @@ let trace_replay path n_dcs sys =
 
 (* ---- obs -------------------------------------------------------------------- *)
 
-let obs seed out check =
+let obs seed out check counters_out counters_baseline tolerance =
   let r = Harness.Obs.run_smoke ~seed ?out_dir:out () in
   if check then begin
     (* determinism self-check: a second same-seed run must match *)
@@ -267,7 +269,21 @@ let obs seed out check =
         r2.Harness.Obs.digest;
       exit 1
     end
-  end
+  end;
+  (match counters_out with
+  | Some path ->
+    Harness.Obs.write_counters r ~path;
+    Printf.printf "wrote counter baseline to %s\n" path
+  | None -> ());
+  match counters_baseline with
+  | None -> ()
+  | Some baseline -> (
+    match Harness.Obs.check_counters r ~baseline ~tolerance with
+    | Ok () -> Printf.printf "counter baseline check: OK (tolerance %.0f%%)\n" (tolerance *. 100.)
+    | Error failures ->
+      Printf.printf "counter baseline check: FAILED\n";
+      List.iter (fun f -> Printf.printf "  %s\n" f) failures;
+      exit 1)
 
 let obs_cmd =
   let doc = "Run the observability smoke scenario: registry table + deterministic trace." in
@@ -279,7 +295,62 @@ let obs_cmd =
   let check =
     Arg.(value & flag & info [ "check" ] ~doc:"Run the scenario twice and assert digest equality.")
   in
-  Cmd.v (Cmd.info "obs" ~doc) Term.(const obs $ seed $ out $ check)
+  let counters_out =
+    Arg.(value & opt (some string) None & info [ "counters-out" ] ~docv:"FILE"
+           ~doc:"Write the run's counters as a baseline file.")
+  in
+  let counters_baseline =
+    Arg.(value & opt (some string) None & info [ "check-counters" ] ~docv:"FILE"
+           ~doc:"Fail if the run's counters drift from FILE beyond the tolerance.")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.25 & info [ "tolerance" ]
+           ~doc:"Allowed relative counter drift for --check-counters.")
+  in
+  Cmd.v (Cmd.info "obs" ~doc)
+    Term.(const obs $ seed $ out $ check $ counters_out $ counters_baseline $ tolerance)
+
+(* ---- faults ------------------------------------------------------------------ *)
+
+let faults seed check digest_out =
+  let outcomes = Harness.Fault_run.run_matrix ~seed () in
+  Harness.Fault_run.print outcomes;
+  let digest = Harness.Fault_run.matrix_digest outcomes in
+  (match digest_out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (digest ^ "\n");
+    close_out oc
+  | None -> ());
+  let v = Harness.Fault_run.violations outcomes in
+  if v > 0 then begin
+    Printf.printf "invariant check: %d violation(s)\n" v;
+    exit 1
+  end;
+  Printf.printf "invariant check: OK\n";
+  if check then begin
+    let digest2 = Harness.Fault_run.matrix_digest (Harness.Fault_run.run_matrix ~seed ()) in
+    if String.equal digest digest2 then Printf.printf "determinism check: OK (%s)\n" digest
+    else begin
+      Printf.printf "determinism check: FAILED (%s vs %s)\n" digest digest2;
+      exit 1
+    end
+  end
+
+let faults_cmd =
+  let doc =
+    "Run the fault-injection scenario matrix (serializer crash, transient partition, latency \
+     spike) for Saturn and the eventual baseline, check invariants, print recovery metrics."
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.") in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Run the matrix twice and assert digest equality.")
+  in
+  let digest_out =
+    Arg.(value & opt (some string) None & info [ "digest-out" ] ~docv:"FILE"
+           ~doc:"Write the matrix digest to FILE (for cross-run diffing in CI).")
+  in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ seed $ check $ digest_out)
 
 let trace_cmd =
   let doc = "Record or replay an operation trace." in
@@ -305,4 +376,7 @@ let trace_cmd =
 let () =
   let doc = "Saturn (EuroSys '17) reproduction toolkit" in
   let info = Cmd.info "saturn-cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ matrix_cmd; plan_cmd; bench_cmd; social_cmd; trace_cmd; obs_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ matrix_cmd; plan_cmd; bench_cmd; social_cmd; trace_cmd; obs_cmd; faults_cmd ]))

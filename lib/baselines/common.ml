@@ -76,6 +76,10 @@ let submit t ~dc ~part ~cost_us k =
 
 let ship t ~src ~dst ~size_bytes k = Sim.Link.send t.bulk.(src).(dst) ~size_bytes k
 
+let bulk_link t ~src ~dst =
+  if src = dst then invalid_arg "Common.bulk_link: src = dst";
+  t.bulk.(src).(dst)
+
 let gen_ts t ~dc ~part ~floor = Saturn.Gear.generate_ts t.dcs.(dc).gears.(part) ~client_ts:floor
 
 let dc_floor t ~dc =

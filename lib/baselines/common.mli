@@ -45,6 +45,10 @@ val submit : t -> dc:int -> part:int -> cost_us:int -> (unit -> unit) -> unit
 val ship : t -> src:int -> dst:int -> size_bytes:int -> (unit -> unit) -> unit
 (** Bulk-data transfer; the continuation runs at arrival. *)
 
+val bulk_link : t -> src:int -> dst:int -> Sim.Link.t
+(** The directed bulk link [src -> dst], for fault injection.
+    @raise Invalid_argument when [src = dst]. *)
+
 val gen_ts : t -> dc:int -> part:int -> floor:Sim.Time.t -> Sim.Time.t
 (** Monotonic per-gear timestamp strictly greater than [floor]. *)
 

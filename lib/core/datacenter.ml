@@ -11,6 +11,7 @@ type t = {
   rmap : Kvstore.Replica_map.t;
   hooks : hooks;
   partitioning : Kvstore.Partitioning.t;
+  clock : Sim.Clock.t;
   servers : Sim.Server.t array;
   stores : (Label.t, int) Kvstore.Store.t array;
   gears : Gear.t array;
@@ -74,6 +75,7 @@ let create engine ~dc ~n_dcs ~partitions ~frontends ~cost ~rmap ~hooks ?(clock_o
       rmap;
       hooks;
       partitioning = Kvstore.Partitioning.create ~partitions;
+      clock;
       servers = Array.init partitions (fun _ -> Sim.Server.create engine);
       stores = Array.init partitions (fun _ -> Kvstore.Store.create ());
       gears;
@@ -173,6 +175,8 @@ let emit_epoch_label t ~epoch =
   let label = Label.epoch_change ~ts ~src_dc:t.dc ~epoch in
   Sink.offer t.sink label;
   label
+
+let bump_clock t d = Sim.Clock.bump t.clock d
 
 let stop t =
   t.stopped <- true;

@@ -67,6 +67,11 @@ val emit_epoch_label : t -> epoch:int -> Label.t
 (** Mints an epoch-change label (§6.2) and hands it to the sink; returns it
     so the caller can detect when the sink emits it. *)
 
+val bump_clock : t -> Sim.Time.t -> unit
+(** Fault injection: step-change the datacenter's physical-clock skew
+    (shared by all its gears). Gear discipline keeps label timestamps
+    monotonic through the bump. *)
+
 val stop : t -> unit
 
 (** {2 Introspection} *)

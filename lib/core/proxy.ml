@@ -29,6 +29,7 @@ type t = {
   mutable switch : switch_state option;
   mutable switch_done : bool;
   applied_counter : Stats.Registry.counter;
+  fallback_counter : Stats.Registry.counter;
   mutable scanning : bool;
   mutable need_rescan : bool;
 }
@@ -56,6 +57,8 @@ let create engine ~dc ~n_dcs ~stage_update ~install_update ?registry ?(mode = St
     switch = None;
     switch_done = false;
     applied_counter = Stats.Registry.counter registry (Printf.sprintf "proxy.dc%d.applied_updates" dc);
+    fallback_counter =
+      Stats.Registry.counter registry (Printf.sprintf "proxy.dc%d.fallback_activations" dc);
     scanning = false;
     need_rescan = false;
   }
@@ -75,7 +78,10 @@ let probe_apply t (label : Label.t) ~fallback =
 let mode t = t.mode
 
 let set_mode t m =
-  if m <> t.mode then probe_mode t m;
+  if m <> t.mode then begin
+    probe_mode t m;
+    if m = Fallback then Stats.Registry.incr t.fallback_counter
+  end;
   t.mode <- m
 
 let on_migration_applicable t f = t.migration_hook <- Some f

@@ -118,8 +118,11 @@ let rec arm_timer s =
                period — fresh entries are just waiting on the normal RTT *)
             List.iter
               (fun e ->
-                if Sim.Time.compare (Sim.Time.sub now e.last_sent) s.resend_period >= 0 then
-                  transmit s route e)
+                if Sim.Time.compare (Sim.Time.sub now e.last_sent) s.resend_period >= 0 then begin
+                  if Sim.Probe.active () then
+                    Sim.Probe.emit ~at:now (Sim.Probe.Fifo_resend { sender = s.s_id; seq = e.seq });
+                  transmit s route e
+                end)
               backlog);
           if s.unacked <> [] then arm_timer s
         end)

@@ -1,5 +1,12 @@
 type msg = { uid : int * int; label : Label.t; targets : int list }
 
+type attach_links = {
+  in_data : Sim.Link.t;
+  in_ack : Sim.Link.t;
+  out_data : Sim.Link.t;
+  out_ack : Sim.Link.t;
+}
+
 type t = {
   engine : Sim.Engine.t;
   topo : Sim.Topology.t;
@@ -11,9 +18,11 @@ type t = {
   edge_links : (int * int, Sim.Link.t * Sim.Link.t) Hashtbl.t; (* a->b: data, ack *)
   dc_in_senders : msg Reliable_fifo.sender array;
   dc_out_senders : (int, Label.t Reliable_fifo.sender) Hashtbl.t;
+  mutable dc_links : attach_links array; (* dc <-> home-serializer channels *)
   uid_counter : int array;
   input_counter : Stats.Registry.counter;
   delivered_counter : Stats.Registry.counter;
+  head_change_counter : Stats.Registry.counter;
   mutable all_senders : (unit -> unit) list; (* stop functions *)
 }
 
@@ -25,6 +34,10 @@ let probe_delay t s delta =
       (Sim.Probe.Delay_wait { serializer = s; us = Sim.Time.to_us delta })
 
 let route t s msg =
+  if Sim.Probe.active () then begin
+    let origin, oseq = msg.uid in
+    Sim.Probe.emit ~at:(Sim.Engine.now t.engine) (Sim.Probe.Ser_commit { ser = s; origin; oseq })
+  end;
   let tree = Config.tree t.config in
   let local = List.filter (fun dc -> List.mem dc (Tree.dcs_at tree s)) msg.targets in
   List.iter
@@ -74,9 +87,11 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
       edge_links = Hashtbl.create 16;
       dc_in_senders = Array.make n_dcs (Reliable_fifo.sender engine ~resend_period:(Sim.Time.of_ms 100));
       dc_out_senders = Hashtbl.create 16;
+      dc_links = [||];
       uid_counter = Array.make n_dcs 0;
       input_counter = Stats.Registry.counter registry (name ^ ".labels_input");
       delivered_counter = Stats.Registry.counter registry (name ^ ".labels_delivered");
+      head_change_counter = Stats.Registry.counter registry (name ^ ".head_changes");
       all_senders = [];
     }
   in
@@ -103,6 +118,9 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
   Array.iteri
     (fun s chain ->
       Chain.set_on_head_change chain (fun () ->
+          Stats.Registry.incr t.head_change_counter;
+          if Sim.Probe.active () then
+            Sim.Probe.emit ~at:(Sim.Engine.now engine) (Sim.Probe.Head_change { ser = s });
           List.iter
             (fun recv -> Reliable_fifo.redeliver_unconfirmed recv ~deliver:(ingest s))
             ingress_receivers.(s)))
@@ -124,27 +142,28 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
     (Tree.edges tree);
   (* datacenter attachments: ingress (sink -> serializer) and egress
      (serializer -> remote proxy) *)
-  for dc = 0 to n_dcs - 1 do
-    let s = Tree.serializer_of tree ~dc in
-    let lat = Sim.Topology.latency topo (Config.site_of_dc config dc) (Config.site_of_serializer config s) in
-    let data = Sim.Link.create engine ~latency:lat () in
-    let ack = Sim.Link.create engine ~latency:lat () in
-    let sender = Reliable_fifo.sender engine ~resend_period:(resend_period lat) in
-    Reliable_fifo.connect sender ~data ~ack (chain_ingress s);
-    t.dc_in_senders.(dc) <- sender;
-    register_sender sender;
-    let out_data = Sim.Link.create engine ~latency:lat () in
-    let out_ack = Sim.Link.create engine ~latency:lat () in
-    let out_sender = Reliable_fifo.sender engine ~resend_period:(resend_period lat) in
-    let out_recv =
-      Reliable_fifo.receiver engine ~deliver:(fun label ->
-          Stats.Registry.incr t.delivered_counter;
-          deliver ~dc label)
-    in
-    Reliable_fifo.connect out_sender ~data:out_data ~ack:out_ack out_recv;
-    Hashtbl.replace t.dc_out_senders dc out_sender;
-    register_sender out_sender
-  done;
+  t.dc_links <-
+    Array.init n_dcs (fun dc ->
+        let s = Tree.serializer_of tree ~dc in
+        let lat = Sim.Topology.latency topo (Config.site_of_dc config dc) (Config.site_of_serializer config s) in
+        let data = Sim.Link.create engine ~latency:lat () in
+        let ack = Sim.Link.create engine ~latency:lat () in
+        let sender = Reliable_fifo.sender engine ~resend_period:(resend_period lat) in
+        Reliable_fifo.connect sender ~data ~ack (chain_ingress s);
+        t.dc_in_senders.(dc) <- sender;
+        register_sender sender;
+        let out_data = Sim.Link.create engine ~latency:lat () in
+        let out_ack = Sim.Link.create engine ~latency:lat () in
+        let out_sender = Reliable_fifo.sender engine ~resend_period:(resend_period lat) in
+        let out_recv =
+          Reliable_fifo.receiver engine ~deliver:(fun label ->
+              Stats.Registry.incr t.delivered_counter;
+              deliver ~dc label)
+        in
+        Reliable_fifo.connect out_sender ~data:out_data ~ack:out_ack out_recv;
+        Hashtbl.replace t.dc_out_senders dc out_sender;
+        register_sender out_sender;
+        { in_data = data; in_ack = ack; out_data; out_ack });
   t
 
 let input t ~dc label =
@@ -200,6 +219,16 @@ let restore_edge t a b =
 
 let labels_input t = Stats.Registry.counter_value t.input_counter
 let labels_delivered t = Stats.Registry.counter_value t.delivered_counter
+let head_changes t = Stats.Registry.counter_value t.head_change_counter
+
+let n_serializers t = Array.length t.chains
+
+let edge_link_list t =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun edge links acc -> (edge, links) :: acc) t.edge_links [])
+
+let attach_links t ~dc = t.dc_links.(dc)
 
 let edge_traffic t =
   Hashtbl.fold (fun edge (data, _) acc -> (edge, Sim.Link.delivered_count data) :: acc) t.edge_links []

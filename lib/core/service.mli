@@ -54,6 +54,31 @@ val restore_edge : t -> int -> int -> unit
 val labels_input : t -> int
 val labels_delivered : t -> int
 
+val head_changes : t -> int
+(** Chain-head crashes healed so far, over every serializer. *)
+
+(** {2 Fault-injection surface}
+
+    Enumerations a fault registry uses to bind the service's links and
+    serializers under stable names; handles stay valid for the service's
+    lifetime. *)
+
+val n_serializers : t -> int
+
+val edge_link_list : t -> ((int * int) * (Sim.Link.t * Sim.Link.t)) list
+(** Every directed serializer edge [(a, b)] with its (data, ack) links,
+    sorted by edge for deterministic iteration. *)
+
+type attach_links = {
+  in_data : Sim.Link.t;  (** sink → serializer label channel *)
+  in_ack : Sim.Link.t;
+  out_data : Sim.Link.t;  (** serializer → remote-proxy delivery channel *)
+  out_ack : Sim.Link.t;
+}
+
+val attach_links : t -> dc:int -> attach_links
+(** The four links connecting datacenter [dc] to its home serializer. *)
+
 val edge_traffic : t -> ((int * int) * int) list
 (** Labels sent over each directed serializer edge — the quantitative face
     of genuine partial replication: subtrees without interested

@@ -56,6 +56,10 @@ let datacenter t i = t.dcs.(i)
 let service t = t.service
 let params t = t.p
 
+let bulk_link t ~src ~dst =
+  if src = dst then invalid_arg "System.bulk_link: src = dst";
+  t.bulk.(src).(dst)
+
 let interest_of p label =
   match label.Label.target with
   | Label.Update { key } -> Kvstore.Replica_map.replicas p.rmap ~key

@@ -55,6 +55,11 @@ val datacenter : t -> int -> Datacenter.t
 val service : t -> Service.t option
 (** [None] in peer mode. *)
 
+val bulk_link : t -> src:int -> dst:int -> Sim.Link.t
+(** The directed bulk-data link between two datacenters — the handle a
+    fault registry cuts, heals and degrades.
+    @raise Invalid_argument when [src = dst]. *)
+
 val params : t -> params
 
 (** {2 Client operations} (continuation-passing; includes network latency

@@ -1,0 +1,86 @@
+type violation = { at : Sim.Time.t; what : string }
+
+type report = {
+  violations : violation list;
+  commits : int;
+  resends : int;
+  drops_cut : int;
+  drops_down : int;
+  head_changes : int;
+  fallback_activations : int;
+}
+
+let analyze probe =
+  let events = Sim.Probe.events probe in
+  if events = [] && Sim.Probe.count probe > 0 then
+    invalid_arg "Faults.Checker.analyze: probe was created with ~keep:false";
+  let violations = ref [] in
+  let flag at what = violations := { at; what } :: !violations in
+  (* (serializer, origin) -> last committed per-origin seq *)
+  let commit_seq : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* dc -> last sink-emitted ts *)
+  let sink_ts : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* (dc, src_dc) -> last applied ts *)
+  let apply_ts : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let commits = ref 0
+  and resends = ref 0
+  and drops_cut = ref 0
+  and drops_down = ref 0
+  and head_changes = ref 0
+  and fallbacks = ref 0 in
+  List.iter
+    (fun (at, ev) ->
+      match (ev : Sim.Probe.event) with
+      | Sim.Probe.Ser_commit { ser; origin; oseq } ->
+        incr commits;
+        (match Hashtbl.find_opt commit_seq (ser, origin) with
+        | Some prev when oseq = prev ->
+          flag at
+            (Printf.sprintf "duplicate commit at ser%d: origin dc%d seq %d committed twice" ser
+               origin oseq)
+        | Some prev when oseq < prev ->
+          flag at
+            (Printf.sprintf "FIFO violation at ser%d: origin dc%d seq %d after seq %d" ser origin
+               oseq prev)
+        | _ -> Hashtbl.replace commit_seq (ser, origin) oseq)
+      | Sim.Probe.Sink_emit { dc; ts } ->
+        (match Hashtbl.find_opt sink_ts dc with
+        | Some prev when ts < prev ->
+          flag at (Printf.sprintf "sink order violation at dc%d: ts %d after ts %d" dc ts prev)
+        | _ -> ());
+        Hashtbl.replace sink_ts dc ts
+      | Sim.Probe.Proxy_apply { dc; src_dc; ts; fallback = _ } -> (
+        match Hashtbl.find_opt apply_ts (dc, src_dc) with
+        | Some prev when ts <= prev ->
+          flag at
+            (Printf.sprintf "proxy order violation at dc%d: src dc%d ts %d after ts %d" dc src_dc
+               ts prev)
+        | _ -> Hashtbl.replace apply_ts (dc, src_dc) ts)
+      | Sim.Probe.Fifo_resend _ -> incr resends
+      | Sim.Probe.Link_drop { in_flight } -> if in_flight then incr drops_cut else incr drops_down
+      | Sim.Probe.Head_change _ -> incr head_changes
+      | Sim.Probe.Proxy_mode { mode = Sim.Probe.Fallback; _ } -> incr fallbacks
+      | _ -> ())
+    events;
+  {
+    violations = List.rev !violations;
+    commits = !commits;
+    resends = !resends;
+    drops_cut = !drops_cut;
+    drops_down = !drops_down;
+    head_changes = !head_changes;
+    fallback_activations = !fallbacks;
+  }
+
+let ok r = r.violations = []
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>commits=%d resends=%d drops(cut)=%d drops(down)=%d head-changes=%d fallbacks=%d@," r.commits
+    r.resends r.drops_cut r.drops_down r.head_changes r.fallback_activations;
+  (match r.violations with
+  | [] -> Format.fprintf fmt "invariants: OK"
+  | vs ->
+    Format.fprintf fmt "invariants: %d VIOLATION(S)" (List.length vs);
+    List.iter (fun v -> Format.fprintf fmt "@,  t=%dus %s" (Sim.Time.to_us v.at) v.what) vs);
+  Format.fprintf fmt "@]"

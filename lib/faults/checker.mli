@@ -1,0 +1,43 @@
+(** Post-run invariant checker for faulted runs.
+
+    Consumes the event stream of a kept {!Sim.Probe.t} after the run and
+    asserts what fault injection must never break:
+
+    - {b Exactly-once, FIFO per origin}: at every serializer, the
+      per-origin sequence numbers of committed labels ([Ser_commit]) are
+      strictly increasing — no duplicate commits (chain dedup works under
+      head crashes and retransmission), no reordering (FIFO channels and
+      arrival-order relay hold). Gaps are legal: partial replication
+      routes each label only toward interested subtrees.
+    - {b Sink order}: each datacenter's label sink emits in non-decreasing
+      timestamp order ([Sink_emit]) — fault handling never un-serializes
+      the local serialization.
+    - {b Proxy FIFO}: remote updates from one origin are applied at each
+      datacenter in strictly increasing timestamp order ([Proxy_apply]),
+      whichever path (stream or fallback) ordered them.
+
+    Violations carry the event's time and a description; a clean faulted
+    run reports none. The report also folds the stream into the fault
+    counters the bench prints (retransmissions, drops by reason, head
+    changes, fallback activations). *)
+
+type violation = { at : Sim.Time.t; what : string }
+
+type report = {
+  violations : violation list;  (** emission order *)
+  commits : int;  (** [Ser_commit] events *)
+  resends : int;  (** [Fifo_resend] events *)
+  drops_cut : int;  (** messages lost in flight at a cut *)
+  drops_down : int;  (** messages sent into a down link *)
+  head_changes : int;
+  fallback_activations : int;  (** proxy switches into fallback mode *)
+}
+
+val analyze : Sim.Probe.t -> report
+(** @raise Invalid_argument if the probe was created with [~keep:false]
+    (there is no stream to check). *)
+
+val ok : report -> bool
+(** No violations. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,81 @@
+type t = { plan : Plan.t; mutable applied : int }
+
+let validate reg plan =
+  let check_link l = ignore (Registry.link reg l) in
+  let check_ser s = ignore (Registry.serializer_down reg s) in
+  List.iter
+    (fun (e : Plan.event) ->
+      match e.action with
+      | Plan.Cut l | Plan.Heal l | Plan.Latency_reset l -> check_link l
+      | Plan.Latency_factor { link; factor } ->
+        check_link link;
+        if factor <= 0. then invalid_arg "Faults.Injector: latency factor must be positive"
+      | Plan.Crash_serializer s -> check_ser s
+      | Plan.Crash_replica { serializer; _ } -> check_ser serializer
+      | Plan.Clock_bump { clock; skew_us = _ } ->
+        if not (List.mem clock (Registry.clock_names reg)) then
+          invalid_arg (Printf.sprintf "Faults.Injector: unknown clock %S" clock)
+      | Plan.Partition _ | Plan.Heal_partition _ -> ())
+    (Plan.events plan)
+
+let scale_latency base factor =
+  Sim.Time.of_us (int_of_float (ceil (float_of_int (Sim.Time.to_us base) *. factor)))
+
+let arm ?registry engine reg plan =
+  validate reg plan;
+  let counter name =
+    match registry with
+    | None -> None
+    | Some r -> Some (Stats.Registry.counter r ("faults." ^ name))
+  in
+  let cuts = counter "cuts"
+  and heals = counter "heals"
+  and crashes = counter "crashes"
+  and spikes = counter "latency_spikes"
+  and bumps = counter "clock_bumps" in
+  let bump = function Some c -> Stats.Registry.incr c | None -> () in
+  let t = { plan; applied = 0 } in
+  let apply (action : Plan.action) =
+    (match action with
+    | Plan.Cut l ->
+      Sim.Link.cut (Registry.link reg l);
+      bump cuts
+    | Plan.Heal l ->
+      Sim.Link.restore (Registry.link reg l);
+      bump heals
+    | Plan.Partition side ->
+      List.iter
+        (fun (_, l) ->
+          Sim.Link.cut l;
+          bump cuts)
+        (Registry.links_crossing reg ~side)
+    | Plan.Heal_partition side ->
+      List.iter
+        (fun (_, l) ->
+          Sim.Link.restore l;
+          bump heals)
+        (Registry.links_crossing reg ~side)
+    | Plan.Crash_serializer s ->
+      Registry.crash_serializer reg s;
+      bump crashes
+    | Plan.Crash_replica { serializer; replica } ->
+      Registry.crash_replica reg serializer ~replica;
+      bump crashes
+    | Plan.Latency_factor { link; factor } ->
+      Sim.Link.set_latency (Registry.link reg link)
+        (scale_latency (Registry.base_latency reg link) factor);
+      bump spikes
+    | Plan.Latency_reset link ->
+      Sim.Link.set_latency (Registry.link reg link) (Registry.base_latency reg link)
+    | Plan.Clock_bump { clock; skew_us } ->
+      Registry.bump_clock reg clock (Sim.Time.of_us skew_us);
+      bump bumps);
+    t.applied <- t.applied + 1
+  in
+  List.iter
+    (fun (e : Plan.event) -> Sim.Engine.schedule_at engine e.at (fun () -> apply e.action))
+    (Plan.events plan);
+  t
+
+let last_heal_time t = Plan.last_heal_time t.plan
+let events_applied t = t.applied

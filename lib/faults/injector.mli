@@ -1,0 +1,20 @@
+(** Binds a fault plan to a live deployment.
+
+    {!arm} resolves every plan event against the fault registry and
+    schedules it on the engine; from then on the simulation breaks and
+    heals itself on the planned timeline. Each applied event increments a
+    [faults.*] counter in the metric registry, so a run's fault activity
+    shows up in the same snapshot as everything else. *)
+
+type t
+
+val arm : ?registry:Stats.Registry.t -> Sim.Engine.t -> Registry.t -> Plan.t -> t
+(** Validates eagerly: every name the plan mentions must already be
+    registered, so a typo fails at arm time, not mid-run.
+    @raise Invalid_argument on an unknown name. *)
+
+val last_heal_time : t -> Sim.Time.t option
+(** {!Plan.last_heal_time} of the armed plan. *)
+
+val events_applied : t -> int
+(** Plan events executed so far (simulation-time progress). *)

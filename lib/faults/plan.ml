@@ -1,0 +1,97 @@
+type action =
+  | Cut of string
+  | Heal of string
+  | Partition of Sim.Topology.site list
+  | Heal_partition of Sim.Topology.site list
+  | Crash_serializer of string
+  | Crash_replica of { serializer : string; replica : int }
+  | Latency_factor of { link : string; factor : float }
+  | Latency_reset of string
+  | Clock_bump of { clock : string; skew_us : int }
+
+type event = { at : Sim.Time.t; action : action }
+type t = { events : event list }
+
+let make events =
+  { events = List.stable_sort (fun a b -> Sim.Time.compare a.at b.at) events }
+
+let events t = t.events
+let is_empty t = t.events = []
+
+let restorative = function
+  | Heal _ | Heal_partition _ | Latency_reset _ -> true
+  | Cut _ | Partition _ | Crash_serializer _ | Crash_replica _ | Latency_factor _ | Clock_bump _ ->
+    false
+
+let last_heal_time t =
+  List.fold_left
+    (fun acc e -> if restorative e.action then Some e.at else acc)
+    None t.events
+
+(* ---- seeded random plans ------------------------------------------------- *)
+
+let random ~seed ~link_names ~serializer_names ~clock_names ~max_replica_crashes ~horizon =
+  let rng = Sim.Rng.create ~seed in
+  let h = Sim.Time.to_us horizon in
+  let pick l = List.nth l (Sim.Rng.int rng (List.length l)) in
+  let at_before limit = Sim.Time.of_us (Sim.Rng.int rng (max 1 limit)) in
+  let evs = ref [] in
+  let push at action = evs := { at; action } :: !evs in
+  (* transient link outages: each cut heals strictly before the horizon *)
+  if link_names <> [] then begin
+    let n_outages = 1 + Sim.Rng.int rng 3 in
+    for _ = 1 to n_outages do
+      let l = pick link_names in
+      let cut_at = at_before (h * 2 / 3) in
+      let heal_at =
+        Sim.Time.add cut_at (Sim.Time.of_us (1 + Sim.Rng.int rng (h - Sim.Time.to_us cut_at - 1)))
+      in
+      push cut_at (Cut l);
+      push heal_at (Heal l)
+    done;
+    (* one latency spike, always reset *)
+    let l = pick link_names in
+    let spike_at = at_before (h / 2) in
+    let reset_at =
+      Sim.Time.add spike_at (Sim.Time.of_us (1 + Sim.Rng.int rng (h - Sim.Time.to_us spike_at - 1)))
+    in
+    push spike_at (Latency_factor { link = l; factor = 2. +. float_of_int (Sim.Rng.int rng 7) });
+    push reset_at (Latency_reset l)
+  end;
+  (* replica crashes: never the whole chain *)
+  List.iter
+    (fun s ->
+      let n = Sim.Rng.int rng (max_replica_crashes + 1) in
+      for r = 0 to n - 1 do
+        push (at_before h) (Crash_replica { serializer = s; replica = r })
+      done)
+    serializer_names;
+  (* bounded clock skew *)
+  List.iter
+    (fun c ->
+      if Sim.Rng.int rng 2 = 1 then
+        push (at_before h) (Clock_bump { clock = c; skew_us = Sim.Rng.int rng 5_000 - 2_500 }))
+    clock_names;
+  make !evs
+
+(* ---- printing ------------------------------------------------------------ *)
+
+let pp_sites fmt sites =
+  Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int sites))
+
+let pp_action fmt = function
+  | Cut l -> Format.fprintf fmt "cut %s" l
+  | Heal l -> Format.fprintf fmt "heal %s" l
+  | Partition side -> Format.fprintf fmt "partition %a" pp_sites side
+  | Heal_partition side -> Format.fprintf fmt "heal-partition %a" pp_sites side
+  | Crash_serializer s -> Format.fprintf fmt "crash %s" s
+  | Crash_replica { serializer; replica } ->
+    Format.fprintf fmt "crash %s/replica%d" serializer replica
+  | Latency_factor { link; factor } -> Format.fprintf fmt "latency %s x%.1f" link factor
+  | Latency_reset l -> Format.fprintf fmt "latency %s reset" l
+  | Clock_bump { clock; skew_us } -> Format.fprintf fmt "clock-bump %s %+dus" clock skew_us
+
+let pp fmt t =
+  List.iter
+    (fun e -> Format.fprintf fmt "@[t=%dus %a@]@." (Sim.Time.to_us e.at) pp_action e.action)
+    t.events

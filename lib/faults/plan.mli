@@ -1,0 +1,64 @@
+(** Declarative fault plans.
+
+    A plan is a time-sorted list of fault events over the *names* a
+    {!Registry.t} exposes — it mentions no live objects, so the same plan
+    can be printed, hashed, replayed and applied to any deployment of the
+    same shape. {!Injector.arm} turns a plan into scheduled simulator
+    events.
+
+    Plans map onto the paper's §6 failure model: link cuts and partitions
+    are the transient tree failures masked by retransmission, serializer
+    (replica) crashes are the chain-replication story of §6.1, latency
+    spikes exercise the variability Saturn's trees must absorb, and clock
+    bumps stress the timestamp-fallback path. *)
+
+type action =
+  | Cut of string  (** take a named link down *)
+  | Heal of string  (** bring a named link back up *)
+  | Partition of Sim.Topology.site list
+      (** cut every registered link crossing the bipartition
+          (given sites, rest of the world) *)
+  | Heal_partition of Sim.Topology.site list
+  | Crash_serializer of string  (** crash every remaining replica *)
+  | Crash_replica of { serializer : string; replica : int }
+  | Latency_factor of { link : string; factor : float }
+      (** set the link's latency to [factor ×] its registered base *)
+  | Latency_reset of string  (** restore the registered base latency *)
+  | Clock_bump of { clock : string; skew_us : int }
+      (** shift a datacenter's physical clock; the gear's monotonic
+          discipline absorbs negative skew *)
+
+type event = { at : Sim.Time.t; action : action }
+
+type t
+
+val make : event list -> t
+(** Events are sorted by time (stable, so same-time events keep their
+    listed order). *)
+
+val events : t -> event list
+
+val is_empty : t -> bool
+
+val last_heal_time : t -> Sim.Time.t option
+(** Time of the last restorative event (heal, partition heal, latency
+    reset) — the moment from which recovery is measured. [None] when the
+    plan never restores anything (e.g. a pure-crash plan). *)
+
+val random :
+  seed:int ->
+  link_names:string list ->
+  serializer_names:string list ->
+  clock_names:string list ->
+  max_replica_crashes:int ->
+  horizon:Sim.Time.t ->
+  t
+(** A seeded random plan that is always survivable: every [Cut] is paired
+    with a later [Heal] and every [Latency_factor] with a later
+    [Latency_reset] (both before [horizon]), serializers only lose
+    replicas — at most [max_replica_crashes] each, never the whole chain —
+    and clock bumps are bounded. Deterministic in [seed] and the
+    (name-sorted) input lists. *)
+
+val pp_action : Format.formatter -> action -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,132 @@
+type link_entry = {
+  l : Sim.Link.t;
+  site_a : Sim.Topology.site;
+  site_b : Sim.Topology.site;
+  base_latency : Sim.Time.t;
+}
+
+type serializer_entry = {
+  crash_all : unit -> unit;
+  crash_rep : int -> unit;
+  is_down : unit -> bool;
+}
+
+type t = {
+  links : (string, link_entry) Hashtbl.t;
+  serializers : (string, serializer_entry) Hashtbl.t;
+  clocks : (string, Sim.Time.t -> unit) Hashtbl.t;
+}
+
+let create () =
+  { links = Hashtbl.create 64; serializers = Hashtbl.create 8; clocks = Hashtbl.create 8 }
+
+let fresh table ~kind name =
+  if Hashtbl.mem table name then
+    invalid_arg (Printf.sprintf "Faults.Registry: duplicate %s %S" kind name)
+
+let register_link t ~name ~site_a ~site_b l =
+  fresh t.links ~kind:"link" name;
+  Hashtbl.replace t.links name { l; site_a; site_b; base_latency = Sim.Link.latency l }
+
+let register_serializer t ~name ~site:_ ~crash_all ~crash_replica ~down =
+  fresh t.serializers ~kind:"serializer" name;
+  Hashtbl.replace t.serializers name { crash_all; crash_rep = crash_replica; is_down = down }
+
+let register_clock t ~name ~bump =
+  fresh t.clocks ~kind:"clock" name;
+  Hashtbl.replace t.clocks name bump
+
+let missing kind name = invalid_arg (Printf.sprintf "Faults.Registry: unknown %s %S" kind name)
+
+let link_entry t name =
+  match Hashtbl.find_opt t.links name with Some e -> e | None -> missing "link" name
+
+let link t name = (link_entry t name).l
+let base_latency t name = (link_entry t name).base_latency
+
+let serializer_entry t name =
+  match Hashtbl.find_opt t.serializers name with Some e -> e | None -> missing "serializer" name
+
+let crash_serializer t name = (serializer_entry t name).crash_all ()
+let crash_replica t name ~replica = (serializer_entry t name).crash_rep replica
+let serializer_down t name = (serializer_entry t name).is_down ()
+
+let bump_clock t name d =
+  match Hashtbl.find_opt t.clocks name with Some bump -> bump d | None -> missing "clock" name
+
+let sorted_keys table =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+
+let link_names t = sorted_keys t.links
+let serializer_names t = sorted_keys t.serializers
+let clock_names t = sorted_keys t.clocks
+
+let links_crossing t ~side =
+  let inside s = List.mem s side in
+  Hashtbl.fold
+    (fun name e acc ->
+      if inside e.site_a <> inside e.site_b then (name, e.l) :: acc else acc)
+    t.links []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---- binding built deployments ------------------------------------------ *)
+
+let register_bulk t ~dc_sites ~bulk_link =
+  let n = Array.length dc_sites in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then
+        register_link t
+          ~name:(Printf.sprintf "bulk.dc%d->dc%d" i j)
+          ~site_a:dc_sites.(i) ~site_b:dc_sites.(j) (bulk_link ~src:i ~dst:j)
+    done
+  done
+
+let bind_system t system =
+  let p = Saturn.System.params system in
+  register_bulk t ~dc_sites:p.Saturn.System.dc_sites
+    ~bulk_link:(fun ~src ~dst -> Saturn.System.bulk_link system ~src ~dst);
+  Array.iteri
+    (fun dc _ ->
+      let dcx = Saturn.System.datacenter system dc in
+      register_clock t ~name:(Printf.sprintf "clock.dc%d" dc)
+        ~bump:(fun d -> Saturn.Datacenter.bump_clock dcx d))
+    p.Saturn.System.dc_sites;
+  match Saturn.System.service system with
+  | None -> ()
+  | Some service ->
+    let config = Saturn.Service.config service in
+    for s = 0 to Saturn.Service.n_serializers service - 1 do
+      register_serializer t ~name:(Printf.sprintf "ser%d" s)
+        ~site:(Saturn.Config.site_of_serializer config s)
+        ~crash_all:(fun () -> Saturn.Service.crash_serializer service s)
+        ~crash_replica:(fun replica -> Saturn.Service.crash_replica service ~serializer:s ~replica)
+        ~down:(fun () -> Saturn.Service.serializer_down service s)
+    done;
+    List.iter
+      (fun ((a, b), (data, ack)) ->
+        let sa = Saturn.Config.site_of_serializer config a in
+        let sb = Saturn.Config.site_of_serializer config b in
+        register_link t ~name:(Printf.sprintf "tree.s%d->s%d.data" a b) ~site_a:sa ~site_b:sb data;
+        register_link t ~name:(Printf.sprintf "tree.s%d->s%d.ack" a b) ~site_a:sa ~site_b:sb ack)
+      (Saturn.Service.edge_link_list service);
+    Array.iteri
+      (fun dc _ ->
+        let s = Saturn.Tree.serializer_of (Saturn.Config.tree config) ~dc in
+        let dc_site = Saturn.Config.site_of_dc config dc in
+        let ser_site = Saturn.Config.site_of_serializer config s in
+        let al = Saturn.Service.attach_links service ~dc in
+        let reg name ~flip l =
+          let site_a, site_b = if flip then (ser_site, dc_site) else (dc_site, ser_site) in
+          register_link t ~name:(Printf.sprintf "attach.dc%d.%s" dc name) ~site_a ~site_b l
+        in
+        reg "in.data" ~flip:false al.Saturn.Service.in_data;
+        reg "in.ack" ~flip:true al.Saturn.Service.in_ack;
+        reg "out.data" ~flip:true al.Saturn.Service.out_data;
+        reg "out.ack" ~flip:false al.Saturn.Service.out_ack)
+      p.Saturn.System.dc_sites
+
+let bind_fabric t fabric =
+  let p = Baselines.Common.params fabric in
+  register_bulk t ~dc_sites:p.Baselines.Common.dc_sites
+    ~bulk_link:(fun ~src ~dst -> Baselines.Common.bulk_link fabric ~src ~dst)

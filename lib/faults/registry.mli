@@ -1,0 +1,76 @@
+(** Fault registry: the naming layer between fault plans and a live
+    deployment.
+
+    A built system registers its breakable pieces — links, serializers,
+    datacenter clocks — under stable, human-readable names ([bulk.dc0->dc2],
+    [tree.s0->s1.data], [ser1], [clock.dc0]). Plans then refer to topology
+    by name only, which is what makes a fault schedule declarative,
+    printable and reusable across deployments of the same shape.
+
+    Every endpoint is tagged with its geographic site, so a full network
+    partition is expressible as a site bipartition: {!links_crossing}
+    returns every registered link with exactly one endpoint inside the
+    given side, and the injector cuts them all.
+
+    {!bind_system} (and {!bind_fabric} for the baselines' shared data
+    plane) walk a built deployment and perform the registrations; they are
+    invoked by [Harness.Build] when a registry is threaded into the build,
+    the same way [?registry] threads the metric registry. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Registration} *)
+
+val register_link :
+  t -> name:string -> site_a:Sim.Topology.site -> site_b:Sim.Topology.site -> Sim.Link.t -> unit
+(** Records the link's current latency as its base latency (for
+    {!base_latency} and latency-spike resets).
+    @raise Invalid_argument on a duplicate name. *)
+
+val register_serializer :
+  t ->
+  name:string ->
+  site:Sim.Topology.site ->
+  crash_all:(unit -> unit) ->
+  crash_replica:(int -> unit) ->
+  down:(unit -> bool) ->
+  unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+val register_clock : t -> name:string -> bump:(Sim.Time.t -> unit) -> unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+(** {2 Lookup} — all raise [Invalid_argument] naming the missing entry, so
+    a plan referring to topology that was never registered fails loudly. *)
+
+val link : t -> string -> Sim.Link.t
+val base_latency : t -> string -> Sim.Time.t
+val crash_serializer : t -> string -> unit
+val crash_replica : t -> string -> replica:int -> unit
+val serializer_down : t -> string -> bool
+val bump_clock : t -> string -> Sim.Time.t -> unit
+
+val link_names : t -> string list
+(** Name-sorted, hence deterministic. *)
+
+val serializer_names : t -> string list
+val clock_names : t -> string list
+
+val links_crossing : t -> side:Sim.Topology.site list -> (string * Sim.Link.t) list
+(** Every registered link with exactly one endpoint site in [side] —
+    the cut set of the bipartition (side, rest). Name-sorted. *)
+
+(** {2 Binding a built deployment} *)
+
+val bind_system : t -> Saturn.System.t -> unit
+(** Registers a Saturn deployment: [bulk.dc<i>->dc<j>] for every directed
+    bulk link, [clock.dc<i>] per datacenter, and — unless the system runs
+    in peer mode — [ser<s>] per serializer, [tree.s<a>->s<b>.data]/[.ack]
+    per directed tree edge, and [attach.dc<i>.{in,out}.{data,ack}] for the
+    datacenter↔serializer channels. *)
+
+val bind_fabric : t -> Baselines.Common.t -> unit
+(** Registers a baseline's shared data plane: its [bulk.dc<i>->dc<j>]
+    links. Baselines have no serializers or disciplined clocks to break. *)

@@ -57,7 +57,7 @@ let hooks_of_metrics metrics =
         Metrics.on_visible metrics ~dc ~key ~origin_dc ~origin_time ~value);
   }
 
-let saturn_with ~peer ?registry engine spec metrics =
+let saturn_with ~peer ?registry ?faults engine spec metrics =
   let config =
     match spec.saturn_config with
     | Some c -> c
@@ -85,6 +85,7 @@ let saturn_with ~peer ?registry engine spec metrics =
     }
   in
   let system = Saturn.System.create ?registry engine params (hooks_of_metrics metrics) in
+  Option.iter (fun f -> Faults.Registry.bind_system f system) faults;
   let table : (int, Saturn.Client_lib.t) Hashtbl.t = Hashtbl.create 256 in
   let lib (c : Client.t) =
     match Hashtbl.find_opt table c.Client.id with
@@ -121,8 +122,11 @@ let saturn_with ~peer ?registry engine spec metrics =
   in
   (api, system)
 
-let saturn ?registry engine spec metrics = saturn_with ~peer:false ?registry engine spec metrics
-let saturn_peer ?registry engine spec metrics = saturn_with ~peer:true ?registry engine spec metrics
+let saturn ?registry ?faults engine spec metrics =
+  saturn_with ~peer:false ?registry ?faults engine spec metrics
+
+let saturn_peer ?registry ?faults engine spec metrics =
+  saturn_with ~peer:true ?registry ?faults engine spec metrics
 
 let baseline_params spec =
   {
@@ -142,8 +146,9 @@ let baseline_hooks metrics =
         Metrics.on_visible metrics ~dc ~key ~origin_dc ~origin_time ~value);
   }
 
-let eventual engine spec metrics =
+let eventual ?faults engine spec metrics =
   let sys = Baselines.Eventual.create engine (baseline_params spec) (baseline_hooks metrics) in
+  Option.iter (fun f -> Faults.Registry.bind_fabric f (Baselines.Eventual.fabric sys)) faults;
   {
     Api.name = "eventual";
     attach =

@@ -24,13 +24,31 @@ val solve_config : spec -> Saturn.Config.t
 (** Runs the configuration generator (Algorithm 3) for the spec's
     datacenters, weighting pairs by shared keys. *)
 
-val saturn : ?registry:Stats.Registry.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t * Saturn.System.t
-(** [registry] collects the deployment's counters (see {!Saturn.System.create}). *)
+val saturn :
+  ?registry:Stats.Registry.t ->
+  ?faults:Faults.Registry.t ->
+  Sim.Engine.t ->
+  spec ->
+  Metrics.t ->
+  Api.t * Saturn.System.t
+(** [registry] collects the deployment's counters (see
+    {!Saturn.System.create}); [faults] receives the deployment's breakable
+    pieces via {!Faults.Registry.bind_system}, so a fault plan can be armed
+    against it. *)
 
-val saturn_peer : ?registry:Stats.Registry.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t * Saturn.System.t
+val saturn_peer :
+  ?registry:Stats.Registry.t ->
+  ?faults:Faults.Registry.t ->
+  Sim.Engine.t ->
+  spec ->
+  Metrics.t ->
+  Api.t * Saturn.System.t
 (** The P-configuration: timestamp order only, no serializer tree. *)
 
-val eventual : Sim.Engine.t -> spec -> Metrics.t -> Api.t
+val eventual : ?faults:Faults.Registry.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t
+(** [faults] receives the baseline's bulk links via
+    {!Faults.Registry.bind_fabric}. *)
+
 val gentlerain : Sim.Engine.t -> spec -> Metrics.t -> Api.t
 val cure : Sim.Engine.t -> spec -> Metrics.t -> Api.t
 val cops : Sim.Engine.t -> spec -> Metrics.t -> prune_on_write:bool -> Api.t * Baselines.Cops.t

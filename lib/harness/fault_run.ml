@@ -1,0 +1,235 @@
+type outcome = {
+  scenario : string;
+  system : string;
+  ops : int;
+  vis_mean_ms : float;
+  vis_p99_ms : float;
+  recovery_ms : float;
+  report : Faults.Checker.report;
+  digest : string;
+  n_events : int;
+  flame : (string * int) list;
+  registry : Stats.Registry.t;
+}
+
+let scenario_names = [ "ser-crash"; "partition"; "latency-spike" ]
+
+let n_keys = 24
+let dc_sites = [| 0; 1; 2 |]
+let warmup = Sim.Time.of_ms 200
+let measure = Sim.Time.of_sec 1.
+let cooldown = Sim.Time.of_ms 400
+
+let spec () =
+  let topo = Obs.topo3 () in
+  let rmap = Kvstore.Replica_map.full ~n_dcs:3 ~n_keys in
+  {
+    (Build.default_spec ~topo ~dc_sites ~rmap) with
+    Build.saturn_config = Some (Obs.chain_config ~dc_sites);
+    (* three chain replicas per serializer, so a head crash heals (§6.1)
+       instead of stalling the subtree *)
+    serializer_replicas = 3;
+  }
+
+let run_driver engine api metrics ~seed ~rmap ~topo =
+  let clients = Driver.make_clients ~dc_sites ~per_dc:2 in
+  let syn =
+    Workload.Synthetic.create
+      { Workload.Synthetic.default with n_keys; read_ratio = 0.5; seed }
+      ~rmap ~topo ~dc_sites
+  in
+  Driver.run engine api metrics ~clients
+    ~next_op:(fun c -> Workload.Synthetic.next syn ~dc:c.Client.preferred_dc)
+    ~warmup ~measure ~cooldown
+
+(* the tree's busiest directed edge, from a dry (fault-free) pre-run: the
+   latency-spike scenario needs its target fixed before the faulted run *)
+let busiest_edge ~seed =
+  let spec = spec () in
+  let engine = Sim.Engine.create () in
+  let metrics = Metrics.create engine ~topo:spec.Build.topo ~dc_sites in
+  let _api, system = Build.saturn engine spec metrics in
+  ignore (run_driver engine _api metrics ~seed ~rmap:spec.Build.rmap ~topo:spec.Build.topo);
+  match Saturn.System.service system with
+  | None -> assert false
+  | Some service ->
+    List.fold_left
+      (fun (best, n) (edge, count) -> if count > n then (edge, count) else (best, n))
+      ((0, 1), min_int)
+      (Saturn.Service.edge_traffic service)
+    |> fst
+
+(* plan timings: all inside the measurement window [200ms, 1200ms] *)
+let crash_at = Sim.Time.of_ms 500
+let fault_at = Sim.Time.of_ms 400
+let heal_at = Sim.Time.of_ms 700
+let spike_factor = 8.
+
+let plan_for ~scenario ~busiest freg system =
+  let open Faults in
+  match (scenario, system) with
+  | "ser-crash", `Saturn ->
+    (* head replica of the middle serializer: chain re-keys, the new head
+       redelivers unconfirmed labels, dedup keeps commits exactly-once *)
+    Plan.make [ { Plan.at = crash_at; action = Plan.Crash_replica { serializer = "ser1"; replica = 0 } } ]
+  | "ser-crash", `Eventual ->
+    (* no serializers to crash: the fault-free control *)
+    Plan.make []
+  | "partition", `Saturn ->
+    (* partition the metadata tree away from site 2; bulk data keeps
+       flowing (the datastore's channel is reliable, §2) *)
+    let metadata (name, _) =
+      String.length name >= 5 && (String.sub name 0 5 = "tree." || String.sub name 0 7 = "attach.")
+    in
+    let cut = List.filter metadata (Registry.links_crossing freg ~side:[ 2 ]) in
+    Plan.make
+      (List.concat_map
+         (fun (name, _) ->
+           [
+             { Plan.at = fault_at; action = Plan.Cut name };
+             { Plan.at = heal_at; action = Plan.Heal name };
+           ])
+         cut)
+  | "partition", `Eventual ->
+    (* the baseline replicates over the bulk links themselves *)
+    Plan.make
+      [
+        { Plan.at = fault_at; action = Plan.Partition [ 2 ] };
+        { Plan.at = heal_at; action = Plan.Heal_partition [ 2 ] };
+      ]
+  | "latency-spike", `Saturn ->
+    let a, b = busiest in
+    let link = Printf.sprintf "tree.s%d->s%d.data" a b in
+    Plan.make
+      [
+        { Plan.at = fault_at; action = Plan.Latency_factor { link; factor = spike_factor } };
+        { Plan.at = heal_at; action = Plan.Latency_reset link };
+      ]
+  | "latency-spike", `Eventual ->
+    (* the bulk link between the datacenters the busiest tree edge joins
+       (serializer s serves datacenter s on the chain) *)
+    let a, b = busiest in
+    let link = Printf.sprintf "bulk.dc%d->dc%d" a b in
+    Plan.make
+      [
+        { Plan.at = fault_at; action = Plan.Latency_factor { link; factor = spike_factor } };
+        { Plan.at = heal_at; action = Plan.Latency_reset link };
+      ]
+  | s, _ -> invalid_arg ("Fault_run: unknown scenario " ^ s)
+
+let fault_ref plan =
+  match Faults.Plan.last_heal_time plan with
+  | Some t -> Some t
+  | None ->
+    List.fold_left
+      (fun acc (e : Faults.Plan.event) ->
+        Some (match acc with None -> e.at | Some a -> Sim.Time.max a e.at))
+      None (Faults.Plan.events plan)
+
+let run_one ~seed ~scenario ~system ~busiest =
+  let spec = spec () in
+  let engine = Sim.Engine.create () in
+  let registry = Stats.Registry.create () in
+  let probe = Sim.Probe.create ~keep:true () in
+  let freg = Faults.Registry.create () in
+  let metrics = Metrics.create ~registry engine ~topo:spec.Build.topo ~dc_sites in
+  let recovery_hist =
+    Stats.Registry.histogram registry "faults.recovery_ms" ~lo:0. ~hi:2000. ~buckets:40
+  in
+  let recovery = ref None in
+  let ops =
+    Sim.Probe.with_probe probe (fun () ->
+        let api =
+          match system with
+          | `Saturn -> fst (Build.saturn ~registry ~faults:freg engine spec metrics)
+          | `Eventual -> Build.eventual ~faults:freg engine spec metrics
+        in
+        let plan = plan_for ~scenario ~busiest freg system in
+        let (_ : Faults.Injector.t) = Faults.Injector.arm ~registry engine freg plan in
+        (match fault_ref plan with
+        | None -> ()
+        | Some fr ->
+          (* recovery = drain time of the fault-era backlog: the last
+             pre-heal-originated update to become visible after the heal *)
+          Metrics.subscribe metrics (fun ~dc:_ ~key:_ ~origin_dc:_ ~origin_time ~value:_ ->
+              let now = Sim.Engine.now engine in
+              if Sim.Time.compare origin_time fr <= 0 && Sim.Time.compare now fr > 0 then
+                let lag = Sim.Time.sub now fr in
+                match !recovery with
+                | Some prev when Sim.Time.compare prev lag >= 0 -> ()
+                | _ -> recovery := Some lag));
+        (run_driver engine api metrics ~seed ~rmap:spec.Build.rmap ~topo:spec.Build.topo)
+          .Driver.ops_completed)
+  in
+  let recovery_ms =
+    match !recovery with None -> 0. | Some lag -> Sim.Time.to_ms_float lag
+  in
+  Stats.Histogram.add recovery_hist recovery_ms;
+  List.iter
+    (fun (k, n) -> Stats.Registry.incr ~by:n (Stats.Registry.counter registry ("probe." ^ k)))
+    (Sim.Probe.counts_by_kind probe);
+  let vis = Metrics.visibility metrics in
+  {
+    scenario;
+    system = (match system with `Saturn -> "saturn" | `Eventual -> "eventual");
+    ops;
+    vis_mean_ms = (if Stats.Sample.is_empty vis then 0. else Stats.Sample.mean vis);
+    vis_p99_ms = (if Stats.Sample.is_empty vis then 0. else Stats.Sample.percentile vis 99.);
+    recovery_ms;
+    report = Faults.Checker.analyze probe;
+    digest = Sim.Probe.digest probe;
+    n_events = Sim.Probe.count probe;
+    flame = Sim.Probe.counts_by_kind probe;
+    registry;
+  }
+
+let run_matrix ?(seed = 42) () =
+  let busiest = busiest_edge ~seed in
+  List.concat_map
+    (fun scenario ->
+      List.map (fun system -> run_one ~seed ~scenario ~system ~busiest) [ `Saturn; `Eventual ])
+    scenario_names
+
+let matrix_digest outcomes =
+  Digest.to_hex (Digest.string (String.concat "," (List.map (fun o -> o.digest) outcomes)))
+
+let violations outcomes =
+  List.fold_left (fun n o -> n + List.length o.report.Faults.Checker.violations) 0 outcomes
+
+let print outcomes =
+  let table =
+    Stats.Table.create ~title:"fault scenario matrix"
+      ~columns:
+        [
+          "scenario"; "system"; "ops"; "vis ms"; "p99 ms"; "recovery ms"; "resends"; "drops";
+          "head-chg"; "violations";
+        ]
+  in
+  List.iter
+    (fun o ->
+      let r = o.report in
+      Stats.Table.add_row table
+        [
+          o.scenario;
+          o.system;
+          string_of_int o.ops;
+          Printf.sprintf "%.1f" o.vis_mean_ms;
+          Printf.sprintf "%.1f" o.vis_p99_ms;
+          Printf.sprintf "%.1f" o.recovery_ms;
+          string_of_int r.Faults.Checker.resends;
+          string_of_int (r.Faults.Checker.drops_cut + r.Faults.Checker.drops_down);
+          string_of_int r.Faults.Checker.head_changes;
+          string_of_int (List.length r.Faults.Checker.violations);
+        ])
+    outcomes;
+  Stats.Table.print table;
+  List.iter
+    (fun o ->
+      if not (Faults.Checker.ok o.report) then begin
+        Printf.printf "%s/%s:\n" o.scenario o.system;
+        Format.printf "%a@." Faults.Checker.pp o.report
+      end)
+    outcomes;
+  Printf.printf "matrix digest: %s (%d probe events)\n"
+    (matrix_digest outcomes)
+    (List.fold_left (fun n o -> n + o.n_events) 0 outcomes)

@@ -1,0 +1,51 @@
+(** Fixed-seed fault-injection scenario matrix.
+
+    Runs the shared three-datacenter chain deployment (see {!Obs}) under
+    three faults from the paper's §6 failure model — a serializer head
+    crash mid-stream, a transient partition, and a latency spike on the
+    tree's busiest edge — for Saturn and for the eventual baseline, with a
+    probe installed and a {!Faults.Checker} pass over every trace.
+
+    Saturn's partition cuts the metadata tree (its failure domain; the
+    paper's bulk-data transfer service is the datastore's own, reliable
+    channel), while the eventual baseline's partition cuts the bulk links
+    it replicates over — its only channel, and an unreliable one, which is
+    the point of the comparison.
+
+    The matrix is deterministic in its seed: CI runs it twice and asserts
+    the combined digest is byte-identical. *)
+
+type outcome = {
+  scenario : string;
+  system : string;
+  ops : int;  (** client operations completed in the measurement window *)
+  vis_mean_ms : float;  (** remote-update visibility, mean *)
+  vis_p99_ms : float;
+  recovery_ms : float;
+      (** time after the last restorative plan event until the last
+          fault-era update (origin time before that event) became visible;
+          0 when nothing was left to drain. Recorded in the registry's
+          [faults.recovery_ms] histogram. *)
+  report : Faults.Checker.report;
+  digest : string;  (** probe digest of this run *)
+  n_events : int;
+  flame : (string * int) list;  (** probe event counts by kind, name-sorted *)
+  registry : Stats.Registry.t;
+}
+
+val scenario_names : string list
+(** [["ser-crash"; "partition"; "latency-spike"]]. *)
+
+val run_matrix : ?seed:int -> unit -> outcome list
+(** Every scenario × {Saturn, eventual}, in a fixed order (default
+    seed 42). *)
+
+val matrix_digest : outcome list -> string
+(** Digest over every run's probe digest — one string for the CI
+    determinism gate. *)
+
+val violations : outcome list -> int
+
+val print : outcome list -> unit
+(** The results table, per-run fault counters, invariant verdicts and the
+    combined digest, on stdout. *)

@@ -8,7 +8,7 @@ type result = {
 
 (* three sites with unequal latencies, so the solver-independent chain tree
    below has a genuinely asymmetric geography to work against *)
-let topo () =
+let topo3 () =
   Sim.Topology.create
     ~names:[| "west"; "central"; "east" |]
     ~latency_ms:[| [| 0; 40; 90 |]; [| 40; 0; 50 |]; [| 90; 50; 0 |] |]
@@ -25,7 +25,7 @@ let chain_config ~dc_sites =
   config
 
 let smoke ?(seed = 42) () =
-  let topo = topo () in
+  let topo = topo3 () in
   let dc_sites = [| 0; 1; 2 |] in
   let n_keys = 24 in
   (* full replication: every update interests both remote datacenters, so
@@ -86,6 +86,63 @@ let write_artifacts r ~out_dir =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (r.digest ^ "\n"));
   (trace, digest_file)
+
+(* ---- probe-counter regression gate ------------------------------------- *)
+
+let counter_lines registry =
+  List.filter_map
+    (fun (name, v) ->
+      match v with
+      | Stats.Registry.Counter n -> Some (Printf.sprintf "%s %d" name n)
+      | Stats.Registry.Gauge _ | Stats.Registry.Hist _ -> None)
+    (Stats.Registry.snapshot registry)
+
+let write_counters r ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# smoke-run counter baseline; regenerate with\n";
+      output_string oc "#   saturn-cli obs --counters-out <path>\n";
+      List.iter (fun l -> output_string oc (l ^ "\n")) (counter_lines r.registry))
+
+let check_counters r ~baseline ~tolerance =
+  let ic = open_in baseline in
+  let lines = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          lines := input_line ic :: !lines
+        done
+      with End_of_file -> ());
+  let failures = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match String.rindex_opt line ' ' with
+        | None -> failures := Printf.sprintf "malformed baseline line %S" line :: !failures
+        | Some i ->
+          let name = String.sub line 0 i in
+          let expect = int_of_string (String.sub line (i + 1) (String.length line - i - 1)) in
+          let got =
+            match Stats.Registry.find r.registry name with
+            | Some (Stats.Registry.Counter n) -> Some n
+            | _ -> None
+          in
+          (match got with
+          | None -> failures := Printf.sprintf "counter %s missing from run" name :: !failures
+          | Some got ->
+            let slack = Stdlib.max 1. (tolerance *. float_of_int expect) in
+            if Float.abs (float_of_int (got - expect)) > slack then
+              failures :=
+                Printf.sprintf "counter %s drifted: baseline %d, run %d (tolerance %.0f%%)" name
+                  expect got (tolerance *. 100.)
+                :: !failures))
+    (List.rev !lines);
+  match List.rev !failures with [] -> Ok () | fs -> Error fs
 
 let run_smoke ?(seed = 42) ?out_dir () =
   let r = smoke ~seed () in

@@ -16,6 +16,15 @@ type result = {
   probe : Sim.Probe.t;
 }
 
+val topo3 : unit -> Sim.Topology.t
+(** The three-site (west/central/east) geography the smoke and fault
+    scenarios share: unequal latencies, so tree placement matters. *)
+
+val chain_config : dc_sites:Sim.Topology.site array -> Saturn.Config.t
+(** An explicit three-serializer chain (0–1–2, one per datacenter) with
+    small artificial delays — guarantees serializer-to-serializer hops,
+    which a solved three-site configuration may optimize away. *)
+
 val smoke : ?seed:int -> unit -> result
 (** Runs the scenario (default seed 42). Pure apart from simulation. *)
 
@@ -26,3 +35,22 @@ val write_artifacts : result -> out_dir:string -> string * string
 val run_smoke : ?seed:int -> ?out_dir:string -> unit -> result
 (** {!smoke}, then prints the registry table and the digest to stdout and,
     when [out_dir] is given, writes the artifacts. *)
+
+(** {2 Probe-counter regression gate}
+
+    The smoke run's counters are deterministic for a given build, but they
+    legitimately drift as the code evolves (new instrumentation, changed
+    batching). CI therefore checks them against a checked-in baseline with
+    a tolerance band instead of byte equality: a small drift passes, an
+    order-of-magnitude regression (a probe silently disabled, a subsystem
+    gone quiet) fails. *)
+
+val write_counters : result -> path:string -> unit
+(** Writes every counter of the run as ["name value"] lines, name-sorted
+    (the baseline format of {!check_counters}). *)
+
+val check_counters :
+  result -> baseline:string -> tolerance:float -> (unit, string list) Stdlib.result
+(** Compares the run against a baseline file. Each baseline counter must
+    exist in the run and lie within [± tolerance × baseline] (at least
+    ±1, so zero baselines are not brittle). [Error] lists every failure. *)

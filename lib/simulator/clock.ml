@@ -1,6 +1,6 @@
 type t = {
   engine : Engine.t;
-  offset : Time.t;
+  mutable offset : Time.t;
   drift_ppm : float;
   mutable last : Time.t;
 }
@@ -14,6 +14,8 @@ let raw t =
   Time.max Time.zero (Time.add now (Time.add t.offset (Time.of_us drift)))
 
 let peek t = Time.max (raw t) t.last
+
+let bump t d = t.offset <- Time.add t.offset d
 
 let read t =
   let v = raw t in

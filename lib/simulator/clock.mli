@@ -19,3 +19,8 @@ val read : t -> Time.t
 
 val peek : t -> Time.t
 (** Clock value without the monotonic-bump side effect. *)
+
+val bump : t -> Time.t -> unit
+(** Adds to the constant offset at runtime — a step change in skew, as a
+    bad NTP adjustment would produce. A negative bump never makes reads go
+    backwards: the monotonic discipline in {!read} absorbs it. *)

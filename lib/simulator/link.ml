@@ -9,7 +9,8 @@ type t = {
   mutable epoch : int; (* bumped on cut: invalidates in-flight messages *)
   mutable sent : int;
   mutable delivered : int;
-  mutable dropped : int;
+  mutable dropped_down : int; (* sent while the link was down *)
+  mutable dropped_cut : int; (* in flight when the link was cut *)
   mutable bytes : int;
 }
 
@@ -26,7 +27,8 @@ let create ?(jitter_us = 0) ?bandwidth_bytes_per_us ?rng engine ~latency () =
     epoch = 0;
     sent = 0;
     delivered = 0;
-    dropped = 0;
+    dropped_down = 0;
+    dropped_cut = 0;
     bytes = 0;
   }
 
@@ -48,8 +50,9 @@ let send t ?(size_bytes = 0) deliver =
   t.bytes <- t.bytes + size_bytes;
   if Probe.active () then Probe.emit ~at:(Engine.now t.engine) (Probe.Link_send { size_bytes });
   if not t.up then begin
-    t.dropped <- t.dropped + 1;
-    if Probe.active () then Probe.emit ~at:(Engine.now t.engine) Probe.Link_drop
+    t.dropped_down <- t.dropped_down + 1;
+    if Probe.active () then
+      Probe.emit ~at:(Engine.now t.engine) (Probe.Link_drop { in_flight = false })
   end
   else begin
     let now = Engine.now t.engine in
@@ -63,8 +66,9 @@ let send t ?(size_bytes = 0) deliver =
           deliver ()
         end
         else begin
-          t.dropped <- t.dropped + 1;
-          if Probe.active () then Probe.emit ~at:(Engine.now t.engine) Probe.Link_drop
+          t.dropped_cut <- t.dropped_cut + 1;
+          if Probe.active () then
+            Probe.emit ~at:(Engine.now t.engine) (Probe.Link_drop { in_flight = true })
         end)
   end
 
@@ -79,5 +83,7 @@ let restore t = t.up <- true
 let is_up t = t.up
 let sent_count t = t.sent
 let delivered_count t = t.delivered
-let dropped_count t = t.dropped
+let dropped_count t = t.dropped_down + t.dropped_cut
+let dropped_down_count t = t.dropped_down
+let dropped_cut_count t = t.dropped_cut
 let bytes_sent t = t.bytes

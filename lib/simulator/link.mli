@@ -36,13 +36,28 @@ val set_latency : t -> Time.t -> unit
 val latency : t -> Time.t
 
 val cut : t -> unit
-(** Take the link down: in-flight and future messages are dropped. *)
+(** Take the link down: in-flight and future messages are dropped.
+    Idempotent, but each call bumps the epoch, so anything still in flight
+    is invalidated again. *)
 
 val restore : t -> unit
+(** Bring the link back up. Messages sent after the restore are delivered
+    normally; messages lost during the outage stay lost (reliability is the
+    sender's job — see [Reliable_fifo]). A cut/restore round trip therefore
+    only affects traffic that overlapped the outage. Idempotent. *)
 
 val is_up : t -> bool
 
 val sent_count : t -> int
 val delivered_count : t -> int
+
 val dropped_count : t -> int
+(** Total losses: [dropped_down_count + dropped_cut_count]. *)
+
+val dropped_down_count : t -> int
+(** Messages sent while the link was down. *)
+
+val dropped_cut_count : t -> int
+(** Messages that were in flight when the link was cut. *)
+
 val bytes_sent : t -> int

@@ -4,12 +4,15 @@ type event =
   | Engine_step of { seq : int }
   | Link_send of { size_bytes : int }
   | Link_deliver
-  | Link_drop
+  | Link_drop of { in_flight : bool }
+  | Fifo_resend of { sender : int; seq : int }
   | Label_forward of { dc : int; ts : int }
   | Serializer_hop of { from_ser : int; to_ser : int }
   | Serializer_deliver of { dc : int }
   | Delay_wait of { serializer : int; us : int }
   | Chain_ack of { seq : int }
+  | Ser_commit of { ser : int; origin : int; oseq : int }
+  | Head_change of { ser : int }
   | Sink_emit of { dc : int; ts : int }
   | Proxy_apply of { dc : int; src_dc : int; ts : int; fallback : bool }
   | Proxy_mode of { dc : int; mode : mode }
@@ -20,12 +23,15 @@ let kind = function
   | Engine_step _ -> "engine_step"
   | Link_send _ -> "link_send"
   | Link_deliver -> "link_deliver"
-  | Link_drop -> "link_drop"
+  | Link_drop _ -> "link_drop"
+  | Fifo_resend _ -> "fifo_resend"
   | Label_forward _ -> "label_forward"
   | Serializer_hop _ -> "serializer_hop"
   | Serializer_deliver _ -> "serializer_deliver"
   | Delay_wait _ -> "delay_wait"
   | Chain_ack _ -> "chain_ack"
+  | Ser_commit _ -> "ser_commit"
+  | Head_change _ -> "head_change"
   | Sink_emit _ -> "sink_emit"
   | Proxy_apply _ -> "proxy_apply"
   | Proxy_mode _ -> "proxy_mode"
@@ -40,7 +46,10 @@ let to_json at ev =
   | Engine_step { seq } -> Printf.sprintf {|{"t":%d,"ev":"engine_step","seq":%d}|} t seq
   | Link_send { size_bytes } -> Printf.sprintf {|{"t":%d,"ev":"link_send","bytes":%d}|} t size_bytes
   | Link_deliver -> Printf.sprintf {|{"t":%d,"ev":"link_deliver"}|} t
-  | Link_drop -> Printf.sprintf {|{"t":%d,"ev":"link_drop"}|} t
+  | Link_drop { in_flight } ->
+    Printf.sprintf {|{"t":%d,"ev":"link_drop","why":"%s"}|} t (if in_flight then "cut" else "down")
+  | Fifo_resend { sender; seq } ->
+    Printf.sprintf {|{"t":%d,"ev":"fifo_resend","sender":%d,"seq":%d}|} t sender seq
   | Label_forward { dc; ts } -> Printf.sprintf {|{"t":%d,"ev":"label_forward","dc":%d,"ts":%d}|} t dc ts
   | Serializer_hop { from_ser; to_ser } ->
     Printf.sprintf {|{"t":%d,"ev":"serializer_hop","from":%d,"to":%d}|} t from_ser to_ser
@@ -48,6 +57,9 @@ let to_json at ev =
   | Delay_wait { serializer; us } ->
     Printf.sprintf {|{"t":%d,"ev":"delay_wait","serializer":%d,"us":%d}|} t serializer us
   | Chain_ack { seq } -> Printf.sprintf {|{"t":%d,"ev":"chain_ack","seq":%d}|} t seq
+  | Ser_commit { ser; origin; oseq } ->
+    Printf.sprintf {|{"t":%d,"ev":"ser_commit","ser":%d,"origin":%d,"oseq":%d}|} t ser origin oseq
+  | Head_change { ser } -> Printf.sprintf {|{"t":%d,"ev":"head_change","ser":%d}|} t ser
   | Sink_emit { dc; ts } -> Printf.sprintf {|{"t":%d,"ev":"sink_emit","dc":%d,"ts":%d}|} t dc ts
   | Proxy_apply { dc; src_dc; ts; fallback } ->
     Printf.sprintf {|{"t":%d,"ev":"proxy_apply","dc":%d,"src":%d,"ts":%d,"via":"%s"}|} t dc src_dc ts

@@ -18,12 +18,23 @@ type event =
   | Engine_step of { seq : int }  (** the event loop dispatched one event *)
   | Link_send of { size_bytes : int }  (** message entered a FIFO link *)
   | Link_deliver  (** message came out the far end *)
-  | Link_drop  (** link was down or cut mid-flight *)
+  | Link_drop of { in_flight : bool }
+      (** message lost: [in_flight] = true means it was mid-flight when the
+          link was cut, false means it was sent while the link was down —
+          the distinction fault counters and the invariant checker need to
+          tell loss-by-cut from loss-by-outage *)
+  | Fifo_resend of { sender : int; seq : int }
+      (** a reliable-FIFO sender retransmitted an unacknowledged message *)
   | Label_forward of { dc : int; ts : int }  (** label entered the metadata service at [dc] *)
   | Serializer_hop of { from_ser : int; to_ser : int }  (** serializer-to-serializer forward *)
   | Serializer_deliver of { dc : int }  (** service egress toward [dc]'s proxy *)
   | Delay_wait of { serializer : int; us : int }  (** artificial delay δ applied on a hop *)
   | Chain_ack of { seq : int }  (** chain commit acknowledged back to the sender *)
+  | Ser_commit of { ser : int; origin : int; oseq : int }
+      (** serializer [ser]'s chain committed the [oseq]-th label that origin
+          datacenter [origin] pushed into the service — the exactly-once,
+          FIFO-per-origin oracle the fault checker asserts over *)
+  | Head_change of { ser : int }  (** chain head crashed and the chain healed *)
   | Sink_emit of { dc : int; ts : int }  (** label sink emitted a stable label *)
   | Proxy_apply of { dc : int; src_dc : int; ts : int; fallback : bool }
       (** remote update installed; [fallback] tells which path ordered it *)

@@ -16,6 +16,7 @@ let () =
       ("reconfig", Test_reconfig.suite);
       ("consistency", Test_consistency.suite);
       ("harness", Test_harness.suite);
+      ("faults", Test_faults.suite);
       ("more", Test_more.suite);
       ("sessions", Test_sessions.suite);
       ("shapes", Test_shapes.suite);

@@ -1,0 +1,341 @@
+(* Fault-injection subsystem: link drop semantics, registry/partition
+   construction, plan edges, injector wiring, invariant checker, and the
+   whole-system property that any survivable random plan preserves
+   exactly-once FIFO-per-origin commit. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- link cut/restore round trip ---------------------------------------- *)
+
+let test_link_drop_reasons () =
+  let engine = Sim.Engine.create () in
+  let link = Sim.Link.create engine ~latency:(Sim.Time.of_ms 10) () in
+  let delivered = ref 0 in
+  let probe = Sim.Probe.create () in
+  Sim.Probe.with_probe probe (fun () ->
+      Sim.Link.send link (fun () -> incr delivered);
+      (* in flight when the cut lands *)
+      Sim.Link.cut link;
+      Sim.Link.send link (fun () -> incr delivered);
+      (* sent while down *)
+      Sim.Link.restore link;
+      Sim.Link.send link (fun () -> incr delivered);
+      (* after restore: delivered normally *)
+      Sim.Engine.run ~until:(Sim.Time.of_ms 50) engine);
+  Alcotest.(check int) "one delivery" 1 !delivered;
+  Alcotest.(check int) "in-flight drop" 1 (Sim.Link.dropped_cut_count link);
+  Alcotest.(check int) "while-down drop" 1 (Sim.Link.dropped_down_count link);
+  Alcotest.(check int) "total" 2 (Sim.Link.dropped_count link);
+  let drops =
+    List.filter_map
+      (fun (_, ev) ->
+        match ev with Sim.Probe.Link_drop { in_flight } -> Some in_flight | _ -> None)
+      (Sim.Probe.events probe)
+  in
+  (* the down-drop is recorded at send time, the cut-drop when its delivery
+     would have fired — hence the order *)
+  Alcotest.(check (list bool)) "drop reasons traced" [ false; true ] drops
+
+let test_link_restore_idempotent () =
+  let engine = Sim.Engine.create () in
+  let link = Sim.Link.create engine ~latency:(Sim.Time.of_ms 1) () in
+  Sim.Link.restore link;
+  (* restore of an up link is a no-op *)
+  Alcotest.(check bool) "still up" true (Sim.Link.is_up link);
+  Sim.Link.cut link;
+  Sim.Link.cut link;
+  Sim.Link.restore link;
+  Sim.Link.restore link;
+  let delivered = ref 0 in
+  Sim.Link.send link (fun () -> incr delivered);
+  Sim.Engine.run ~until:(Sim.Time.of_ms 5) engine;
+  Alcotest.(check int) "delivers after double cut/restore" 1 !delivered;
+  Alcotest.(check int) "nothing dropped" 0 (Sim.Link.dropped_count link)
+
+(* ---- registry + partition construction ---------------------------------- *)
+
+let small_registry engine =
+  let reg = Faults.Registry.create () in
+  let mk () = Sim.Link.create engine ~latency:(Sim.Time.of_ms 5) () in
+  Faults.Registry.register_link reg ~name:"ab" ~site_a:0 ~site_b:1 (mk ());
+  Faults.Registry.register_link reg ~name:"bc" ~site_a:1 ~site_b:2 (mk ());
+  Faults.Registry.register_link reg ~name:"ca" ~site_a:2 ~site_b:0 (mk ());
+  Faults.Registry.register_link reg ~name:"aa" ~site_a:0 ~site_b:0 (mk ());
+  reg
+
+let test_partition_cut_set () =
+  let engine = Sim.Engine.create () in
+  let reg = small_registry engine in
+  let names side = List.map fst (Faults.Registry.links_crossing reg ~side) in
+  (* exactly the links with one endpoint inside the side; internal links
+     (both endpoints in, or both out) survive a partition *)
+  Alcotest.(check (list string)) "side {0}" [ "ab"; "ca" ] (names [ 0 ]);
+  Alcotest.(check (list string)) "side {1}" [ "ab"; "bc" ] (names [ 1 ]);
+  Alcotest.(check (list string)) "side {0,1}" [ "bc"; "ca" ] (names [ 0; 1 ]);
+  Alcotest.(check (list string)) "whole world: empty cut" [] (names [ 0; 1; 2 ])
+
+let test_registry_errors () =
+  let engine = Sim.Engine.create () in
+  let reg = small_registry engine in
+  Alcotest.check_raises "duplicate link" (Invalid_argument "Faults.Registry: duplicate link \"ab\"")
+    (fun () ->
+      Faults.Registry.register_link reg ~name:"ab" ~site_a:0 ~site_b:1
+        (Sim.Link.create engine ~latency:Sim.Time.zero ()));
+  Alcotest.check_raises "unknown link" (Invalid_argument "Faults.Registry: unknown link \"zz\"")
+    (fun () -> ignore (Faults.Registry.link reg "zz"));
+  Alcotest.check_raises "unknown serializer"
+    (Invalid_argument "Faults.Registry: unknown serializer \"ser9\"") (fun () ->
+      ignore (Faults.Registry.serializer_down reg "ser9"))
+
+let test_injector_partition_round_trip () =
+  let engine = Sim.Engine.create () in
+  let reg = small_registry engine in
+  let registry = Stats.Registry.create () in
+  let plan =
+    Faults.Plan.make
+      [
+        { Faults.Plan.at = Sim.Time.of_ms 1; action = Faults.Plan.Partition [ 0 ] };
+        { Faults.Plan.at = Sim.Time.of_ms 2; action = Faults.Plan.Heal_partition [ 0 ] };
+      ]
+  in
+  let inj = Faults.Injector.arm ~registry engine reg plan in
+  let up name = Sim.Link.is_up (Faults.Registry.link reg name) in
+  Sim.Engine.run ~until:(Sim.Time.of_us 1500) engine;
+  Alcotest.(check bool) "ab cut" false (up "ab");
+  Alcotest.(check bool) "ca cut" false (up "ca");
+  Alcotest.(check bool) "bc untouched" true (up "bc");
+  Alcotest.(check bool) "aa untouched" true (up "aa");
+  Sim.Engine.run ~until:(Sim.Time.of_ms 3) engine;
+  Alcotest.(check bool) "ab healed" true (up "ab");
+  Alcotest.(check bool) "ca healed" true (up "ca");
+  Alcotest.(check int) "both events applied" 2 (Faults.Injector.events_applied inj);
+  let counter name =
+    match Stats.Registry.find registry name with
+    | Some (Stats.Registry.Counter n) -> n
+    | _ -> Alcotest.failf "counter %s missing" name
+  in
+  Alcotest.(check int) "cuts counted" 2 (counter "faults.cuts");
+  Alcotest.(check int) "heals counted" 2 (counter "faults.heals")
+
+let test_injector_validates_eagerly () =
+  let engine = Sim.Engine.create () in
+  let reg = small_registry engine in
+  let plan =
+    Faults.Plan.make [ { Faults.Plan.at = Sim.Time.zero; action = Faults.Plan.Cut "nope" } ]
+  in
+  Alcotest.check_raises "unknown name at arm time"
+    (Invalid_argument "Faults.Registry: unknown link \"nope\"") (fun () ->
+      ignore (Faults.Injector.arm engine reg plan))
+
+(* ---- plan edges ---------------------------------------------------------- *)
+
+let test_plan_sort_and_heal_time () =
+  Alcotest.(check bool) "empty plan" true (Faults.Plan.is_empty (Faults.Plan.make []));
+  Alcotest.(check (option int)) "no restorative event" None
+    (Option.map Sim.Time.to_us
+       (Faults.Plan.last_heal_time
+          (Faults.Plan.make
+             [
+               {
+                 Faults.Plan.at = Sim.Time.of_ms 5;
+                 action = Faults.Plan.Crash_replica { serializer = "s"; replica = 0 };
+               };
+             ])));
+  let plan =
+    Faults.Plan.make
+      [
+        { Faults.Plan.at = Sim.Time.of_ms 12; action = Faults.Plan.Cut "x" };
+        { Faults.Plan.at = Sim.Time.of_ms 10; action = Faults.Plan.Heal "x" };
+        { Faults.Plan.at = Sim.Time.of_ms 5; action = Faults.Plan.Cut "x" };
+      ]
+  in
+  Alcotest.(check (list int)) "time-sorted" [ 5; 10; 12 ]
+    (List.map (fun (e : Faults.Plan.event) -> Sim.Time.to_ms_float e.at |> int_of_float)
+       (Faults.Plan.events plan));
+  Alcotest.(check (option int)) "last heal, not last event" (Some 10)
+    (Option.map Sim.Time.to_us (Faults.Plan.last_heal_time plan) |> Option.map (fun us -> us / 1000))
+
+let prop_random_plans_always_heal =
+  QCheck.Test.make ~name:"random plans heal every cut and reset every spike" ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let plan =
+        Faults.Plan.random ~seed
+          ~link_names:[ "l1"; "l2"; "l3" ]
+          ~serializer_names:[ "s0"; "s1" ] ~clock_names:[ "c0" ] ~max_replica_crashes:1
+          ~horizon:(Sim.Time.of_ms 100)
+      in
+      let ends_healed =
+        List.fold_left
+          (fun acc (e : Faults.Plan.event) ->
+            match e.action with
+            | Faults.Plan.Cut l -> (l, `Down) :: List.remove_assoc l acc
+            | Faults.Plan.Heal l -> (l, `Up) :: List.remove_assoc l acc
+            | Faults.Plan.Latency_factor { link; _ } ->
+              (link ^ "!", `Down) :: List.remove_assoc (link ^ "!") acc
+            | Faults.Plan.Latency_reset link ->
+              (link ^ "!", `Up) :: List.remove_assoc (link ^ "!") acc
+            | _ -> acc)
+          [] (Faults.Plan.events plan)
+      in
+      List.for_all (fun (_, st) -> st = `Up) ends_healed
+      && List.for_all
+           (fun (e : Faults.Plan.event) ->
+             Sim.Time.compare e.at (Sim.Time.of_ms 100) < 0
+             &&
+             match e.action with
+             | Faults.Plan.Crash_serializer _ -> false (* never the whole chain *)
+             | _ -> true)
+           (Faults.Plan.events plan))
+
+(* ---- checker ------------------------------------------------------------- *)
+
+let with_events emits =
+  let probe = Sim.Probe.create () in
+  Sim.Probe.with_probe probe (fun () ->
+      List.iter (fun (us, ev) -> Sim.Probe.emit ~at:(Sim.Time.of_us us) ev) emits);
+  Faults.Checker.analyze probe
+
+let commit ser origin oseq = Sim.Probe.Ser_commit { ser; origin; oseq }
+
+let test_checker_clean_stream () =
+  let r =
+    with_events
+      [
+        (1, commit 0 1 1);
+        (2, commit 0 1 2);
+        (3, commit 0 2 1);
+        (* gaps are legal: partial replication skips uninterested subtrees *)
+        (4, commit 0 1 5);
+        (5, Sim.Probe.Sink_emit { dc = 0; ts = 10 });
+        (6, Sim.Probe.Sink_emit { dc = 0; ts = 10 });
+        (* equal sink ts fine *)
+        (7, Sim.Probe.Proxy_apply { dc = 0; src_dc = 1; ts = 4; fallback = false });
+        (8, Sim.Probe.Proxy_apply { dc = 0; src_dc = 1; ts = 9; fallback = true });
+      ]
+  in
+  Alcotest.(check bool) "ok" true (Faults.Checker.ok r);
+  Alcotest.(check int) "commits" 4 r.Faults.Checker.commits
+
+let test_checker_flags_duplicate_commit () =
+  let r = with_events [ (1, commit 0 1 1); (2, commit 0 1 1) ] in
+  Alcotest.(check int) "one violation" 1 (List.length r.Faults.Checker.violations);
+  (* same oseq at a different serializer is NOT a duplicate *)
+  let r2 = with_events [ (1, commit 0 1 1); (2, commit 1 1 1) ] in
+  Alcotest.(check bool) "per-serializer scope" true (Faults.Checker.ok r2)
+
+let test_checker_flags_reorder () =
+  let r = with_events [ (1, commit 0 1 3); (2, commit 0 1 2) ] in
+  Alcotest.(check int) "fifo violation" 1 (List.length r.Faults.Checker.violations);
+  let r2 = with_events [ (1, Sim.Probe.Sink_emit { dc = 2; ts = 9 });
+                         (2, Sim.Probe.Sink_emit { dc = 2; ts = 8 }) ] in
+  Alcotest.(check int) "sink violation" 1 (List.length r2.Faults.Checker.violations)
+
+let test_checker_counts () =
+  let r =
+    with_events
+      [
+        (1, Sim.Probe.Fifo_resend { sender = 0; seq = 1 });
+        (2, Sim.Probe.Link_drop { in_flight = true });
+        (3, Sim.Probe.Link_drop { in_flight = false });
+        (4, Sim.Probe.Head_change { ser = 0 });
+        (5, Sim.Probe.Proxy_mode { dc = 0; mode = Sim.Probe.Fallback });
+        (6, Sim.Probe.Proxy_mode { dc = 0; mode = Sim.Probe.Stream });
+      ]
+  in
+  Alcotest.(check int) "resends" 1 r.Faults.Checker.resends;
+  Alcotest.(check int) "drops cut" 1 r.Faults.Checker.drops_cut;
+  Alcotest.(check int) "drops down" 1 r.Faults.Checker.drops_down;
+  Alcotest.(check int) "head changes" 1 r.Faults.Checker.head_changes;
+  Alcotest.(check int) "fallbacks (activations only)" 1 r.Faults.Checker.fallback_activations
+
+(* ---- whole-system property ----------------------------------------------- *)
+
+(* a 3-DC chain deployment under a random (but survivable) plan: whatever
+   the plan breaks, every serializer must commit each origin's labels
+   exactly once, in FIFO order *)
+let run_random_plan ~seed =
+  let topo = Harness.Obs.topo3 () in
+  let dc_sites = [| 0; 1; 2 |] in
+  let n_keys = 24 in
+  let rmap = Kvstore.Replica_map.full ~n_dcs:3 ~n_keys in
+  let engine = Sim.Engine.create () in
+  let registry = Stats.Registry.create () in
+  let probe = Sim.Probe.create () in
+  let freg = Faults.Registry.create () in
+  let spec =
+    {
+      (Harness.Build.default_spec ~topo ~dc_sites ~rmap) with
+      Harness.Build.saturn_config = Some (Harness.Obs.chain_config ~dc_sites);
+      serializer_replicas = 2;
+    }
+  in
+  let metrics = Harness.Metrics.create ~registry engine ~topo ~dc_sites in
+  Sim.Probe.with_probe probe (fun () ->
+      let api, _system = Harness.Build.saturn ~registry ~faults:freg engine spec metrics in
+      let plan =
+        Faults.Plan.random ~seed
+          ~link_names:(Faults.Registry.link_names freg)
+          ~serializer_names:(Faults.Registry.serializer_names freg)
+          ~clock_names:(Faults.Registry.clock_names freg)
+          ~max_replica_crashes:1 (* of 2 replicas: the chain survives *)
+          ~horizon:(Sim.Time.of_ms 500)
+      in
+      let (_ : Faults.Injector.t) = Faults.Injector.arm ~registry engine freg plan in
+      let clients = Harness.Driver.make_clients ~dc_sites ~per_dc:2 in
+      let syn =
+        Workload.Synthetic.create
+          { Workload.Synthetic.default with n_keys; read_ratio = 0.5; seed }
+          ~rmap ~topo ~dc_sites
+      in
+      ignore
+        (Harness.Driver.run engine api metrics ~clients
+           ~next_op:(fun c -> Workload.Synthetic.next syn ~dc:c.Harness.Client.preferred_dc)
+           ~warmup:(Sim.Time.of_ms 100) ~measure:(Sim.Time.of_ms 400)
+           ~cooldown:(Sim.Time.of_ms 100)));
+  Faults.Checker.analyze probe
+
+let prop_random_plan_exactly_once_fifo =
+  QCheck.Test.make ~name:"random fault plans preserve exactly-once FIFO-per-origin commit"
+    ~count:4
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let r = run_random_plan ~seed in
+      if not (Faults.Checker.ok r) then
+        QCheck.Test.fail_reportf "%a" (fun fmt -> Format.fprintf fmt "%a" Faults.Checker.pp) r;
+      r.Faults.Checker.commits > 0)
+
+(* the fixed scenario matrix itself stays deterministic and violation-free;
+   covers recovery-time plumbing end to end *)
+let test_matrix_smoke () =
+  let outcomes = Harness.Fault_run.run_matrix ~seed:7 () in
+  Alcotest.(check int) "six runs" 6 (List.length outcomes);
+  Alcotest.(check int) "no violations" 0 (Harness.Fault_run.violations outcomes);
+  List.iter
+    (fun (o : Harness.Fault_run.outcome) ->
+      Alcotest.(check bool)
+        (o.Harness.Fault_run.scenario ^ "/" ^ o.Harness.Fault_run.system ^ " recovery bounded")
+        true
+        (o.Harness.Fault_run.recovery_ms >= 0. && o.Harness.Fault_run.recovery_ms < 2000.))
+    outcomes;
+  let crash_run = List.hd outcomes in
+  Alcotest.(check int) "head change healed the chain" 1
+    crash_run.Harness.Fault_run.report.Faults.Checker.head_changes
+
+let suite =
+  [
+    Alcotest.test_case "link drop reasons" `Quick test_link_drop_reasons;
+    Alcotest.test_case "link restore idempotent" `Quick test_link_restore_idempotent;
+    Alcotest.test_case "partition cut set" `Quick test_partition_cut_set;
+    Alcotest.test_case "registry errors" `Quick test_registry_errors;
+    Alcotest.test_case "injector partition round trip" `Quick test_injector_partition_round_trip;
+    Alcotest.test_case "injector validates eagerly" `Quick test_injector_validates_eagerly;
+    Alcotest.test_case "plan sort + heal time" `Quick test_plan_sort_and_heal_time;
+    qtest prop_random_plans_always_heal;
+    Alcotest.test_case "checker clean stream" `Quick test_checker_clean_stream;
+    Alcotest.test_case "checker duplicate commit" `Quick test_checker_flags_duplicate_commit;
+    Alcotest.test_case "checker reorder" `Quick test_checker_flags_reorder;
+    Alcotest.test_case "checker fault counts" `Quick test_checker_counts;
+    qtest prop_random_plan_exactly_once_fifo;
+    Alcotest.test_case "scenario matrix smoke" `Slow test_matrix_smoke;
+  ]

@@ -96,7 +96,7 @@ let test_probe_unbuffered () =
   let p = Sim.Probe.create ~keep:false () in
   Sim.Probe.with_probe p (fun () ->
       Sim.Probe.emit ~at:Sim.Time.zero Sim.Probe.Link_deliver;
-      Sim.Probe.emit ~at:Sim.Time.zero Sim.Probe.Link_drop);
+      Sim.Probe.emit ~at:Sim.Time.zero (Sim.Probe.Link_drop { in_flight = false }));
   Alcotest.(check int) "counted" 2 (Sim.Probe.count p);
   Alcotest.(check (list (pair string int)))
     "kinds survive" [ ("link_deliver", 1); ("link_drop", 1) ]
@@ -106,7 +106,7 @@ let test_probe_unbuffered () =
   let q = Sim.Probe.create () in
   Sim.Probe.with_probe q (fun () ->
       Sim.Probe.emit ~at:Sim.Time.zero Sim.Probe.Link_deliver;
-      Sim.Probe.emit ~at:Sim.Time.zero Sim.Probe.Link_drop);
+      Sim.Probe.emit ~at:Sim.Time.zero (Sim.Probe.Link_drop { in_flight = false }));
   Alcotest.(check string) "keep-independent digest" (Sim.Probe.digest q) (Sim.Probe.digest p)
 
 let prop_smoke_digest_deterministic =
