@@ -33,16 +33,20 @@ let run () =
     outcomes;
   Util.print_table table;
   (* the matrix runs under its own probes; aggregate their flames here *)
-  let merged = Hashtbl.create 16 in
-  List.iter
-    (fun (o : Harness.Fault_run.outcome) ->
-      List.iter
-        (fun (k, n) ->
-          Hashtbl.replace merged k (n + Option.value ~default:0 (Hashtbl.find_opt merged k)))
-        o.Harness.Fault_run.flame)
-    outcomes;
+  let merge pick =
+    let merged = Hashtbl.create 16 in
+    List.iter
+      (fun (o : Harness.Fault_run.outcome) ->
+        List.iter
+          (fun (k, n) ->
+            Hashtbl.replace merged k (n + Option.value ~default:0 (Hashtbl.find_opt merged k)))
+          (pick o))
+      outcomes;
+    List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) merged [])
+  in
   Util.flame_table
-    (List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) merged []));
+    ~span_us:(merge (fun o -> o.Harness.Fault_run.span_us))
+    (merge (fun o -> o.Harness.Fault_run.flame));
   Util.note "matrix digest: %s" (Harness.Fault_run.matrix_digest outcomes);
   let v = Harness.Fault_run.violations outcomes in
   if v > 0 then Util.note "WARNING: %d invariant violation(s)" v

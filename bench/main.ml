@@ -88,7 +88,7 @@ let () =
          shows which subsystems the run actually exercised *)
       let probe = Sim.Probe.create ~keep:false () in
       Sim.Probe.with_probe probe run;
-      Util.flame_table (Sim.Probe.counts_by_kind probe);
+      Util.flame_table ~span_us:(Sim.Probe.span_totals_us probe) (Sim.Probe.counts_by_kind probe);
       Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0))
     selected;
   Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. wall)

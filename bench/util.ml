@@ -47,27 +47,52 @@ let pct_vs baseline v = if baseline = 0. then 0. else (v -. baseline) /. baselin
 
 (* per-subsystem "flame" table: probe event counts by kind, with a bar
    proportional to each kind's share — a quick where-does-the-time-go view
-   printed after every experiment *)
-let flame_table counts =
+   printed after every experiment. When [span_us] (plain-kind-keyed
+   matched-span totals from [Sim.Probe.span_totals_us]) is given, the
+   "span.*" count rows also get simulated-time columns with their own
+   share bars — events say how often, spans say how long. *)
+let flame_table ?(span_us = []) counts =
   match List.filter (fun (_, n) -> n > 0) counts with
   | [] -> ()
   | counts ->
     let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
     let widest = List.fold_left (fun acc (_, n) -> max acc n) 0 counts in
-    let table =
-      Stats.Table.create ~title:"probe flame (events by kind)"
-        ~columns:[ "kind"; "events"; "share"; "" ]
+    let time_total = List.fold_left (fun acc (_, us) -> acc + us) 0 span_us in
+    let widest_us = List.fold_left (fun acc (_, us) -> max acc us) 0 span_us in
+    let span_of kind =
+      (* count rows name span kinds "span.<kind>"; the time list keys them plain *)
+      if String.length kind > 5 && String.sub kind 0 5 = "span." then
+        List.assoc_opt (String.sub kind 5 (String.length kind - 5)) span_us
+      else None
     in
+    let columns =
+      [ "kind"; "events"; "share"; "" ]
+      @ (if span_us = [] then [] else [ "span ms"; "time"; "" ])
+    in
+    let table = Stats.Table.create ~title:"probe flame (events by kind)" ~columns in
     List.iter
       (fun (kind, n) ->
         let bar = String.make (max 1 (n * 24 / widest)) '#' in
+        let time_cells =
+          if span_us = [] then []
+          else
+            match span_of kind with
+            | Some us when time_total > 0 ->
+              [
+                Printf.sprintf "%.1f" (float_of_int us /. 1000.);
+                Printf.sprintf "%.1f%%" (100. *. float_of_int us /. float_of_int time_total);
+                String.make (max 1 (us * 24 / max 1 widest_us)) '#';
+              ]
+            | _ -> [ "-"; "-"; "" ]
+        in
         Stats.Table.add_row table
-          [
-            kind;
-            string_of_int n;
-            Printf.sprintf "%.1f%%" (100. *. float_of_int n /. float_of_int total);
-            bar;
-          ])
+          ([
+             kind;
+             string_of_int n;
+             Printf.sprintf "%.1f%%" (100. *. float_of_int n /. float_of_int total);
+             bar;
+           ]
+          @ time_cells))
       (List.sort (fun (_, a) (_, b) -> compare b a) counts);
     print_table table
 

@@ -257,8 +257,28 @@ let trace_replay path n_dcs sys =
 
 (* ---- obs -------------------------------------------------------------------- *)
 
-let obs seed out check counters_out counters_baseline tolerance =
+let obs seed out spans spans_out check counters_out counters_baseline tolerance =
   let r = Harness.Obs.run_smoke ~seed ?out_dir:out () in
+  (if spans || spans_out <> None then begin
+     let report = Harness.Journey.analyze r.Harness.Obs.probe in
+     let rendered = Stats.Table.render (Harness.Journey.table report) in
+     if spans then print_string (rendered ^ "\n");
+     (match spans_out with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (rendered ^ "\n");
+       close_out oc;
+       Printf.printf "wrote decomposition table to %s\n" path
+     | None -> ());
+     match Harness.Journey.check report with
+     | Ok () ->
+       Printf.printf "decomposition check: OK (%d journeys tile exactly)\n"
+         (List.length report.Harness.Journey.journeys)
+     | Error mismatches ->
+       Printf.printf "decomposition check: FAILED\n";
+       List.iter (fun m -> Printf.printf "  %s\n" m) mismatches;
+       exit 1
+   end);
   if check then begin
     (* determinism self-check: a second same-seed run must match *)
     let r2 = Harness.Obs.smoke ~seed () in
@@ -283,6 +303,10 @@ let obs seed out check counters_out counters_baseline tolerance =
     | Error failures ->
       Printf.printf "counter baseline check: FAILED\n";
       List.iter (fun f -> Printf.printf "  %s\n" f) failures;
+      Printf.printf
+        "hint: if the drift is expected (new instrumentation, changed batching), regenerate the \
+         baseline with: saturn-cli obs --counters-out %s\n"
+        baseline;
       exit 1)
 
 let obs_cmd =
@@ -291,6 +315,15 @@ let obs_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
            ~doc:"Write trace.jsonl and trace.digest under DIR.")
+  in
+  let spans =
+    Arg.(value & flag & info [ "spans" ]
+           ~doc:"Print the per-label visibility-latency decomposition table and verify that every \
+                 journey's segments sum to its measured latency.")
+  in
+  let spans_out =
+    Arg.(value & opt (some string) None & info [ "spans-out" ] ~docv:"FILE"
+           ~doc:"Write the decomposition table to FILE (implies the tiling check).")
   in
   let check =
     Arg.(value & flag & info [ "check" ] ~doc:"Run the scenario twice and assert digest equality.")
@@ -308,7 +341,8 @@ let obs_cmd =
            ~doc:"Allowed relative counter drift for --check-counters.")
   in
   Cmd.v (Cmd.info "obs" ~doc)
-    Term.(const obs $ seed $ out $ check $ counters_out $ counters_baseline $ tolerance)
+    Term.(const obs $ seed $ out $ spans $ spans_out $ check $ counters_out $ counters_baseline
+          $ tolerance)
 
 (* ---- faults ------------------------------------------------------------------ *)
 
@@ -352,8 +386,22 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ seed $ check $ digest_out)
 
+(* `saturn-cli trace --chrome out.json`: run the observability smoke scenario
+   and export its span trace as Chrome trace-event JSON, viewable in Perfetto
+   (https://ui.perfetto.dev) or chrome://tracing *)
+let trace_chrome chrome seed =
+  match chrome with
+  | None ->
+    prerr_endline "trace: use a subcommand (record|replay) or --chrome FILE; see --help";
+    exit 2
+  | Some path ->
+    let r = Harness.Obs.smoke ~seed () in
+    Harness.Chrome.write_file r.Harness.Obs.probe ~path;
+    Printf.printf "wrote Chrome trace-event JSON for the smoke run (seed %d) to %s\n" seed path;
+    Printf.printf "open it in https://ui.perfetto.dev or chrome://tracing\n"
+
 let trace_cmd =
-  let doc = "Record or replay an operation trace." in
+  let doc = "Record or replay an operation trace, or export the smoke span trace." in
   let record =
     let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
     let n_dcs = Arg.(value & opt int 3 & info [ "dcs" ] ~doc:"Datacenters.") in
@@ -371,7 +419,15 @@ let trace_cmd =
     Cmd.v (Cmd.info "replay" ~doc:"Replay FILE against a system.")
       Term.(const trace_replay $ path $ n_dcs $ sys)
   in
-  Cmd.group (Cmd.info "trace" ~doc) [ record; replay ]
+  let chrome =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Run the observability smoke scenario and write its span trace as Chrome \
+                 trace-event JSON to FILE (open in Perfetto or chrome://tracing).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Smoke scenario seed for --chrome.") in
+  Cmd.group
+    ~default:Term.(const trace_chrome $ chrome $ seed)
+    (Cmd.info "trace" ~doc) [ record; replay ]
 
 let () =
   let doc = "Saturn (EuroSys '17) reproduction toolkit" in

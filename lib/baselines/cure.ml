@@ -112,6 +112,12 @@ and finish_stab_round t dc =
         List.iter
           (fun pn ->
             let part = Common.partition_of geo ~key:pn.key in
+            if Sim.Probe.active () then
+              Sim.Span.end_
+                ~at:(Sim.Engine.now (Common.engine geo))
+                Sim.Span.Sk_stab ~origin:pn.meta.origin
+                ~seq:(Sim.Time.to_us pn.meta.vc.(pn.meta.origin))
+                ~aux:part ~site:dc;
             let _ =
               Kvstore.Store.put_if_newer d.stores.(part) ~cmp:compare_meta ~key:pn.key pn.value pn.meta
             in
@@ -190,7 +196,10 @@ let update t ~client ~home ~dc ~key ~value ~k =
               let size = value.Kvstore.Value.size_bytes + vector_wire_bytes n in
               List.iter
                 (fun dst ->
-                  if dst <> dc then
+                  if dst <> dc then begin
+                    if Sim.Probe.active () then
+                      Sim.Span.begin_ ~at:origin_time Sim.Span.Sk_bulk ~origin:dc
+                        ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dc ~peer:dst;
                     Common.ship t.geo ~src:dc ~dst ~size_bytes:size (fun () ->
                         let dd = t.dcs.(dst) in
                         if Sim.Time.compare ts dd.vv.(dc) > 0 then begin
@@ -203,7 +212,16 @@ let update t ~client ~home ~dc ~key ~value ~k =
                         in
                         Common.submit t.geo ~dc:dst ~part:(Common.partition_of t.geo ~key)
                           ~cost_us:apply_cost (fun () ->
-                            dd.pending <- { key; value; meta; origin_time } :: dd.pending)))
+                            if Sim.Probe.active () then begin
+                              let at = Sim.Engine.now (Common.engine t.geo) in
+                              Sim.Span.end_ ~at Sim.Span.Sk_bulk ~origin:dc
+                                ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dc ~peer:dst;
+                              (* GSV-domination hold *)
+                              Sim.Span.begin_ ~at Sim.Span.Sk_stab ~origin:dc
+                                ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dst
+                            end;
+                            dd.pending <- { key; value; meta; origin_time } :: dd.pending))
+                  end)
                 (Kvstore.Replica_map.replicas (rmap t) ~key);
               reply meta)))
     ~k:(fun meta ->

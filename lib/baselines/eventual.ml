@@ -44,6 +44,12 @@ let apply_remote t ~dc ~key ~value ~meta ~origin_time =
   let part = Common.partition_of t.geo ~key in
   let cost_us = Saturn.Cost_model.eventual_apply_us (cost t) ~size_bytes:value.Kvstore.Value.size_bytes in
   Common.submit t.geo ~dc ~part ~cost_us (fun () ->
+      if Sim.Probe.active () then
+        Sim.Span.end_
+          ~at:(Sim.Engine.now (Common.engine t.geo))
+          Sim.Span.Sk_bulk ~origin:(snd meta)
+          ~seq:(Sim.Time.to_us (fst meta))
+          ~aux:part ~site:(snd meta) ~peer:dc;
       let _ = Kvstore.Store.put_if_newer t.stores.(dc).(part) ~cmp:compare_meta ~key value meta in
       t.hooks.Common.on_visible ~dc ~key ~origin_dc:(snd meta) ~origin_time ~value)
 
@@ -63,9 +69,13 @@ let update t ~client:_ ~home ~dc ~key ~value ~k =
               let size = value.Kvstore.Value.size_bytes + 16 in
               List.iter
                 (fun dst ->
-                  if dst <> dc then
+                  if dst <> dc then begin
+                    if Sim.Probe.active () then
+                      Sim.Span.begin_ ~at:origin_time Sim.Span.Sk_bulk ~origin:dc
+                        ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dc ~peer:dst;
                     Common.ship t.geo ~src:dc ~dst ~size_bytes:size (fun () ->
-                        apply_remote t ~dc:dst ~key ~value ~meta ~origin_time))
+                        apply_remote t ~dc:dst ~key ~value ~meta ~origin_time)
+                  end)
                 (Kvstore.Replica_map.replicas (rmap t) ~key);
               reply ())))
     ~k

@@ -99,6 +99,12 @@ and finish_stab_round t dc =
           | Some pn when Sim.Time.compare (fst pn.meta) d.gst <= 0 ->
             let pn = Sim.Heap.pop_exn d.pending in
             let part = Common.partition_of geo ~key:pn.key in
+            if Sim.Probe.active () then
+              Sim.Span.end_
+                ~at:(Sim.Engine.now (Common.engine geo))
+                Sim.Span.Sk_stab ~origin:(snd pn.meta)
+                ~seq:(Sim.Time.to_us (fst pn.meta))
+                ~aux:part ~site:dc;
             let _ =
               Kvstore.Store.put_if_newer d.stores.(part) ~cmp:compare_meta ~key:pn.key pn.value pn.meta
             in
@@ -169,7 +175,10 @@ let update t ~client ~home ~dc ~key ~value ~k =
               let size = value.Kvstore.Value.size_bytes + meta_wire_bytes in
               List.iter
                 (fun dst ->
-                  if dst <> dc then
+                  if dst <> dc then begin
+                    if Sim.Probe.active () then
+                      Sim.Span.begin_ ~at:origin_time Sim.Span.Sk_bulk ~origin:dc
+                        ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dc ~peer:dst;
                     Common.ship t.geo ~src:dc ~dst ~size_bytes:size (fun () ->
                         let dd = t.dcs.(dst) in
                         if Sim.Time.compare ts dd.vv.(dc) > 0 then begin
@@ -182,7 +191,16 @@ let update t ~client ~home ~dc ~key ~value ~k =
                         in
                         Common.submit t.geo ~dc:dst ~part:(Common.partition_of t.geo ~key)
                           ~cost_us:apply_cost (fun () ->
-                            Sim.Heap.push dd.pending { key; value; meta; origin_time })))
+                            if Sim.Probe.active () then begin
+                              let at = Sim.Engine.now (Common.engine t.geo) in
+                              Sim.Span.end_ ~at Sim.Span.Sk_bulk ~origin:dc
+                                ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dc ~peer:dst;
+                              (* stabilization hold: until the GST covers ts *)
+                              Sim.Span.begin_ ~at Sim.Span.Sk_stab ~origin:dc
+                                ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dst
+                            end;
+                            Sim.Heap.push dd.pending { key; value; meta; origin_time }))
+                  end)
                 (Kvstore.Replica_map.replicas (rmap t) ~key);
               reply ts)))
     ~k:(fun ts ->

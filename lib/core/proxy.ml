@@ -73,7 +73,15 @@ let probe_apply t (label : Label.t) ~fallback =
   if Sim.Probe.active () then
     Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
       (Sim.Probe.Proxy_apply
-         { dc = t.dc; src_dc = label.Label.src_dc; ts = Sim.Time.to_us label.Label.ts; fallback })
+         { dc = t.dc; src_dc = label.Label.src_dc; gear = label.Label.src_gear;
+           ts = Sim.Time.to_us label.Label.ts; fallback })
+
+let span_label ~at ph t (label : Label.t) =
+  let emit =
+    match ph with `Begin -> Sim.Span.begin_ ~at | `End -> Sim.Span.end_ ~at
+  in
+  emit Sim.Span.Sk_proxy_order ~origin:label.Label.src_dc ~seq:(Sim.Time.to_us label.Label.ts)
+    ~aux:label.Label.src_gear ~site:t.dc
 
 let mode t = t.mode
 
@@ -143,6 +151,11 @@ let fire_label_waiters t label =
   | None -> ()
 
 let mark_applied t (label : Label.t) =
+  (* ordering-wait span: opened by [append_label] for entries that had to
+     wait; in fallback mode the stream is not appended, so no begin exists
+     and no end is owed *)
+  if t.mode = Stream && Sim.Probe.active () then
+    span_label ~at:(Sim.Engine.now t.engine) `End t label;
   Hashtbl.replace t.applied_set label ();
   Hashtbl.remove t.payloads label;
   Hashtbl.remove t.staged label;
@@ -300,6 +313,8 @@ and complete_switch t =
 
 and append_label t label =
   let state = if Hashtbl.mem t.applied_set label then Applied else Waiting in
+  if state = Waiting && Sim.Probe.active () then
+    span_label ~at:(Sim.Engine.now t.engine) `Begin t label;
   stream_push t.stream { label; state }
 
 let on_label t label =
@@ -373,6 +388,13 @@ let on_payload t (p : payload) =
     Sim.Heap.push t.pending_by_src.(src) p.label;
     t.stage_update p ~k:(fun () ->
         if not (Hashtbl.mem t.applied_set p.label) then begin
+          (* closes the bulk-transfer span opened when the payload left the
+             origin datacenter (System's ship hook) *)
+          if Sim.Probe.active () then begin
+            let l = p.label in
+            Sim.Span.end_ ~at:(Sim.Engine.now t.engine) Sim.Span.Sk_bulk ~origin:l.Label.src_dc
+              ~seq:(Sim.Time.to_us l.Label.ts) ~aux:l.Label.src_gear ~site:l.Label.src_dc ~peer:t.dc
+          end;
           Hashtbl.replace t.staged p.label ();
           (match t.mode with Stream -> scan t | Fallback -> ());
           try_fallback t

@@ -11,6 +11,7 @@ type t = {
   engine : Sim.Engine.t;
   topo : Sim.Topology.t;
   config : Config.t;
+  instance : int; (* disambiguates uid-keyed spans across service epochs *)
   deliver : dc:int -> Label.t -> unit;
   interest : Label.t -> int list;
   mutable chains : msg Chain.t array;
@@ -33,10 +34,14 @@ let probe_delay t s delta =
     Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
       (Sim.Probe.Delay_wait { serializer = s; us = Sim.Time.to_us delta })
 
+let positive delta = Sim.Time.compare delta Sim.Time.zero > 0
+
 let route t s msg =
+  let origin, oseq = msg.uid in
   if Sim.Probe.active () then begin
-    let origin, oseq = msg.uid in
-    Sim.Probe.emit ~at:(Sim.Engine.now t.engine) (Sim.Probe.Ser_commit { ser = s; origin; oseq })
+    let at = Sim.Engine.now t.engine in
+    Sim.Probe.emit ~at (Sim.Probe.Ser_commit { ser = s; origin; oseq });
+    Sim.Span.end_ ~at Sim.Span.Sk_chain ~origin ~seq:oseq ~aux:t.instance ~site:s
   end;
   let tree = Config.tree t.config in
   let local = List.filter (fun dc -> List.mem dc (Tree.dcs_at tree s)) msg.targets in
@@ -44,11 +49,24 @@ let route t s msg =
     (fun dc ->
       let delta = Config.delay t.config ~from:s ~hop:(To_dc dc) in
       if Sim.Probe.active () then begin
-        Sim.Probe.emit ~at:(Sim.Engine.now t.engine) (Sim.Probe.Serializer_deliver { dc });
-        probe_delay t s delta
+        let at = Sim.Engine.now t.engine in
+        Sim.Probe.emit ~at (Sim.Probe.Serializer_deliver { dc });
+        probe_delay t s delta;
+        if positive delta then
+          Sim.Span.begin_ ~at Sim.Span.Sk_delay_egress ~origin ~seq:oseq ~aux:t.instance ~site:s
+            ~peer:dc
       end;
       let sender = Hashtbl.find t.dc_out_senders dc in
       Sim.Engine.schedule t.engine ~delay:delta (fun () ->
+          if Sim.Probe.active () then begin
+            let at = Sim.Engine.now t.engine in
+            if positive delta then
+              Sim.Span.end_ ~at Sim.Span.Sk_delay_egress ~origin ~seq:oseq ~aux:t.instance ~site:s
+                ~peer:dc;
+            let l = msg.label in
+            Sim.Span.begin_ ~at Sim.Span.Sk_egress ~origin:l.Label.src_dc
+              ~seq:(Sim.Time.to_us l.Label.ts) ~aux:l.Label.src_gear ~site:s ~peer:dc
+          end;
           Reliable_fifo.send sender ~size_bytes:Label.size_bytes msg.label))
     local;
   List.iter
@@ -58,19 +76,29 @@ let route t s msg =
       if sub <> [] then begin
         let delta = Config.delay t.config ~from:s ~hop:(To_serializer b) in
         if Sim.Probe.active () then begin
-          Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
-            (Sim.Probe.Serializer_hop { from_ser = s; to_ser = b });
-          probe_delay t s delta
+          let at = Sim.Engine.now t.engine in
+          Sim.Probe.emit ~at (Sim.Probe.Serializer_hop { from_ser = s; to_ser = b });
+          probe_delay t s delta;
+          if positive delta then
+            Sim.Span.begin_ ~at Sim.Span.Sk_delay_hop ~origin ~seq:oseq ~aux:t.instance ~site:s
+              ~peer:b
         end;
         let sender = Hashtbl.find t.edge_senders (s, b) in
         let forwarded = { msg with targets = sub } in
         Sim.Engine.schedule t.engine ~delay:delta (fun () ->
+            if Sim.Probe.active () then begin
+              let at = Sim.Engine.now t.engine in
+              if positive delta then
+                Sim.Span.end_ ~at Sim.Span.Sk_delay_hop ~origin ~seq:oseq ~aux:t.instance ~site:s
+                  ~peer:b;
+              Sim.Span.begin_ ~at Sim.Span.Sk_hop ~origin ~seq:oseq ~aux:t.instance ~site:s ~peer:b
+            end;
             Reliable_fifo.send sender ~size_bytes:Label.size_bytes forwarded)
       end)
     (Tree.neighbors tree s)
 
 let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
-    ?(intra_latency = Sim.Time.of_us 300) ?registry ?(name = "service") () =
+    ?(intra_latency = Sim.Time.of_us 300) ?registry ?(name = "service") ?(instance = 0) () =
   let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
   let tree = Config.tree config in
   let n_ser = Tree.n_serializers tree in
@@ -80,6 +108,7 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
       engine;
       topo;
       config;
+      instance;
       deliver;
       interest;
       chains = [||];
@@ -108,8 +137,22 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
      its committed prefix, and the chain's dedup-by-origin already gives the
      exactly-once commit that such a re-sync provides. *)
   let ingest s msg ~confirm = Chain.input t.chains.(s) ~ext_key:msg.uid msg ~confirm in
-  let chain_ingress s =
-    let recv = Reliable_fifo.receiver_deferred engine ~deliver:(ingest s) in
+  (* [from] names the inbound channel so the span layer can close the right
+     in-flight segment (attach from a datacenter, hop from a serializer)
+     and open the chain span at the same instant *)
+  let chain_ingress s ~from =
+    let deliver msg ~confirm =
+      if Sim.Probe.active () then begin
+        let origin, oseq = msg.uid in
+        let at = Sim.Engine.now engine in
+        (match from with
+        | `Dc dc -> Sim.Span.end_ ~at Sim.Span.Sk_attach ~origin ~seq:oseq ~aux:instance ~site:dc ~peer:s
+        | `Ser x -> Sim.Span.end_ ~at Sim.Span.Sk_hop ~origin ~seq:oseq ~aux:instance ~site:x ~peer:s);
+        Sim.Span.begin_ ~at Sim.Span.Sk_chain ~origin ~seq:oseq ~aux:instance ~site:s
+      end;
+      ingest s msg ~confirm
+    in
+    let recv = Reliable_fifo.receiver_deferred engine ~deliver in
     ingress_receivers.(s) <- recv :: ingress_receivers.(s);
     recv
   in
@@ -135,7 +178,7 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
           let ack = Sim.Link.create engine ~latency:lat () in
           Hashtbl.replace t.edge_links (x, y) (data, ack);
           let sender = Reliable_fifo.sender engine ~resend_period:(resend_period lat) in
-          Reliable_fifo.connect sender ~data ~ack (chain_ingress y);
+          Reliable_fifo.connect sender ~data ~ack (chain_ingress y ~from:(`Ser x));
           Hashtbl.replace t.edge_senders (x, y) sender;
           register_sender sender)
         [ (a, b); (b, a) ])
@@ -149,7 +192,7 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
         let data = Sim.Link.create engine ~latency:lat () in
         let ack = Sim.Link.create engine ~latency:lat () in
         let sender = Reliable_fifo.sender engine ~resend_period:(resend_period lat) in
-        Reliable_fifo.connect sender ~data ~ack (chain_ingress s);
+        Reliable_fifo.connect sender ~data ~ack (chain_ingress s ~from:(`Dc dc));
         t.dc_in_senders.(dc) <- sender;
         register_sender sender;
         let out_data = Sim.Link.create engine ~latency:lat () in
@@ -158,6 +201,10 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
         let out_recv =
           Reliable_fifo.receiver engine ~deliver:(fun label ->
               Stats.Registry.incr t.delivered_counter;
+              if Sim.Probe.active () then
+                Sim.Span.end_ ~at:(Sim.Engine.now engine) Sim.Span.Sk_egress
+                  ~origin:label.Label.src_dc ~seq:(Sim.Time.to_us label.Label.ts)
+                  ~aux:label.Label.src_gear ~site:s ~peer:dc;
               deliver ~dc label)
         in
         Reliable_fifo.connect out_sender ~data:out_data ~ack:out_ack out_recv;
@@ -168,13 +215,21 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
 
 let input t ~dc label =
   Stats.Registry.incr t.input_counter;
-  if Sim.Probe.active () then
-    Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
-      (Sim.Probe.Label_forward { dc; ts = Sim.Time.to_us label.Label.ts });
   let targets = List.filter (fun d -> d <> dc) (t.interest label) in
+  let oseq = if targets = [] then -1 else t.uid_counter.(dc) in
+  if Sim.Probe.active () then begin
+    let at = Sim.Engine.now t.engine in
+    Sim.Probe.emit ~at
+      (Sim.Probe.Label_forward
+         { dc; gear = label.Label.src_gear; ts = Sim.Time.to_us label.Label.ts; oseq;
+           inst = t.instance });
+    if oseq >= 0 then
+      Sim.Span.begin_ ~at Sim.Span.Sk_attach ~origin:dc ~seq:oseq ~aux:t.instance ~site:dc
+        ~peer:(Tree.serializer_of (Config.tree t.config) ~dc)
+  end;
   if targets <> [] then begin
-    let uid = (dc, t.uid_counter.(dc)) in
-    t.uid_counter.(dc) <- t.uid_counter.(dc) + 1;
+    let uid = (dc, oseq) in
+    t.uid_counter.(dc) <- oseq + 1;
     Reliable_fifo.send t.dc_in_senders.(dc) ~size_bytes:Label.size_bytes { uid; label; targets }
   end
 

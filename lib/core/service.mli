@@ -25,6 +25,7 @@ val create :
   ?intra_latency:Sim.Time.t ->
   ?registry:Stats.Registry.t ->
   ?name:string ->
+  ?instance:int ->
   unit ->
   t
 (** [interest label] lists the datacenters that must receive [label]
@@ -33,7 +34,11 @@ val create :
     order. [registry] receives the service's counters under [name]
     (default ["service"]); a private registry is created when omitted.
     Label ingress, serializer hops and artificial-delay waits are traced
-    through {!Sim.Probe} when a probe is installed. *)
+    through {!Sim.Probe} when a probe is installed, and every leg of a
+    forwarded label's trip (attach, chain, δ-waits, hops, egress) is
+    bracketed by {!Sim.Span} begin/end pairs keyed by the label's
+    [(origin, oseq)] uid. [instance] (default 0) tags those span keys so
+    concurrent service epochs during reconfiguration cannot collide. *)
 
 val input : t -> dc:int -> Label.t -> unit
 (** Called by datacenter [dc]'s label sink, in a causality-compliant order. *)

@@ -21,9 +21,12 @@ let flush t =
       assert (Sim.Time.compare l.Label.ts t.last_emitted_ts >= 0);
       t.last_emitted_ts <- l.Label.ts;
       Stats.Registry.incr t.emitted_counter;
-      if Sim.Probe.active () then
-        Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
-          (Sim.Probe.Sink_emit { dc = l.Label.src_dc; ts = Sim.Time.to_us l.Label.ts });
+      if Sim.Probe.active () then begin
+        let at = Sim.Engine.now t.engine in
+        Sim.Span.end_ ~at Sim.Span.Sk_sink_hold ~origin:l.Label.src_dc
+          ~seq:(Sim.Time.to_us l.Label.ts) ~aux:l.Label.src_gear ~site:l.Label.src_dc;
+        Sim.Probe.emit ~at (Sim.Probe.Sink_emit { dc = l.Label.src_dc; ts = Sim.Time.to_us l.Label.ts })
+      end;
       t.emit l;
       drain ()
     | Some _ | None -> ()
@@ -46,7 +49,12 @@ let create engine ~gears ~period ~emit ?registry ?(name = "sink") () =
   Sim.Engine.periodic engine ~every:period (fun () -> flush t) ~stop:(fun () -> t.stopped);
   t
 
-let offer t label = Sim.Heap.push t.buffer label
+let offer t label =
+  if Sim.Probe.active () then
+    Sim.Span.begin_ ~at:(Sim.Engine.now t.engine) Sim.Span.Sk_sink_hold
+      ~origin:label.Label.src_dc ~seq:(Sim.Time.to_us label.Label.ts) ~aux:label.Label.src_gear
+      ~site:label.Label.src_dc;
+  Sim.Heap.push t.buffer label
 let stop t = t.stopped <- true
 let emitted t = Stats.Registry.counter_value t.emitted_counter
 let buffered t = Sim.Heap.size t.buffer

@@ -113,6 +113,13 @@ let create ?registry engine p hooks =
             Datacenter.ship_payload =
               (fun ~dst payload ->
                 let size = payload.Proxy.value.Kvstore.Value.size_bytes + Label.size_bytes in
+                if Sim.Probe.active () then begin
+                  (* closed at [dst] once the payload finishes staging *)
+                  let l = payload.Proxy.label in
+                  Sim.Span.begin_ ~at:(Sim.Engine.now engine) Sim.Span.Sk_bulk
+                    ~origin:l.Label.src_dc ~seq:(Sim.Time.to_us l.Label.ts) ~aux:l.Label.src_gear
+                    ~site:l.Label.src_dc ~peer:dst
+                end;
                 Sim.Link.send t.bulk.(dc).(dst) ~size_bytes:size (fun () ->
                     Proxy.on_payload (Datacenter.proxy t.dcs.(dst)) payload));
             emit_label = (fun label -> route_label t dc label);
@@ -133,7 +140,7 @@ let create ?registry engine p hooks =
       Some
         (Service.create engine ~topo:p.topo ~config:p.config ~interest:(interest_of p)
            ~deliver:(fun ~dc label -> deliver_current t ~dc label)
-           ~serializer_replicas:p.serializer_replicas ~registry ~name:"service" ());
+           ~serializer_replicas:p.serializer_replicas ~registry ~name:"service" ~instance:0 ());
   (* bulk-channel heartbeats: each datacenter periodically promises its gear
      floor to every other datacenter (liveness for attach stabilization and
      for the timestamp fallback) *)
@@ -221,7 +228,7 @@ let switch_config t config2 ~graceful =
     Service.create t.engine ~topo:t.p.topo ~config:config2 ~interest:(interest_of t.p)
       ~deliver:(fun ~dc label -> deliver_next t ~dc label)
       ~serializer_replicas:t.p.serializer_replicas ~registry:t.registry
-      ~name:(Printf.sprintf "service.e%d" epoch) ()
+      ~name:(Printf.sprintf "service.e%d" epoch) ~instance:epoch ()
   in
   t.next_service <- Some service2;
   Array.iteri

@@ -49,7 +49,7 @@ let analyze probe =
           flag at (Printf.sprintf "sink order violation at dc%d: ts %d after ts %d" dc ts prev)
         | _ -> ());
         Hashtbl.replace sink_ts dc ts
-      | Sim.Probe.Proxy_apply { dc; src_dc; ts; fallback = _ } -> (
+      | Sim.Probe.Proxy_apply { dc; src_dc; ts; gear = _; fallback = _ } -> (
         match Hashtbl.find_opt apply_ts (dc, src_dc) with
         | Some prev when ts <= prev ->
           flag at

@@ -9,6 +9,7 @@ type outcome = {
   digest : string;
   n_events : int;
   flame : (string * int) list;
+  span_us : (string * int) list;
   registry : Stats.Registry.t;
 }
 
@@ -180,6 +181,7 @@ let run_one ~seed ~scenario ~system ~busiest =
     digest = Sim.Probe.digest probe;
     n_events = Sim.Probe.count probe;
     flame = Sim.Probe.counts_by_kind probe;
+    span_us = Sim.Probe.span_totals_us probe;
     registry;
   }
 

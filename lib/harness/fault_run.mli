@@ -30,6 +30,7 @@ type outcome = {
   digest : string;  (** probe digest of this run *)
   n_events : int;
   flame : (string * int) list;  (** probe event counts by kind, name-sorted *)
+  span_us : (string * int) list;  (** matched-span µs by span kind, name-sorted *)
   registry : Stats.Registry.t;
 }
 

@@ -67,6 +67,11 @@ let smoke ?(seed = 42) () =
   List.iter
     (fun (k, n) -> Stats.Registry.incr ~by:n (Stats.Registry.counter registry ("probe." ^ k)))
     (Sim.Probe.counts_by_kind probe);
+  (* matched-span time per subsystem: the simulated-time face of the flame
+     table, and counter-gated in CI like every other probe statistic *)
+  List.iter
+    (fun (k, us) -> Stats.Registry.incr ~by:us (Stats.Registry.counter registry ("span." ^ k ^ ".us")))
+    (Sim.Probe.span_totals_us probe);
   {
     digest = Sim.Probe.digest probe;
     n_events = Sim.Probe.count probe;
@@ -77,15 +82,20 @@ let smoke ?(seed = 42) () =
 
 let write_artifacts r ~out_dir =
   if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
-  let trace = Filename.concat out_dir "trace.jsonl" in
-  let oc = open_out trace in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Sim.Probe.write_jsonl r.probe oc);
-  let digest_file = Filename.concat out_dir "trace.digest" in
-  let oc = open_out digest_file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (r.digest ^ "\n"));
-  (trace, digest_file)
+  let file name writer =
+    let path = Filename.concat out_dir name in
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> writer oc);
+    path
+  in
+  [
+    file "trace.jsonl" (fun oc -> Sim.Probe.write_jsonl r.probe oc);
+    file "trace.digest" (fun oc -> output_string oc (r.digest ^ "\n"));
+    file "trace.chrome.json" (fun oc -> Chrome.write r.probe oc);
+    file "decomposition.txt" (fun oc ->
+        output_string oc (Stats.Table.render (Journey.table (Journey.analyze r.probe)));
+        output_char oc '\n');
+  ]
 
 (* ---- probe-counter regression gate ------------------------------------- *)
 
@@ -149,8 +159,6 @@ let run_smoke ?(seed = 42) ?out_dir () =
   Stats.Registry.print ~title:(Printf.sprintf "smoke seed=%d" seed) r.registry;
   Printf.printf "trace: %d events, digest %s\n" r.n_events r.digest;
   (match out_dir with
-  | Some dir ->
-    let trace, digest_file = write_artifacts r ~out_dir:dir in
-    Printf.printf "wrote %s and %s\n" trace digest_file
+  | Some dir -> Printf.printf "wrote %s\n" (String.concat ", " (write_artifacts r ~out_dir:dir))
   | None -> ());
   r

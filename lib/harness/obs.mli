@@ -26,11 +26,14 @@ val chain_config : dc_sites:Sim.Topology.site array -> Saturn.Config.t
     which a solved three-site configuration may optimize away. *)
 
 val smoke : ?seed:int -> unit -> result
-(** Runs the scenario (default seed 42). Pure apart from simulation. *)
+(** Runs the scenario (default seed 42). Pure apart from simulation. The
+    registry also collects per-subsystem matched-span time as
+    [span.<kind>.us] counters next to the [probe.*] event counts. *)
 
-val write_artifacts : result -> out_dir:string -> string * string
-(** Writes [trace.jsonl] and [trace.digest] under [out_dir] (created if
-    missing); returns both paths. *)
+val write_artifacts : result -> out_dir:string -> string list
+(** Writes [trace.jsonl], [trace.digest], [trace.chrome.json] (Perfetto/
+    chrome://tracing) and [decomposition.txt] (the {!Journey} table) under
+    [out_dir] (created if missing); returns the paths. *)
 
 val run_smoke : ?seed:int -> ?out_dir:string -> unit -> result
 (** {!smoke}, then prints the registry table and the digest to stdout and,

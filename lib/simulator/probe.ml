@@ -1,12 +1,42 @@
 type mode = Stream | Fallback
 
+type span_kind =
+  | Sk_sink_hold
+  | Sk_attach
+  | Sk_chain
+  | Sk_delay_hop
+  | Sk_hop
+  | Sk_delay_egress
+  | Sk_egress
+  | Sk_proxy_order
+  | Sk_bulk
+  | Sk_stab
+
+let span_kind_name = function
+  | Sk_sink_hold -> "sink_hold"
+  | Sk_attach -> "attach"
+  | Sk_chain -> "chain"
+  | Sk_delay_hop -> "delay_hop"
+  | Sk_hop -> "hop"
+  | Sk_delay_egress -> "delay_egress"
+  | Sk_egress -> "egress"
+  | Sk_proxy_order -> "proxy_order"
+  | Sk_bulk -> "bulk"
+  | Sk_stab -> "stab"
+
+let span_kinds =
+  [ Sk_sink_hold; Sk_attach; Sk_chain; Sk_delay_hop; Sk_hop; Sk_delay_egress; Sk_egress;
+    Sk_proxy_order; Sk_bulk; Sk_stab ]
+
+type span = { sk : span_kind; origin : int; seq : int; aux : int; site : int; peer : int }
+
 type event =
   | Engine_step of { seq : int }
   | Link_send of { size_bytes : int }
   | Link_deliver
   | Link_drop of { in_flight : bool }
   | Fifo_resend of { sender : int; seq : int }
-  | Label_forward of { dc : int; ts : int }
+  | Label_forward of { dc : int; gear : int; ts : int; oseq : int; inst : int }
   | Serializer_hop of { from_ser : int; to_ser : int }
   | Serializer_deliver of { dc : int }
   | Delay_wait of { serializer : int; us : int }
@@ -14,10 +44,12 @@ type event =
   | Ser_commit of { ser : int; origin : int; oseq : int }
   | Head_change of { ser : int }
   | Sink_emit of { dc : int; ts : int }
-  | Proxy_apply of { dc : int; src_dc : int; ts : int; fallback : bool }
+  | Proxy_apply of { dc : int; src_dc : int; gear : int; ts : int; fallback : bool }
   | Proxy_mode of { dc : int; mode : mode }
   | Stab_round of { dc : int; gst : int }
   | Vec_advance of { dc : int; src : int; ts : int }
+  | Span_begin of span
+  | Span_end of span
 
 let kind = function
   | Engine_step _ -> "engine_step"
@@ -37,8 +69,14 @@ let kind = function
   | Proxy_mode _ -> "proxy_mode"
   | Stab_round _ -> "stab_round"
   | Vec_advance _ -> "vec_advance"
+  | Span_begin s | Span_end s -> "span." ^ span_kind_name s.sk
 
 let mode_string = function Stream -> "stream" | Fallback -> "fallback"
+
+let span_json t ph { sk; origin; seq; aux; site; peer } =
+  Printf.sprintf
+    {|{"t":%d,"ev":"span_%s","kind":"%s","origin":%d,"seq":%d,"aux":%d,"site":%d,"peer":%d}|} t ph
+    (span_kind_name sk) origin seq aux site peer
 
 let to_json at ev =
   let t = Time.to_us at in
@@ -50,7 +88,9 @@ let to_json at ev =
     Printf.sprintf {|{"t":%d,"ev":"link_drop","why":"%s"}|} t (if in_flight then "cut" else "down")
   | Fifo_resend { sender; seq } ->
     Printf.sprintf {|{"t":%d,"ev":"fifo_resend","sender":%d,"seq":%d}|} t sender seq
-  | Label_forward { dc; ts } -> Printf.sprintf {|{"t":%d,"ev":"label_forward","dc":%d,"ts":%d}|} t dc ts
+  | Label_forward { dc; gear; ts; oseq; inst } ->
+    Printf.sprintf {|{"t":%d,"ev":"label_forward","dc":%d,"gear":%d,"ts":%d,"oseq":%d,"inst":%d}|} t
+      dc gear ts oseq inst
   | Serializer_hop { from_ser; to_ser } ->
     Printf.sprintf {|{"t":%d,"ev":"serializer_hop","from":%d,"to":%d}|} t from_ser to_ser
   | Serializer_deliver { dc } -> Printf.sprintf {|{"t":%d,"ev":"serializer_deliver","dc":%d}|} t dc
@@ -61,14 +101,17 @@ let to_json at ev =
     Printf.sprintf {|{"t":%d,"ev":"ser_commit","ser":%d,"origin":%d,"oseq":%d}|} t ser origin oseq
   | Head_change { ser } -> Printf.sprintf {|{"t":%d,"ev":"head_change","ser":%d}|} t ser
   | Sink_emit { dc; ts } -> Printf.sprintf {|{"t":%d,"ev":"sink_emit","dc":%d,"ts":%d}|} t dc ts
-  | Proxy_apply { dc; src_dc; ts; fallback } ->
-    Printf.sprintf {|{"t":%d,"ev":"proxy_apply","dc":%d,"src":%d,"ts":%d,"via":"%s"}|} t dc src_dc ts
+  | Proxy_apply { dc; src_dc; gear; ts; fallback } ->
+    Printf.sprintf {|{"t":%d,"ev":"proxy_apply","dc":%d,"src":%d,"gear":%d,"ts":%d,"via":"%s"}|} t
+      dc src_dc gear ts
       (if fallback then "fallback" else "stream")
   | Proxy_mode { dc; mode } ->
     Printf.sprintf {|{"t":%d,"ev":"proxy_mode","dc":%d,"mode":"%s"}|} t dc (mode_string mode)
   | Stab_round { dc; gst } -> Printf.sprintf {|{"t":%d,"ev":"stab_round","dc":%d,"gst":%d}|} t dc gst
   | Vec_advance { dc; src; ts } ->
     Printf.sprintf {|{"t":%d,"ev":"vec_advance","dc":%d,"src":%d,"ts":%d}|} t dc src ts
+  | Span_begin s -> span_json t "begin" s
+  | Span_end s -> span_json t "end" s
 
 (* FNV-1a, 64-bit: stable across runs, processes and architectures — the
    digest doubles as CI's determinism oracle, so no Hashtbl.hash/Marshal *)
@@ -88,18 +131,50 @@ type t = {
   mutable len : int;
   mutable hash : int64;
   counts : (string, int) Hashtbl.t;
+  (* span pairing state: lives in the probe (not in [events]) so matched
+     totals are available even on count-only (~keep:false) probes, which is
+     what bench's flame table runs under *)
+  open_spans : (span, Time.t) Hashtbl.t;
+  span_us : (string, int) Hashtbl.t;
+  span_n : (string, int) Hashtbl.t;
+  mutable span_orphans : int;
+  mutable stream : out_channel option;
 }
 
 let create ?(keep = true) () =
   { keep; items = Array.make 1024 (Time.zero, Link_deliver); len = 0; hash = fnv_offset;
-    counts = Hashtbl.create 16 }
+    counts = Hashtbl.create 16; open_spans = Hashtbl.create 64; span_us = Hashtbl.create 16;
+    span_n = Hashtbl.create 16; span_orphans = 0; stream = None }
 
 let count t = t.len
 
+let stream_jsonl t oc = t.stream <- Some oc
+
+let bump tbl k by = Hashtbl.replace tbl k (by + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
 let record t at ev =
-  t.hash <- fnv_string (fnv_string t.hash (to_json at ev)) "\n";
-  let k = kind ev in
-  Hashtbl.replace t.counts k (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts k));
+  let line = to_json at ev in
+  t.hash <- fnv_string (fnv_string t.hash line) "\n";
+  (match t.stream with
+  | Some oc ->
+    output_string oc line;
+    output_char oc '\n'
+  | None -> ());
+  bump t.counts (kind ev) 1;
+  (match ev with
+  | Span_begin s ->
+    (* keep the first begin: duplicates (none are expected from the core
+       instrumentation) must not reset an open interval *)
+    if not (Hashtbl.mem t.open_spans s) then Hashtbl.replace t.open_spans s at
+  | Span_end s -> (
+    match Hashtbl.find_opt t.open_spans s with
+    | Some t0 ->
+      Hashtbl.remove t.open_spans s;
+      let k = span_kind_name s.sk in
+      bump t.span_us k (Time.to_us at - Time.to_us t0);
+      bump t.span_n k 1
+    | None -> t.span_orphans <- t.span_orphans + 1)
+  | _ -> ());
   if t.keep then begin
     if t.len = Array.length t.items then begin
       let bigger = Array.make (2 * t.len) (Time.zero, Link_deliver) in
@@ -112,9 +187,15 @@ let record t at ev =
 
 let events t = if not t.keep then [] else List.init t.len (fun i -> t.items.(i))
 
-let counts_by_kind t =
+let sorted_bindings tbl =
   List.sort (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.counts [])
+    (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+
+let counts_by_kind t = sorted_bindings t.counts
+let span_totals_us t = sorted_bindings t.span_us
+let span_counts t = sorted_bindings t.span_n
+let span_orphans t = t.span_orphans
+let open_span_count t = Hashtbl.length t.open_spans
 
 let digest t = Printf.sprintf "%016Lx" t.hash
 

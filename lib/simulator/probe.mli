@@ -7,12 +7,56 @@
     function of the scenario and its seed: two same-seed runs must produce
     byte-identical traces, which CI asserts as a regression oracle.
 
+    Besides point events, the probe understands {e spans}: matched
+    {!Span_begin}/{!Span_end} pairs that attribute simulated time to a
+    subsystem. Pairing happens inside the probe as events arrive, so
+    per-kind span totals ({!span_totals_us}) are available even on
+    count-only ([~keep:false]) probes. The {!Span} module provides the
+    ergonomic emit helpers instrumentation sites use.
+
     The facility is zero-cost when disabled: instrumentation points guard
     with {!active} (one ref read and a branch) and allocate nothing unless
     a sink is installed. Exactly one process-wide sink can be installed at
     a time, in the style of a [Logs] reporter. *)
 
 type mode = Stream | Fallback
+
+(** Subsystems a span can attribute time to, following a label's life
+    (paper §4): held in the origin sink for gear stability; attached into
+    the tree; replicated by a serializer's chain; parked for the
+    artificial delay δ before a hop or an egress; in flight between
+    serializers; in flight toward the destination proxy; and waiting in
+    the proxy's ordering buffer. [Sk_bulk] covers the payload's trip on
+    the bulk data plane, [Sk_stab] the baselines' stabilization holds. *)
+type span_kind =
+  | Sk_sink_hold
+  | Sk_attach
+  | Sk_chain
+  | Sk_delay_hop
+  | Sk_hop
+  | Sk_delay_egress
+  | Sk_egress
+  | Sk_proxy_order
+  | Sk_bulk
+  | Sk_stab
+
+val span_kind_name : span_kind -> string
+(** ["sink_hold"], ["attach"], … — the keys of {!span_totals_us}. *)
+
+val span_kinds : span_kind list
+(** Every kind, in label-lifecycle order. *)
+
+(** A span's correlation key. Begin and end must agree on {e every} field
+    — the probe pairs them structurally. Two keying conventions are used:
+    tree-side spans ([Sk_attach]..[Sk_delay_egress]) carry the service uid
+    [(origin dc, seq = oseq)] with [aux] = the service instance, while
+    label-identity spans ([Sk_sink_hold], [Sk_egress], [Sk_proxy_order],
+    [Sk_bulk], [Sk_stab]) carry [(origin dc, seq = label ts in µs)] with
+    [aux] = the source gear (timestamps are only unique per gear).
+    [site]/[peer] locate the span (serializer or datacenter ids; -1 when
+    unused). [Harness.Journey] joins the two keyings via
+    {!Label_forward}. *)
+type span = { sk : span_kind; origin : int; seq : int; aux : int; site : int; peer : int }
 
 type event =
   | Engine_step of { seq : int }  (** the event loop dispatched one event *)
@@ -25,7 +69,11 @@ type event =
           tell loss-by-cut from loss-by-outage *)
   | Fifo_resend of { sender : int; seq : int }
       (** a reliable-FIFO sender retransmitted an unacknowledged message *)
-  | Label_forward of { dc : int; ts : int }  (** label entered the metadata service at [dc] *)
+  | Label_forward of { dc : int; gear : int; ts : int; oseq : int; inst : int }
+      (** label [(dc, gear, ts)] entered the metadata service at [dc]. When
+          it had remote targets it was assigned uid [(dc, oseq)] by service
+          instance [inst]; [oseq] = -1 means local-only, never forwarded.
+          This event is the lid→uid join point for journey reconstruction. *)
   | Serializer_hop of { from_ser : int; to_ser : int }  (** serializer-to-serializer forward *)
   | Serializer_deliver of { dc : int }  (** service egress toward [dc]'s proxy *)
   | Delay_wait of { serializer : int; us : int }  (** artificial delay δ applied on a hop *)
@@ -36,18 +84,21 @@ type event =
           FIFO-per-origin oracle the fault checker asserts over *)
   | Head_change of { ser : int }  (** chain head crashed and the chain healed *)
   | Sink_emit of { dc : int; ts : int }  (** label sink emitted a stable label *)
-  | Proxy_apply of { dc : int; src_dc : int; ts : int; fallback : bool }
+  | Proxy_apply of { dc : int; src_dc : int; gear : int; ts : int; fallback : bool }
       (** remote update installed; [fallback] tells which path ordered it *)
   | Proxy_mode of { dc : int; mode : mode }  (** proxy switched ordering modes *)
   | Stab_round of { dc : int; gst : int }  (** baseline stabilization round completed *)
   | Vec_advance of { dc : int; src : int; ts : int }  (** baseline version-vector advance *)
+  | Span_begin of span  (** simulated time starts accruing to [span.sk] *)
+  | Span_end of span  (** …and stops; must match an open begin field-for-field *)
 
 type t
 
 val create : ?keep:bool -> unit -> t
 (** [keep] (default true) buffers every event for {!events} and
-    {!write_jsonl}. With [~keep:false] only the running digest and
-    per-kind counts are maintained, so unbounded runs stay O(1) space. *)
+    {!write_jsonl}. With [~keep:false] only the running digest, per-kind
+    counts and span totals are maintained, so unbounded runs stay O(1)
+    space. *)
 
 (** {2 The process-wide sink} *)
 
@@ -73,7 +124,21 @@ val events : t -> (Time.t * event) list
 
 val counts_by_kind : t -> (string * int) list
 (** Event counts grouped by {!kind}, name-sorted. Available regardless of
-    [keep]. *)
+    [keep]. Span begins and ends share one ["span.<kind>"] bucket. *)
+
+val span_totals_us : t -> (string * int) list
+(** Total simulated µs accrued by {e matched} spans, per
+    {!span_kind_name}, name-sorted. Available regardless of [keep]. *)
+
+val span_counts : t -> (string * int) list
+(** Matched span pairs per kind, name-sorted. *)
+
+val span_orphans : t -> int
+(** [Span_end] events that matched no open begin (they contribute nothing
+    to the totals). *)
+
+val open_span_count : t -> int
+(** Spans begun but not yet ended — in-flight work at the end of a run. *)
 
 val digest : t -> string
 (** 64-bit FNV-1a over the JSONL rendering of the event stream, as a
@@ -88,4 +153,11 @@ val to_json : Time.t -> event -> string
 
 val write_jsonl : t -> out_channel -> unit
 (** One {!to_json} line per recorded event, in emission order.
-    @raise Invalid_argument if the probe was created with [~keep:false]. *)
+    @raise Invalid_argument if the probe was created with [~keep:false].
+    For count-only probes use {!stream_jsonl} instead. *)
+
+val stream_jsonl : t -> out_channel -> unit
+(** Attaches a streaming JSONL sink: every event recorded {e from now on}
+    is written to [oc] as it happens, regardless of [keep] — O(1) memory
+    export for unbounded runs. The caller owns (flushes, closes) the
+    channel after the run. *)

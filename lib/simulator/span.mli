@@ -1,0 +1,25 @@
+(** Terse span-emission helpers over {!Probe}.
+
+    Instrumentation sites guard with {!active} and then call {!begin_} /
+    {!end_} with the same key fields; the probe pairs them structurally
+    and accrues the simulated-time difference to the kind's total. See
+    {!Probe.span} for the keying conventions ([aux]/[site]/[peer] default
+    to -1 = unused). *)
+
+type kind = Probe.span_kind =
+  | Sk_sink_hold
+  | Sk_attach
+  | Sk_chain
+  | Sk_delay_hop
+  | Sk_hop
+  | Sk_delay_egress
+  | Sk_egress
+  | Sk_proxy_order
+  | Sk_bulk
+  | Sk_stab
+
+val active : unit -> bool
+(** Same guard as {!Probe.active}. *)
+
+val begin_ : at:Time.t -> ?aux:int -> ?site:int -> ?peer:int -> kind -> origin:int -> seq:int -> unit
+val end_ : at:Time.t -> ?aux:int -> ?site:int -> ?peer:int -> kind -> origin:int -> seq:int -> unit

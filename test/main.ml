@@ -4,6 +4,7 @@ let () =
       ("sim", Test_sim.suite);
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
+      ("spans", Test_spans.suite);
       ("kvstore", Test_kvstore.suite);
       ("label", Test_label.suite);
       ("tree", Test_tree.suite);

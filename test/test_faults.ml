@@ -210,8 +210,8 @@ let test_checker_clean_stream () =
         (5, Sim.Probe.Sink_emit { dc = 0; ts = 10 });
         (6, Sim.Probe.Sink_emit { dc = 0; ts = 10 });
         (* equal sink ts fine *)
-        (7, Sim.Probe.Proxy_apply { dc = 0; src_dc = 1; ts = 4; fallback = false });
-        (8, Sim.Probe.Proxy_apply { dc = 0; src_dc = 1; ts = 9; fallback = true });
+        (7, Sim.Probe.Proxy_apply { dc = 0; src_dc = 1; gear = 0; ts = 4; fallback = false });
+        (8, Sim.Probe.Proxy_apply { dc = 0; src_dc = 1; gear = 0; ts = 9; fallback = true });
       ]
   in
   Alcotest.(check bool) "ok" true (Faults.Checker.ok r);

@@ -88,9 +88,15 @@ let test_probe_json_stable () =
     "serializer_hop json" {|{"t":1200,"ev":"serializer_hop","from":0,"to":1}|}
     (Sim.Probe.to_json (Sim.Time.of_us 1200) (Sim.Probe.Serializer_hop { from_ser = 0; to_ser = 1 }));
   Alcotest.(check string)
-    "proxy_apply json" {|{"t":7,"ev":"proxy_apply","dc":2,"src":0,"ts":33,"via":"fallback"}|}
+    "proxy_apply json" {|{"t":7,"ev":"proxy_apply","dc":2,"src":0,"gear":1,"ts":33,"via":"fallback"}|}
     (Sim.Probe.to_json (Sim.Time.of_us 7)
-       (Sim.Probe.Proxy_apply { dc = 2; src_dc = 0; ts = 33; fallback = true }))
+       (Sim.Probe.Proxy_apply { dc = 2; src_dc = 0; gear = 1; ts = 33; fallback = true }));
+  Alcotest.(check string)
+    "span json"
+    {|{"t":42,"ev":"span_begin","kind":"chain","origin":1,"seq":7,"aux":0,"site":2,"peer":-1}|}
+    (Sim.Probe.to_json (Sim.Time.of_us 42)
+       (Sim.Probe.Span_begin
+          { Sim.Probe.sk = Sim.Probe.Sk_chain; origin = 1; seq = 7; aux = 0; site = 2; peer = -1 }))
 
 let test_probe_unbuffered () =
   let p = Sim.Probe.create ~keep:false () in
