@@ -1,0 +1,33 @@
+(* saturn-lint: the determinism & invariant static-analysis pass.
+
+   Scans the repo's own sources (default: lib/) with a hand-rolled
+   tokenizer — no ppxlib, no compiler-libs — and fails on any unwaivered
+   finding. See lib/lint/rules.mli for the rule set and README "Static
+   analysis" for the waiver grammar. *)
+
+let usage = "saturn_lint [--json] [--root DIR] [--baseline FILE] [DIR...]\n\nOptions:"
+
+let () =
+  let json = ref false in
+  let root = ref "." in
+  let baseline = ref None in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " machine-readable report on stdout");
+      ("--root", Arg.Set_string root, "DIR repository root to scan from (default .)");
+      ( "--baseline",
+        Arg.String (fun s -> baseline := Some s),
+        "FILE counter baseline (default ROOT/ci/smoke-counters.txt when present)" );
+    ]
+  in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  let dirs = match List.rev !dirs with [] -> [ "lib" ] | ds -> ds in
+  let baseline =
+    match !baseline with
+    | Some f -> Some f
+    | None -> Some (Filename.concat !root "ci/smoke-counters.txt")
+  in
+  let report = Lint.Engine.run ?baseline ~root:!root ~dirs () in
+  Lint.Report.print ~json:!json report;
+  exit (if report.Lint.Report.findings = [] then 0 else 1)

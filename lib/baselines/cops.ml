@@ -121,7 +121,7 @@ let update t ~client ~home ~dc ~key ~value ~k =
     (fun reply ->
       Common.via_frontend t.geo ~dc (fun () ->
           let ctx = context t client in
-          let deps = Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx [] in
+          let deps = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx []) in
           let part = Common.partition_of t.geo ~key in
           let dep_cost = List.length deps * (cost t).Saturn.Cost_model.scalar_meta_us in
           let cost_us =

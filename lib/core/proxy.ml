@@ -425,6 +425,8 @@ let compact t =
     let cutoff = Sim.Time.sub !floor compact_margin in
     if Sim.Time.compare cutoff Sim.Time.zero > 0 then begin
       let stale =
+        (* lint: allow unordered-iteration — collects members only to remove
+           them; removal commutes, the set after compaction is order-independent *)
         Hashtbl.fold
           (fun (l : Label.t) () acc -> if Sim.Time.compare l.Label.ts cutoff < 0 then l :: acc else acc)
           t.applied_set []

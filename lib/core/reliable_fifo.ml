@@ -58,9 +58,12 @@ let receiver_deferred r_engine ~deliver =
 let redeliver_unconfirmed recv ~deliver =
   (* replay delivered-but-unconfirmed messages in sequence order per
      sender: the consumer (a healed chain) may have lost them *)
-  let entries = Hashtbl.fold (fun k m acc -> (k, m) :: acc) recv.r_unconfirmed [] in
-  let sorted = List.sort (fun ((s1, q1), _) ((s2, q2), _) ->
-      match Int.compare s1 s2 with 0 -> Int.compare q1 q2 | c -> c) entries in
+  let sorted =
+    List.sort
+      (fun ((s1, q1), _) ((s2, q2), _) ->
+        match Int.compare s1 s2 with 0 -> Int.compare q1 q2 | c -> c)
+      (Hashtbl.fold (fun k m acc -> (k, m) :: acc) recv.r_unconfirmed [])
+  in
   List.iter (fun ((sender_id, seq), msg) -> deliver_deferred deliver recv ~sender_id ~seq msg) sorted
 
 let delivered r = r.r_delivered

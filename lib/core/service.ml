@@ -286,7 +286,9 @@ let edge_link_list t =
 let attach_links t ~dc = t.dc_links.(dc)
 
 let edge_traffic t =
-  Hashtbl.fold (fun edge (data, _) acc -> (edge, Sim.Link.delivered_count data) :: acc) t.edge_links []
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun edge (data, _) acc -> (edge, Sim.Link.delivered_count data) :: acc) t.edge_links [])
 
 let total_label_hops t =
   List.fold_left (fun acc (_, n) -> acc + n) 0 (edge_traffic t) + labels_delivered t

@@ -118,7 +118,10 @@ let analyze probe =
     let cur = Option.value ~default:[] (Hashtbl.find_opt dsts_of lid) in
     if not (List.mem dst cur) then Hashtbl.replace dsts_of lid (dst :: cur)
   in
+  (* lint: allow unordered-iteration — builds an intermediate set; the only
+     consumer sorts each destination list before walking it (pass 2 below) *)
   Hashtbl.iter (fun (o, ts, g, dst) _ -> add_dst (o, ts, g) dst) applied;
+  (* lint: allow unordered-iteration — same set as above; order cannot escape *)
   Hashtbl.iter (fun (o, ts, g, dst) _ -> add_dst (o, ts, g) dst) egress;
   (* ---- pass 2: one journey per (forwarded label, destination) ----------- *)
   let journeys = ref [] in

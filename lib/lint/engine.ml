@@ -1,0 +1,135 @@
+let split_lines s = String.split_on_char '\n' s
+
+(* One source file, tokenized, with its parsed waivers and the findings
+   malformed lint comments produced. *)
+let scan_source ~file source =
+  let toks, comments = Token.tokenize source in
+  let waivers = ref [] in
+  let bad = ref [] in
+  List.iter
+    (fun c ->
+      match Waiver.of_comment c with
+      | Waiver.Not_a_waiver -> ()
+      | Waiver.Waiver w ->
+        if List.mem w.Waiver.rule Rules.waivable then waivers := w :: !waivers
+        else
+          bad :=
+            {
+              Rules.rule = Rules.r_bad_waiver;
+              file;
+              line = w.Waiver.line;
+              message =
+                Printf.sprintf "waiver names unknown rule %S (waivable: %s)" w.Waiver.rule
+                  (String.concat ", " Rules.waivable);
+            }
+            :: !bad
+      | Waiver.Malformed (line, message) ->
+        bad := { Rules.rule = Rules.r_bad_waiver; file; line; message } :: !bad)
+    comments;
+  (Rules.analyze_file ~file toks, List.rev !waivers, List.rev !bad)
+
+let compare_findings (a : Rules.finding) (b : Rules.finding) =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> String.compare a.rule b.rule | c -> c)
+  | c -> c
+
+(* [sources] are (display path, contents). The optional [baseline] is
+   (display path, contents) of ci/smoke-counters.txt. *)
+let run_sources ?baseline sources =
+  let per_file = List.map (fun (file, src) -> (file, scan_source ~file src)) sources in
+  let waivers = List.concat_map (fun (_, (_, ws, _)) -> ws) per_file in
+  let bad_waivers = List.concat_map (fun (_, (_, _, bs)) -> bs) per_file in
+  let facts = List.map (fun (_, (f, _, _)) -> f) per_file in
+  let local = List.concat_map (fun f -> f.Rules.ff_findings) facts in
+  let spans = List.concat_map (fun f -> f.Rules.ff_spans) facts in
+  let patterns = List.concat_map (fun f -> f.Rules.ff_patterns) facts in
+  let cross =
+    Rules.pair_spans spans
+    @
+    match baseline with
+    | Some (file, contents) -> Rules.check_baseline ~file (split_lines contents) patterns
+    | None -> []
+  in
+  let file_waivers = List.map (fun (file, (_, ws, _)) -> (file, ws)) per_file in
+  let suppressed (f : Rules.finding) =
+    match List.assoc_opt f.file file_waivers with
+    | None -> false
+    | Some ws -> (
+      match
+        List.find_opt (fun w -> w.Waiver.rule = f.rule && Waiver.covers w ~line:f.line) ws
+      with
+      | Some w ->
+        w.Waiver.used <- true;
+        true
+      | None -> false)
+  in
+  let surviving = List.filter (fun f -> not (suppressed f)) (local @ cross) in
+  let unused =
+    List.concat_map
+      (fun (file, ws) ->
+        List.filter_map
+          (fun w ->
+            if w.Waiver.used then None
+            else
+              Some
+                {
+                  Rules.rule = Rules.r_unused_waiver;
+                  file;
+                  line = w.Waiver.line;
+                  message =
+                    Printf.sprintf
+                      "waiver for %S no longer silences anything — the rule does not fire here; \
+                       delete the waiver"
+                      w.Waiver.rule;
+                })
+          ws)
+      file_waivers
+  in
+  {
+    Report.findings = List.sort compare_findings (surviving @ bad_waivers @ unused);
+    files_scanned = List.length sources;
+    waivers_total = List.length waivers;
+    waivers_used = List.length (List.filter (fun w -> w.Waiver.used) waivers);
+  }
+
+(* ---- filesystem walk ----------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let rec walk_dir abs rel acc =
+  let entries = Sys.readdir abs in
+  (* Sys.readdir order is filesystem-dependent: sort for a stable report *)
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc name ->
+      if String.length name = 0 || name.[0] = '.' || name = "_build" then acc
+      else
+        let abs' = Filename.concat abs name in
+        let rel' = if rel = "" then name else rel ^ "/" ^ name in
+        if Sys.is_directory abs' then walk_dir abs' rel' acc
+        else if Filename.check_suffix name ".ml" then (rel', abs') :: acc
+        else acc)
+    acc entries
+
+let run ?baseline ~root ~dirs () =
+  let files =
+    List.concat_map
+      (fun dir ->
+        let abs = Filename.concat root dir in
+        if Sys.file_exists abs && Sys.is_directory abs then List.rev (walk_dir abs dir [])
+        else [])
+      dirs
+  in
+  let files = List.sort (fun (a, _) (b, _) -> String.compare a b) files in
+  let sources = List.map (fun (rel, abs) -> (rel, read_file abs)) files in
+  let baseline =
+    match baseline with
+    | Some path when Sys.file_exists path -> Some (path, read_file path)
+    | _ -> None
+  in
+  run_sources ?baseline sources

@@ -1,0 +1,16 @@
+(** The driver: tokenize, run per-file rules, run the cross-file rules,
+    apply waivers, then report the waivers that silenced nothing. *)
+
+val scan_source :
+  file:string -> string -> Rules.file_facts * Waiver.t list * Rules.finding list
+(** One file in isolation; returns (facts, parsed waivers, bad-waiver
+    findings). Exposed for tests. *)
+
+val run_sources : ?baseline:string * string -> (string * string) list -> Report.t
+(** Full analysis over in-memory (path, contents) pairs; [baseline] is
+    (path, contents) of the smoke-counter baseline. This is what the unit
+    tests drive with inline fixtures. *)
+
+val run : ?baseline:string -> root:string -> dirs:string list -> unit -> Report.t
+(** Walk [root]/[dirs] for [*.ml] files (skipping dotfiles and [_build]),
+    read [baseline] if the path exists, and analyze. *)

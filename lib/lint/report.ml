@@ -1,0 +1,61 @@
+type t = {
+  findings : Rules.finding list;
+  files_scanned : int;
+  waivers_total : int;
+  waivers_used : int;
+}
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"version":1,"files_scanned":%d,"waivers":{"total":%d,"used":%d},"findings":[|}
+       t.files_scanned t.waivers_total t.waivers_used);
+  List.iteri
+    (fun i (f : Rules.finding) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf {|{"rule":"%s","file":"%s","line":%d,"message":"%s"}|} (json_escape f.rule)
+           (json_escape f.file) f.line (json_escape f.message)))
+    t.findings;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let to_table t =
+  let buf = Buffer.create 1024 in
+  if t.findings = [] then
+    Buffer.add_string buf
+      (Printf.sprintf "saturn-lint: clean — %d files scanned, %d/%d waivers in use\n" t.files_scanned
+         t.waivers_used t.waivers_total)
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "saturn-lint: %d finding(s) in %d files scanned\n\n" (List.length t.findings)
+         t.files_scanned);
+    let site (f : Rules.finding) = Printf.sprintf "%s:%d" f.file f.line in
+    let rule_w =
+      List.fold_left (fun w (f : Rules.finding) -> max w (String.length f.rule)) 4 t.findings
+    in
+    let site_w = List.fold_left (fun w f -> max w (String.length (site f))) 4 t.findings in
+    List.iter
+      (fun (f : Rules.finding) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s  %-*s  %s\n" rule_w f.rule site_w (site f) f.message))
+      t.findings
+  end;
+  Buffer.contents buf
+
+let print ?(json = false) t =
+  print_string (if json then to_json t ^ "\n" else to_table t)

@@ -1,0 +1,13 @@
+(** Findings plus scan statistics, renderable as a human table or as the
+    machine-readable JSON CI archives. *)
+
+type t = {
+  findings : Rules.finding list;  (** sorted by (file, line, rule) *)
+  files_scanned : int;
+  waivers_total : int;
+  waivers_used : int;
+}
+
+val to_json : t -> string
+val to_table : t -> string
+val print : ?json:bool -> t -> unit

@@ -1,0 +1,447 @@
+type finding = { rule : string; file : string; line : int; message : string }
+
+let r_unordered = "unordered-iteration"
+let r_ambient = "ambient-nondeterminism"
+let r_span = "span-pairing"
+let r_counter = "counter-name-grammar"
+let r_physeq = "physical-equality"
+let r_unused_waiver = "unused-waiver"
+let r_bad_waiver = "bad-waiver"
+
+(* rules a waiver comment may name *)
+let waivable = [ r_unordered; r_ambient; r_span; r_counter; r_physeq ]
+
+type span_site = { sp_file : string; sp_line : int; sp_kind : string option; sp_is_begin : bool }
+
+type reg_pattern = { rp_file : string; rp_line : int; rp_pattern : string }
+
+type file_facts = {
+  ff_findings : finding list;
+  ff_spans : span_site list;
+  ff_patterns : reg_pattern list;
+}
+
+(* ---- statement windows --------------------------------------------------
+
+   "The same expression" for R1/R3: the token window around a site bounded
+   by statement-level punctuation. Scanning out from the site we track the
+   lowest bracket depth seen so far ([l]); a boundary token only stops the
+   scan when it sits at that level, so delimiters inside sibling argument
+   groups — the [->] of an inline [fun], the [;] inside its body — are
+   crossed freely while the [in]/[;]/[let] that really ends the statement
+   is not. *)
+
+let fwd_stop = [ ";"; ";;"; "in"; "let"; "and"; "then"; "else"; "do"; "done"; "->"; "|" ]
+let bwd_stop = fwd_stop @ [ "="; "<-"; ":=" ]
+
+let boundary stops (t : Token.t) =
+  (match t.kind with Token.Ident | Token.Punct -> true | _ -> false)
+  && List.mem t.text stops
+
+let window_fwd (toks : Token.t array) i =
+  let n = Array.length toks in
+  let out = ref [] in
+  let l = ref toks.(i).depth in
+  let k = ref (i + 1) in
+  let stop = ref false in
+  while (not !stop) && !k < n do
+    let t = toks.(!k) in
+    if t.depth < !l then l := t.depth;
+    if boundary fwd_stop t && t.depth <= !l then stop := true
+    else begin
+      out := t :: !out;
+      incr k
+    end
+  done;
+  List.rev !out
+
+let window_bwd (toks : Token.t array) i =
+  let out = ref [] in
+  let l = ref toks.(i).depth in
+  let k = ref (i - 1) in
+  let stop = ref false in
+  while (not !stop) && !k >= 0 do
+    let t = toks.(!k) in
+    if t.depth < !l then l := t.depth;
+    if boundary bwd_stop t && t.depth <= !l then stop := true
+    else begin
+      out := t :: !out;
+      decr k
+    end
+  done;
+  !out
+
+let statement_window toks i = window_bwd toks i @ (toks.(i) :: window_fwd toks i)
+
+(* ---- R1: unordered iteration -------------------------------------------- *)
+
+let unordered_op text =
+  Token.starts_with ~prefix:"Hashtbl." text
+  && List.mem (Token.last_component text) [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+let sort_witness (t : Token.t) =
+  t.kind = Token.Ident
+  && List.mem (Token.last_component t.text) [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort" ]
+
+let check_unordered ~file toks =
+  let out = ref [] in
+  Array.iteri
+    (fun i (t : Token.t) ->
+      if t.kind = Token.Ident && unordered_op t.text then
+        if not (List.exists sort_witness (statement_window toks i)) then
+          out :=
+            {
+              rule = r_unordered;
+              file;
+              line = t.line;
+              message =
+                Printf.sprintf
+                  "%s iterates in hash-table order; sort the result in the same expression or \
+                   waive with a proof that the order cannot escape"
+                  t.text;
+            }
+            :: !out)
+    toks;
+  List.rev !out
+
+(* ---- R2: ambient nondeterminism ------------------------------------------ *)
+
+let ambient_reason text =
+  if text = "Unix.gettimeofday" || text = "Unix.time" || text = "Sys.time" then
+    Some "reads the wall clock; simulated components must use Sim.Engine.now"
+  else if text = "Hashtbl.hash" || Token.starts_with ~prefix:"Hashtbl.hash_param" text then
+    Some "Hashtbl.hash is not stable across OCaml versions; use the FNV digest instead"
+  else if Token.starts_with ~prefix:"Marshal." text then
+    Some "Marshal output is not a stable wire format; use the JSONL/probe encodings"
+  else if
+    Token.starts_with ~prefix:"Random." text && not (Token.starts_with ~prefix:"Random.State." text)
+  then Some "module-level Random is ambient global state; use Sim.Rng (or a seeded Random.State)"
+  else None
+
+let check_ambient ~file toks =
+  let out = ref [] in
+  Array.iter
+    (fun (t : Token.t) ->
+      if t.kind = Token.Ident then
+        match ambient_reason t.text with
+        | Some why ->
+          out :=
+            { rule = r_ambient; file; line = t.line; message = Printf.sprintf "%s: %s" t.text why }
+            :: !out
+        | None -> ())
+    toks;
+  List.rev !out
+
+(* ---- R5: physical equality ---------------------------------------------- *)
+
+let check_physeq ~file toks =
+  let out = ref [] in
+  Array.iter
+    (fun (t : Token.t) ->
+      if t.kind = Token.Punct && (t.text = "==" || t.text = "!=") then
+        out :=
+          {
+            rule = r_physeq;
+            file;
+            line = t.line;
+            message =
+              Printf.sprintf
+                "physical %s compares addresses, not values; use %s (or waive for an intentional \
+                 identity check)"
+                (if t.text = "==" then "equality (==)" else "inequality (!=)")
+                (if t.text = "==" then "=" else "<>");
+          }
+          :: !out)
+    toks;
+  List.rev !out
+
+(* ---- R3: span pairing (site collection) ---------------------------------- *)
+
+let span_call text =
+  if text = "Span.begin_" || String.ends_with ~suffix:".Span.begin_" text then Some true
+  else if text = "Span.end_" || String.ends_with ~suffix:".Span.end_" text then Some false
+  else None
+
+let sk_of (t : Token.t) =
+  if t.kind = Token.Ident && Token.starts_with ~prefix:"Sk_" (Token.last_component t.text) then
+    Some (Token.last_component t.text)
+  else None
+
+(* Top-level-ish segments for the fallback kind search: a helper may bind
+   [begin_ ~at] to a name and apply it to the [Sk_*] constructor a
+   statement later (Proxy.span_label does), so when the statement window
+   holds no constructor we look across the enclosing let-to-let segment. *)
+let segment_bounds (toks : Token.t array) i =
+  let n = Array.length toks in
+  let seg_start (t : Token.t) =
+    t.kind = Token.Ident && t.depth = 0
+    && List.mem t.text [ "let"; "type"; "module"; "open"; "exception"; "include" ]
+  in
+  let a = ref i in
+  while !a > 0 && not (seg_start toks.(!a)) do decr a done;
+  let b = ref (i + 1) in
+  while !b < n && not (seg_start toks.(!b)) do incr b done;
+  (!a, !b)
+
+let collect_spans ~file (toks : Token.t array) =
+  let out = ref [] in
+  Array.iteri
+    (fun i (t : Token.t) ->
+      if t.kind = Token.Ident then
+        match span_call t.text with
+        | None -> ()
+        | Some is_begin ->
+          let kind =
+            match List.find_map sk_of (window_fwd toks i) with
+            | Some k -> Some k
+            | None ->
+              let a, b = segment_bounds toks i in
+              let found = ref None in
+              for j = a to b - 1 do
+                if !found = None then found := sk_of toks.(j)
+              done;
+              !found
+          in
+          out := { sp_file = file; sp_line = t.line; sp_kind = kind; sp_is_begin = is_begin } :: !out)
+    toks;
+  List.rev !out
+
+let pair_spans (sites : span_site list) =
+  let module M = Map.Make (String) in
+  let add is_begin m site =
+    let b, e = Option.value ~default:([], []) (M.find_opt (Option.get site.sp_kind) m) in
+    M.add (Option.get site.sp_kind)
+      (if is_begin then (site :: b, e) else (b, site :: e))
+      m
+  in
+  let unresolved, resolved = List.partition (fun s -> s.sp_kind = None) sites in
+  let m =
+    List.fold_left (fun m s -> add s.sp_is_begin m s) M.empty resolved
+  in
+  let findings = ref [] in
+  List.iter
+    (fun s ->
+      findings :=
+        {
+          rule = r_span;
+          file = s.sp_file;
+          line = s.sp_line;
+          message =
+            Printf.sprintf
+              "cannot resolve the span kind at this Span.%s call; name the Sk_* constructor in \
+               the same statement"
+              (if s.sp_is_begin then "begin_" else "end_");
+        }
+        :: !findings)
+    unresolved;
+  M.iter
+    (fun kind (begins, ends) ->
+      let report side (s : span_site) other =
+        findings :=
+          {
+            rule = r_span;
+            file = s.sp_file;
+            line = s.sp_line;
+            message =
+              Printf.sprintf
+                "Span_%s of %s has no matching Span_%s call site anywhere in the scanned tree — \
+                 the %s span can never close, breaking the tiling invariant"
+                side kind other kind;
+          }
+          :: !findings
+      in
+      if begins <> [] && ends = [] then List.iter (fun s -> report "begin" s "end") begins;
+      if ends <> [] && begins = [] then List.iter (fun s -> report "end" s "begin") ends)
+    m;
+  List.rev !findings
+
+(* ---- R4: counter-name grammar -------------------------------------------- *)
+
+let registration_call text =
+  match String.split_on_char '.' text with
+  | [ _; "Registry"; ("counter" | "gauge" | "histogram" | "register_pull") ]
+  | [ "Registry"; ("counter" | "gauge" | "histogram" | "register_pull") ] ->
+    true
+  | _ -> false
+
+let name_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '*' || c = '>' || c = '-'
+
+(* "%d" → "*": format literals name a shape, not a single counter *)
+let format_to_glob s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '%' && !i + 1 < n then begin
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && not (String.contains "diuxXosfeEgGbBcdLln%" s.[!j])
+      do
+        incr j
+      done;
+      Buffer.add_char buf '*';
+      i := !j + 1
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let sprintf_like text =
+  List.mem (Token.last_component text) [ "sprintf"; "asprintf"; "format" ]
+
+(* The name argument of a registration call, as a glob: string literals
+   keep their text (format specifiers become [*]), spliced expressions
+   become [*]. [Registry.counter reg ("span." ^ k ^ ".us")] → [span.*.us].
+   Non-application occurrences (type annotations, [val] signatures) yield
+   [None]: their next token is punctuation, not an argument. *)
+let extract_pattern (toks : Token.t array) i =
+  let n = Array.length toks in
+  (* skip one argument (the registry handle): an ident or a paren group *)
+  let skip_arg j =
+    if j >= n then None
+    else
+      match toks.(j).kind with
+      | Token.Punct when toks.(j).text = "(" ->
+        let d = toks.(j).depth in
+        let k = ref (j + 1) in
+        while !k < n && not (toks.(!k).kind = Token.Punct && toks.(!k).text = ")" && toks.(!k).depth = d) do
+          incr k
+        done;
+        Some (!k + 1)
+      | Token.Ident -> Some (j + 1)
+      | _ -> None
+  in
+  match skip_arg (i + 1) with
+  | None -> None
+  | Some j when j >= n -> None
+  | Some j -> (
+    match toks.(j) with
+    | { kind = Token.String; text; line; _ } ->
+      Some (line, [ (line, text) ], format_to_glob text)
+    | { kind = Token.Punct; text = "("; depth; _ } ->
+      let pieces = ref [] in
+      let glob = Buffer.create 16 in
+      let star () =
+        if Buffer.length glob = 0 || Buffer.nth glob (Buffer.length glob - 1) <> '*' then
+          Buffer.add_char glob '*'
+      in
+      let k = ref (j + 1) in
+      let fin = ref false in
+      let sprintf_mode = ref false in
+      while (not !fin) && !k < n do
+        let t = toks.(!k) in
+        if t.kind = Token.Punct && t.text = ")" && t.depth = depth then fin := true
+        else begin
+          (match t.kind with
+          | Token.String ->
+            pieces := (t.line, t.text) :: !pieces;
+            if not !sprintf_mode then Buffer.add_string glob (format_to_glob t.text)
+            else if Buffer.length glob = 0 then Buffer.add_string glob (format_to_glob t.text)
+          | Token.Ident when sprintf_like t.text -> sprintf_mode := true
+          | Token.Ident | Token.Number | Token.Char ->
+            if not !sprintf_mode then star ()
+          | Token.Label -> fin := true
+          | Token.Punct -> ());
+          incr k
+        end
+      done;
+      if Buffer.length glob = 0 then Some (toks.(j).line, List.rev !pieces, "*")
+      else Some (toks.(j).line, List.rev !pieces, Buffer.contents glob)
+    | { kind = Token.Ident; line; _ } -> Some (line, [], "*")
+    | _ -> None)
+
+let check_counters ~file (toks : Token.t array) =
+  let findings = ref [] in
+  let patterns = ref [] in
+  Array.iteri
+    (fun i (t : Token.t) ->
+      if t.kind = Token.Ident && registration_call t.text then
+        match extract_pattern toks i with
+        | None -> ()
+        | Some (line, pieces, pattern) ->
+          List.iter
+            (fun (pline, piece) ->
+              let bad = String.exists (fun c -> not (name_char c)) (format_to_glob piece) in
+              if bad then
+                findings :=
+                  {
+                    rule = r_counter;
+                    file;
+                    line = pline;
+                    message =
+                      Printf.sprintf
+                        "counter name literal %S contains characters outside [a-z0-9_.*>-]" piece;
+                  }
+                  :: !findings)
+            pieces;
+          if pattern <> "*" && not (String.contains pattern '.') then
+            findings :=
+              {
+                rule = r_counter;
+                file;
+                line;
+                message =
+                  Printf.sprintf
+                    "counter name %S is not dotted; names follow the family.metric convention"
+                    pattern;
+              }
+              :: !findings;
+          patterns := { rp_file = file; rp_line = line; rp_pattern = pattern } :: !patterns)
+    toks;
+  (List.rev !findings, List.rev !patterns)
+
+let rec glob_match p s pi si =
+  let pn = String.length p and sn = String.length s in
+  if pi = pn then si = sn
+  else if p.[pi] = '*' then glob_match p s (pi + 1) si || (si < sn && glob_match p s pi (si + 1))
+  else si < sn && p.[pi] = s.[si] && glob_match p s (pi + 1) (si + 1)
+
+let matches ~pattern name = glob_match pattern name 0 0
+
+(* Baseline coverage: every counter CI's smoke gate checks must still have
+   a registration site whose name shape covers it. Catches a rename (or a
+   deleted subsystem) at lint time instead of at gate time. *)
+let check_baseline ~file lines patterns =
+  let findings = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then begin
+        let name =
+          match String.index_opt line ' ' with Some sp -> String.sub line 0 sp | None -> line
+        in
+        if not (List.exists (fun p -> matches ~pattern:p.rp_pattern name) patterns) then
+          findings :=
+            {
+              rule = r_counter;
+              file;
+              line = lineno;
+              message =
+                Printf.sprintf
+                  "baseline counter %S matches no registration site in the scanned tree — stale \
+                   baseline or lost registration"
+                  name;
+            }
+            :: !findings
+      end)
+    lines;
+  List.rev !findings
+
+(* ---- per-file driver ------------------------------------------------------ *)
+
+let analyze_file ~file toks =
+  let counter_findings, patterns = check_counters ~file toks in
+  {
+    ff_findings =
+      check_unordered ~file toks @ check_ambient ~file toks @ check_physeq ~file toks
+      @ counter_findings;
+    ff_spans = collect_spans ~file toks;
+    ff_patterns = patterns;
+  }

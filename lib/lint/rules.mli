@@ -1,0 +1,55 @@
+(** The rule set. Every rule front-runs one of CI's runtime determinism
+    gates: what the digest/tiling/counter gates catch after the fact — and
+    only on the scenarios CI replays — these catch at the source level, on
+    every path.
+
+    - [unordered-iteration] (R1): [Hashtbl.iter]/[fold]/[to_seq] must be
+      sorted in the same expression, or waived with a proof that iteration
+      order cannot escape (front-runs the trace-digest gate).
+    - [ambient-nondeterminism] (R2): wall clocks ([Unix.gettimeofday],
+      [Sys.time]), module-level [Random], [Marshal] and [Hashtbl.hash] are
+      forbidden in [lib/] (front-runs the digest gate; [bench/]/[bin/]
+      wall-clock reporting is outside the default scan scope).
+    - [span-pairing] (R3): every [Span.begin_] call site must have a
+      matching [Span.end_] for the same [Sk_*] constructor somewhere in the
+      tree (front-runs the exact-tiling gate).
+    - [counter-name-grammar] (R4): counter names reaching the registry must
+      match [[a-z0-9_.*>-]+] and the dotted family.metric convention, and
+      every name in [ci/smoke-counters.txt] must still be coverable by a
+      registration site (front-runs the probe-counter gate).
+    - [physical-equality] (R5): [==]/[!=] compare addresses; use [=]/[<>]
+      or waive an intentional identity check. *)
+
+type finding = { rule : string; file : string; line : int; message : string }
+
+val r_unordered : string
+val r_ambient : string
+val r_span : string
+val r_counter : string
+val r_physeq : string
+val r_unused_waiver : string
+val r_bad_waiver : string
+
+val waivable : string list
+(** Rule names a [(* lint: allow … *)] comment may reference. *)
+
+type span_site = { sp_file : string; sp_line : int; sp_kind : string option; sp_is_begin : bool }
+
+type reg_pattern = { rp_file : string; rp_line : int; rp_pattern : string }
+
+type file_facts = {
+  ff_findings : finding list;  (** R1, R2, R5 and R4's grammar half *)
+  ff_spans : span_site list;  (** inputs to the cross-file R3 check *)
+  ff_patterns : reg_pattern list;  (** inputs to the cross-file R4 check *)
+}
+
+val analyze_file : file:string -> Token.t array -> file_facts
+
+val pair_spans : span_site list -> finding list
+(** Cross-file half of R3, over the whole tree's collected sites. *)
+
+val check_baseline : file:string -> string list -> reg_pattern list -> finding list
+(** Cross-file half of R4: [lines] is [ci/smoke-counters.txt]. *)
+
+val matches : pattern:string -> string -> bool
+(** Glob match; [*] spans any substring. Exposed for tests. *)

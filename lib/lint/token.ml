@@ -1,0 +1,201 @@
+type kind = Ident | Number | String | Char | Label | Punct
+
+type t = { kind : kind; text : string; line : int; depth : int }
+
+type comment = { ctext : string; cstart : int; cend : int }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+let is_op_char c = String.contains "!$%&*+-./:<=>?@^|~" c
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+
+let last_component text =
+  match String.rindex_opt text '.' with
+  | None -> text
+  | Some i -> String.sub text (i + 1) (String.length text - i - 1)
+
+let starts_with ~prefix s = String.starts_with ~prefix s
+
+(* Lexes the subset of OCaml this repo is written in: dotted identifiers
+   are kept as single tokens ([Hashtbl.fold], [t.edge_links]), strings
+   (including [{id|…|id}] quoted strings) and char literals are opaque,
+   comments nest and are returned out-of-band so the waiver parser can see
+   them. [depth] is bracket depth ([( [ { begin do] open, [) ] } end done]
+   close): openers and closers carry the *outer* depth, tokens between
+   them the inner one. That is all the structure the rules need. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let comments = ref [] in
+  let line = ref 1 in
+  let depth = ref 0 in
+  let push kind text d = toks := { kind; text; line = !line; depth = d } :: !toks in
+  (* does position [p] open a {id|…|id} quoted string? *)
+  let quoted_string_at p =
+    let j = ref (p + 1) in
+    while !j < n && is_lower src.[!j] do incr j done;
+    !j < n && src.[!j] = '|'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let cstart = !line in
+      let buf = Buffer.create 64 in
+      let level = ref 1 in
+      i := !i + 2;
+      while !level > 0 && !i < n do
+        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+          incr level;
+          Buffer.add_string buf "(*";
+          i := !i + 2
+        end
+        else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+          decr level;
+          if !level > 0 then Buffer.add_string buf "*)";
+          i := !i + 2
+        end
+        else begin
+          if src.[!i] = '\n' then incr line;
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      comments := { ctext = Buffer.contents buf; cstart; cend = !line } :: !comments
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        let ch = src.[!i] in
+        if ch = '\\' && !i + 1 < n then begin
+          Buffer.add_char buf ch;
+          Buffer.add_char buf src.[!i + 1];
+          if src.[!i + 1] = '\n' then incr line;
+          i := !i + 2
+        end
+        else if ch = '"' then begin
+          fin := true;
+          incr i
+        end
+        else begin
+          if ch = '\n' then incr line;
+          Buffer.add_char buf ch;
+          incr i
+        end
+      done;
+      push String (Buffer.contents buf) !depth
+    end
+    else if c = '{' && quoted_string_at !i then begin
+      (* {id|…|id} quoted string *)
+      let j = ref (!i + 1) in
+      while !j < n && is_lower src.[!j] do incr j done;
+      let id = String.sub src (!i + 1) (!j - !i - 1) in
+      let close = "|" ^ id ^ "}" in
+      let clen = String.length close in
+      let start = !j + 1 in
+      let stop = ref start in
+      while !stop + clen <= n && String.sub src !stop clen <> close do incr stop done;
+      let content = String.sub src start (min !stop n - start) in
+      String.iter (fun ch -> if ch = '\n' then incr line) content;
+      push String content !depth;
+      i := min n (!stop + clen)
+    end
+    else if c = '\'' then begin
+      if !i + 2 < n && src.[!i + 1] = '\\' then begin
+        (* escaped char literal: scan to the closing quote *)
+        let j = ref (!i + 2) in
+        while !j < n && src.[!j] <> '\'' do incr j done;
+        push Char (String.sub src !i (min (!j + 1) n - !i)) !depth;
+        i := !j + 1
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' then begin
+        push Char (String.sub src !i 3) !depth;
+        i := !i + 3
+      end
+      else begin
+        (* type variable ('a) — structurally irrelevant *)
+        let j = ref (!i + 1) in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        push Punct (String.sub src !i (!j - !i)) !depth;
+        i := !j
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      let j = ref !i in
+      let rec go () =
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        if !j + 1 < n && src.[!j] = '.' && is_ident_start src.[!j + 1] then begin
+          incr j;
+          go ()
+        end
+      in
+      go ();
+      let text = String.sub src start (!j - start) in
+      (match text with
+      | "begin" | "do" ->
+        push Ident text !depth;
+        incr depth
+      | "end" | "done" ->
+        depth := max 0 (!depth - 1);
+        push Ident text !depth
+      | _ -> push Ident text !depth);
+      i := !j
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let j = ref !i in
+      while !j < n && (is_ident_char src.[!j] || src.[!j] = '.') do incr j done;
+      push Number (String.sub src start (!j - start)) !depth;
+      i := !j
+    end
+    else if (c = '~' || c = '?') && !i + 1 < n && is_ident_start src.[!i + 1] then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      push Label (String.sub src !i (!j - !i)) !depth;
+      i := !j
+    end
+    else if c = '(' || c = '[' || c = '{' then begin
+      push Punct (String.make 1 c) !depth;
+      incr depth;
+      incr i
+    end
+    else if c = ')' || c = ']' || c = '}' then begin
+      depth := max 0 (!depth - 1);
+      push Punct (String.make 1 c) !depth;
+      incr i
+    end
+    else if c = ';' || c = ',' then begin
+      let text =
+        if c = ';' && !i + 1 < n && src.[!i + 1] = ';' then begin
+          i := !i + 2;
+          ";;"
+        end
+        else begin
+          incr i;
+          String.make 1 c
+        end
+      in
+      push Punct text !depth
+    end
+    else if is_op_char c then begin
+      let start = !i in
+      let j = ref !i in
+      while !j < n && is_op_char src.[!j] do incr j done;
+      push Punct (String.sub src start (!j - start)) !depth;
+      i := !j
+    end
+    else begin
+      push Punct (String.make 1 c) !depth;
+      incr i
+    end
+  done;
+  (Array.of_list (List.rev !toks), List.rev !comments)

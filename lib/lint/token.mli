@@ -1,0 +1,36 @@
+(** Hand-rolled lexer for the subset of OCaml this repository is written
+    in — the analogue of the hand-rolled JSON reader the span tests use:
+    no ppxlib, no compiler-libs, just enough structure for the lint rules.
+
+    Dotted identifiers ([Hashtbl.fold], [Sim.Span.begin_], [t.edge_links])
+    are single {!Ident} tokens. String literals (including [{id|…|id}]
+    quoted strings) and char literals are opaque, so a rule never fires on
+    the {e mention} of a forbidden name in a string or comment. Comments
+    nest and are returned out-of-band for the waiver parser. *)
+
+type kind =
+  | Ident  (** possibly dotted; includes keywords *)
+  | Number
+  | String  (** text is the literal's raw content, quotes stripped *)
+  | Char
+  | Label  (** [~at], [?keep] *)
+  | Punct  (** operators (maximal munch: [|>], [==], […]) and delimiters *)
+
+type t = {
+  kind : kind;
+  text : string;
+  line : int;  (** 1-based *)
+  depth : int;
+      (** bracket depth — [( \[ { begin do] open, [) \] } end done] close;
+          opener/closer tokens carry the outer depth *)
+}
+
+type comment = { ctext : string; cstart : int; cend : int }
+
+val tokenize : string -> t array * comment list
+(** Tokens in source order plus all comments (with their line spans). *)
+
+val last_component : string -> string
+(** ["Sim.Span.Sk_bulk"] → ["Sk_bulk"]. *)
+
+val starts_with : prefix:string -> string -> bool

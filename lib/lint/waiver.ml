@@ -1,0 +1,52 @@
+type t = { rule : string; reason : string; line : int; mutable used : bool }
+
+type parsed = Waiver of t | Not_a_waiver | Malformed of int * string
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let n = String.length s in
+  let a = ref 0 in
+  while !a < n && is_space s.[!a] do incr a done;
+  let b = ref (n - 1) in
+  while !b >= !a && is_space s.[!b] do decr b done;
+  String.sub s !a (!b - !a + 1)
+
+let em_dash = "\xe2\x80\x94" (* U+2014, the separator the waiver grammar shows *)
+
+(* [(* lint: allow <rule> — <reason> *)]; [--] and [-] are accepted in
+   place of the em dash. The reason is mandatory: a waiver is a proof
+   obligation, not an off switch. *)
+let of_comment (c : Token.comment) =
+  let text = strip c.ctext in
+  if not (Token.starts_with ~prefix:"lint:" text) then Not_a_waiver
+  else begin
+    let body = strip (String.sub text 5 (String.length text - 5)) in
+    match String.index_opt body ' ' with
+    | Some sp when String.sub body 0 sp = "allow" -> begin
+      let rest = strip (String.sub body (sp + 1) (String.length body - sp - 1)) in
+      match String.index_opt rest ' ' with
+      | None -> Malformed (c.cend, Printf.sprintf "waiver for %S carries no reason" rest)
+      | Some sp2 ->
+        let rule = String.sub rest 0 sp2 in
+        let tail = strip (String.sub rest (sp2 + 1) (String.length rest - sp2 - 1)) in
+        let reason =
+          if Token.starts_with ~prefix:em_dash tail then
+            strip (String.sub tail 3 (String.length tail - 3))
+          else if Token.starts_with ~prefix:"--" tail then
+            strip (String.sub tail 2 (String.length tail - 2))
+          else if Token.starts_with ~prefix:"-" tail then
+            strip (String.sub tail 1 (String.length tail - 1))
+          else tail
+        in
+        if reason = "" then
+          Malformed (c.cend, Printf.sprintf "waiver for %S carries no reason" rule)
+        else Waiver { rule; reason; line = c.cend; used = false }
+    end
+    | _ ->
+      Malformed
+        (c.cend, Printf.sprintf "unparseable lint comment %S: expected 'lint: allow <rule> - <reason>'" text)
+  end
+
+(* A waiver covers its own (end) line and the next one, so it can sit at
+   the end of the offending line or on its own line directly above. *)
+let covers t ~line = line = t.line || line = t.line + 1

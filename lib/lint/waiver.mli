@@ -1,0 +1,16 @@
+(** Per-site waiver comments: [(* lint: allow <rule> — <reason> *)].
+
+    A waiver silences exactly one rule on the line it ends on or the line
+    below it, and must state a reason. Waivers that no longer silence
+    anything are themselves reported (rule [unused-waiver]) so they cannot
+    rot in place. *)
+
+type t = { rule : string; reason : string; line : int; mutable used : bool }
+
+type parsed =
+  | Waiver of t
+  | Not_a_waiver  (** an ordinary comment *)
+  | Malformed of int * string  (** line, message — reported as [bad-waiver] *)
+
+val of_comment : Token.comment -> parsed
+val covers : t -> line:int -> bool

@@ -79,6 +79,8 @@ let snapshot t =
 let names t = List.map fst (snapshot t)
 
 let sum_counters t ~prefix =
+  (* lint: allow unordered-iteration — integer addition commutes; the fold
+     reduces to a single sum, no ordering escapes *)
   Hashtbl.fold
     (fun name m acc ->
       match m with

@@ -74,6 +74,8 @@ let generate ~n_users ~mean_degree ~communities ~locality ~seed =
       (fun set ->
         let arr = Array.make (Hashtbl.length set) 0 in
         let i = ref 0 in
+        (* lint: allow unordered-iteration — fills an array that is
+           Array.sort'ed immediately below, before anything reads it *)
         Hashtbl.iter
           (fun v () ->
             arr.(!i) <- v;

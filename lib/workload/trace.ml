@@ -43,7 +43,7 @@ let line_of client op =
 
 let to_string t =
   let buf = Buffer.create 1024 in
-  let clients = Hashtbl.fold (fun c _ acc -> c :: acc) t.queues [] in
+  let clients = List.sort Int.compare (Hashtbl.fold (fun c _ acc -> c :: acc) t.queues []) in
   List.iter
     (fun client ->
       Queue.iter
@@ -51,7 +51,7 @@ let to_string t =
           Buffer.add_string buf (line_of client op);
           Buffer.add_char buf '\n')
         (Hashtbl.find t.queues client))
-    (List.sort Int.compare clients);
+    clients;
   Buffer.contents buf
 
 let payload_counter = ref 0

@@ -21,4 +21,5 @@ let () =
       ("more", Test_more.suite);
       ("sessions", Test_sessions.suite);
       ("shapes", Test_shapes.suite);
+      ("lint", Test_lint.suite);
     ]

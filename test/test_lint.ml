@@ -1,0 +1,329 @@
+(* Tests for the static analyzer: each rule fires on a minimal fixture, is
+   silenced by a waiver, and the whole linter reports zero findings on the
+   real [lib/] tree (the same invariant CI's lint job enforces). *)
+
+let run ?baseline sources = Lint.Engine.run_sources ?baseline sources
+let rules_of (r : Lint.Report.t) = List.map (fun f -> f.Lint.Rules.rule) r.findings
+let slist = Alcotest.(list string)
+
+(* ---- R1: unordered-iteration -------------------------------------------- *)
+
+let test_r1_fires () =
+  let r =
+    run
+      [
+        ( "lib/x.ml",
+          {|let keys tbl =
+  let out = ref [] in
+  Hashtbl.iter (fun k _ -> out := k :: !out) tbl;
+  !out
+|}
+        );
+      ]
+  in
+  Alcotest.check slist "one R1 finding" [ Lint.Rules.r_unordered ] (rules_of r);
+  let f = List.hd r.findings in
+  Alcotest.(check int) "on the iter line" 3 f.Lint.Rules.line
+
+let test_r1_sorted_same_expression () =
+  let r =
+    run
+      [
+        ( "lib/x.ml",
+          {|let pairs tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+|}
+        );
+      ]
+  in
+  Alcotest.check slist "sort in the same expression silences R1" [] (rules_of r)
+
+let test_r1_sort_next_statement_still_fires () =
+  (* the sort must be in the same expression: a sort one [let] later is a
+     different statement and does not count *)
+  let r =
+    run
+      [
+        ( "lib/x.ml",
+          {|let keys tbl =
+  let l = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.sort compare l
+|}
+        );
+      ]
+  in
+  Alcotest.check slist "R1 still fires" [ Lint.Rules.r_unordered ] (rules_of r)
+
+let test_r1_pipeline_sort_ok () =
+  let r =
+    run
+      [
+        ( "lib/x.ml",
+          {|let pairs tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare
+|}
+        );
+      ]
+  in
+  Alcotest.check slist "|> List.sort counts as the same expression" [] (rules_of r)
+
+let test_r1_waiver () =
+  let r =
+    run
+      [
+        ( "lib/x.ml",
+          {|let sum tbl =
+  (* lint: allow unordered-iteration -- addition commutes *)
+  Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+|}
+        );
+      ]
+  in
+  Alcotest.check slist "waiver silences R1" [] (rules_of r);
+  Alcotest.(check int) "waiver counted as used" 1 r.waivers_used
+
+(* ---- R2: ambient-nondeterminism ------------------------------------------ *)
+
+let test_r2_fires () =
+  let r =
+    run
+      [
+        ( "lib/x.ml",
+          {|let now () = Unix.gettimeofday ()
+let pick n = Random.int n
+let wire v = Marshal.to_string v []
+let h x = Hashtbl.hash x
+|}
+        );
+      ]
+  in
+  Alcotest.(check int) "four ambient sites" 4 (List.length r.findings);
+  List.iter
+    (fun (f : Lint.Rules.finding) ->
+      Alcotest.(check string) "all R2" Lint.Rules.r_ambient f.rule)
+    r.findings
+
+let test_r2_seeded_state_ok () =
+  let r =
+    run
+      [
+        ( "lib/x.ml",
+          {|let pick st n = Random.State.int st n
+let mk seed = Random.State.make [| seed |]
+|}
+        );
+      ]
+  in
+  Alcotest.check slist "seeded Random.State is allowed" [] (rules_of r)
+
+(* ---- R5: physical-equality ------------------------------------------------ *)
+
+let test_r5_fires_and_waives () =
+  let r = run [ ("lib/x.ml", "let same a b = a == b\n") ] in
+  Alcotest.check slist "R5 fires on ==" [ Lint.Rules.r_physeq ] (rules_of r);
+  let r =
+    run
+      [
+        ( "lib/x.ml",
+          {|(* lint: allow physical-equality -- intentional identity check *)
+let same a b = a == b
+|}
+        );
+      ]
+  in
+  Alcotest.check slist "waived" [] (rules_of r)
+
+let test_r5_not_confused_by_strings () =
+  let r = run [ ("lib/x.ml", "let s = \"a == b\"\nlet c = '='\n") ] in
+  Alcotest.check slist "== inside a string literal is not a finding" [] (rules_of r)
+
+(* ---- R3: span-pairing ----------------------------------------------------- *)
+
+let test_r3_unbalanced () =
+  let r =
+    run
+      [
+        ("lib/a.ml", "let f tr ~at = Sim.Span.begin_ tr ~at Sim.Span.Sk_flush\n");
+      ]
+  in
+  Alcotest.check slist "begin without end" [ Lint.Rules.r_span ] (rules_of r)
+
+let test_r3_paired_across_files () =
+  let r =
+    run
+      [
+        ("lib/a.ml", "let f tr ~at = Sim.Span.begin_ tr ~at Sim.Span.Sk_flush\n");
+        ("lib/b.ml", "let g tr ~at = Sim.Span.end_ tr ~at Sim.Span.Sk_flush\n");
+      ]
+  in
+  Alcotest.check slist "matching end in another file pairs up" [] (rules_of r)
+
+let test_r3_unresolved_kind () =
+  let r =
+    run [ ("lib/a.ml", "let f tr ~at kind = Sim.Span.begin_ tr ~at kind\n") ] in
+  Alcotest.check slist "kind not statically resolvable" [ Lint.Rules.r_span ] (rules_of r);
+  let f = List.hd r.findings in
+  Alcotest.(check bool) "message says unresolvable" true
+    (String.length f.message > 0
+    && String.sub f.message 0 14 = "cannot resolve")
+
+let test_r3_helper_segment_fallback () =
+  (* the Sk_* constructor may sit a statement away when a helper binds the
+     call first (Proxy.span_label does this) *)
+  let r =
+    run
+      [
+        ( "lib/a.ml",
+          {|let span_do tr ~at =
+  let go = Sim.Span.begin_ tr ~at in
+  go Sim.Span.Sk_flush
+let close tr ~at = Sim.Span.end_ tr ~at Sim.Span.Sk_flush
+|}
+        );
+      ]
+  in
+  Alcotest.check slist "enclosing-segment fallback resolves the kind" [] (rules_of r)
+
+(* ---- R4: counter-name-grammar --------------------------------------------- *)
+
+let test_r4_grammar () =
+  let r =
+    run [ ("lib/a.ml", "let c reg = Stats.Registry.counter reg \"Bad Name.x\"\n") ] in
+  Alcotest.check slist "bad characters" [ Lint.Rules.r_counter ] (rules_of r);
+  let r = run [ ("lib/a.ml", "let c reg = Stats.Registry.counter reg \"plain\"\n") ] in
+  Alcotest.check slist "undotted name" [ Lint.Rules.r_counter ] (rules_of r);
+  let r =
+    run [ ("lib/a.ml", "let c reg = Stats.Registry.counter reg \"family.metric\"\n") ] in
+  Alcotest.check slist "conforming name" [] (rules_of r)
+
+let test_r4_baseline_coverage () =
+  let sources =
+    [
+      ( "lib/a.ml",
+        {|let c reg k = Stats.Registry.counter reg ("span." ^ k ^ ".us")
+let d reg dc = Stats.Registry.counter reg (Printf.sprintf "dc%d.updates_originated" dc)
+|}
+      );
+    ]
+  in
+  let covered = "# comment line\nspan.label_walk.us\ndc0.updates_originated 12\n" in
+  let r = run ~baseline:("ci/smoke-counters.txt", covered) sources in
+  Alcotest.check slist "every baseline name covered by a glob" [] (rules_of r);
+  let stale = "span.label_walk.us\nservice.requests\n" in
+  let r = run ~baseline:("ci/smoke-counters.txt", stale) sources in
+  Alcotest.check slist "uncovered baseline name reported" [ Lint.Rules.r_counter ] (rules_of r);
+  let f = List.hd r.findings in
+  Alcotest.(check int) "at the baseline line" 2 f.Lint.Rules.line
+
+let test_glob () =
+  let m p s = Lint.Rules.matches ~pattern:p s in
+  Alcotest.(check bool) "star spans" true (m "span.*.us" "span.label_walk.us");
+  Alcotest.(check bool) "star can be empty" true (m "dc*.x" "dc.x");
+  Alcotest.(check bool) "no match" false (m "span.*.us" "proxy.label_walk.us");
+  Alcotest.(check bool) "literal" true (m "a.b" "a.b");
+  Alcotest.(check bool) "suffix anchored" false (m "a.*" "b.a.c")
+
+(* ---- waiver hygiene -------------------------------------------------------- *)
+
+let test_unused_waiver () =
+  let r =
+    run
+      [
+        ( "lib/x.ml",
+          {|(* lint: allow physical-equality -- nothing below actually uses it *)
+let same a b = a = b
+|}
+        );
+      ]
+  in
+  Alcotest.check slist "stale waiver reported" [ Lint.Rules.r_unused_waiver ] (rules_of r);
+  Alcotest.(check int) "not counted as used" 0 r.waivers_used
+
+let test_bad_waiver () =
+  let r =
+    run [ ("lib/x.ml", "(* lint: allow no-such-rule -- why not *)\nlet x = 1\n") ] in
+  Alcotest.check slist "unknown rule name" [ Lint.Rules.r_bad_waiver ] (rules_of r);
+  let r = run [ ("lib/x.ml", "(* lint: allow physical-equality *)\nlet x = 1\n") ] in
+  Alcotest.check slist "missing reason" [ Lint.Rules.r_bad_waiver ] (rules_of r)
+
+let test_waiver_scope_is_two_lines () =
+  let r =
+    run
+      [
+        ( "lib/x.ml",
+          {|(* lint: allow physical-equality -- only covers the next line *)
+let near a b = a == b
+let far a b = a == b
+|}
+        );
+      ]
+  in
+  Alcotest.check slist "third line not covered" [ Lint.Rules.r_physeq ] (rules_of r);
+  let f = List.hd r.findings in
+  Alcotest.(check int) "finding is the far site" 3 f.Lint.Rules.line
+
+(* ---- report shapes --------------------------------------------------------- *)
+
+let test_json_shape () =
+  let r = run [ ("lib/x.ml", "let same a b = a == b\n") ] in
+  let json = Lint.Report.to_json r in
+  let has needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "version tag" true (has "\"version\":1");
+  Alcotest.(check bool) "rule name" true (has "\"physical-equality\"");
+  Alcotest.(check bool) "file name" true (has "\"lib/x.ml\"")
+
+(* ---- the real tree --------------------------------------------------------- *)
+
+let find_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let test_real_tree_clean () =
+  match find_root () with
+  | None -> Alcotest.fail "cannot locate dune-project above the test cwd"
+  | Some root ->
+    let baseline = Filename.concat root "ci/smoke-counters.txt" in
+    let r = Lint.Engine.run ~baseline ~root ~dirs:[ "lib" ] () in
+    List.iter
+      (fun (f : Lint.Rules.finding) ->
+        Printf.eprintf "lint: %s:%d [%s] %s\n" f.file f.line f.rule f.message)
+      r.findings;
+    Alcotest.(check int) "zero findings on lib/" 0 (List.length r.findings);
+    Alcotest.(check bool) "scanned a real tree" true (r.files_scanned > 50);
+    Alcotest.(check int) "no stale waivers" r.waivers_total r.waivers_used
+
+let suite =
+  [
+    Alcotest.test_case "R1 fires on bare Hashtbl.iter" `Quick test_r1_fires;
+    Alcotest.test_case "R1 sorted in same expression" `Quick test_r1_sorted_same_expression;
+    Alcotest.test_case "R1 sort a statement later still fires" `Quick
+      test_r1_sort_next_statement_still_fires;
+    Alcotest.test_case "R1 pipeline sort" `Quick test_r1_pipeline_sort_ok;
+    Alcotest.test_case "R1 waiver" `Quick test_r1_waiver;
+    Alcotest.test_case "R2 fires on ambient sources" `Quick test_r2_fires;
+    Alcotest.test_case "R2 allows seeded Random.State" `Quick test_r2_seeded_state_ok;
+    Alcotest.test_case "R5 fires and waives" `Quick test_r5_fires_and_waives;
+    Alcotest.test_case "R5 ignores strings and chars" `Quick test_r5_not_confused_by_strings;
+    Alcotest.test_case "R3 unbalanced span" `Quick test_r3_unbalanced;
+    Alcotest.test_case "R3 pairs across files" `Quick test_r3_paired_across_files;
+    Alcotest.test_case "R3 unresolved kind" `Quick test_r3_unresolved_kind;
+    Alcotest.test_case "R3 helper segment fallback" `Quick test_r3_helper_segment_fallback;
+    Alcotest.test_case "R4 name grammar" `Quick test_r4_grammar;
+    Alcotest.test_case "R4 baseline coverage" `Quick test_r4_baseline_coverage;
+    Alcotest.test_case "glob matcher" `Quick test_glob;
+    Alcotest.test_case "unused waiver reported" `Quick test_unused_waiver;
+    Alcotest.test_case "bad waiver reported" `Quick test_bad_waiver;
+    Alcotest.test_case "waiver covers two lines only" `Quick test_waiver_scope_is_two_lines;
+    Alcotest.test_case "JSON report shape" `Quick test_json_shape;
+    Alcotest.test_case "real lib/ tree is clean" `Quick test_real_tree_clean;
+  ]
