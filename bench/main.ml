@@ -26,11 +26,49 @@ let experiments =
     ("micro", "Bechamel microbenchmarks", Micro.run);
   ]
 
-(* dune exec bench/main.exe -- smoke [--seed N] [--out DIR]
+(* dune exec bench/main.exe -- smoke [--seed N] [--out DIR] [--bench-out FILE]
    The observability smoke run: fixed-seed scenario, registry table,
-   trace.jsonl + trace.digest. CI runs it twice and diffs the digests. *)
+   trace.jsonl + trace.digest. CI runs it twice and diffs the digests.
+   --bench-out writes the run's headline numbers — throughput, visibility
+   p50/p99, per-series peak queue depth — as one machine-readable JSON
+   object, the repo's benchmark trajectory format (BENCH_smoke.json). *)
+let smoke_measure_s = 1.0
+
+let smoke_bench_json (r : Harness.Obs.result) ~seed =
+  let b = Buffer.create 1024 in
+  let vis =
+    (* get-or-create returns the hist the run already filled *)
+    Stats.Registry.histogram r.Harness.Obs.registry "smoke.visibility_ms" ~lo:0. ~hi:1000.
+      ~buckets:40
+  in
+  let sr = r.Harness.Obs.series in
+  Buffer.add_string b "{\"schema\":\"saturn-bench-smoke/1\",";
+  Buffer.add_string b (Printf.sprintf "\"seed\":%d,\"ops\":%d," seed r.Harness.Obs.ops);
+  Buffer.add_string b
+    (Printf.sprintf "\"throughput_ops_s\":%.1f," (float_of_int r.Harness.Obs.ops /. smoke_measure_s));
+  Buffer.add_string b
+    (Printf.sprintf "\"visibility_ms\":{\"n\":%d,\"mean\":%.3f,\"p50\":%.3f,\"p99\":%.3f},"
+       (Stats.Histogram.count vis) (Stats.Histogram.mean vis)
+       (Stats.Histogram.percentile vis 50.) (Stats.Histogram.percentile vis 99.));
+  Buffer.add_string b
+    (Printf.sprintf "\"series\":{\"window_us\":%d,\"windows\":%d,\"peak\":["
+       (Sim.Time.to_us (Stats.Series.window sr))
+       (Stats.Series.n_windows sr));
+  let first = ref true in
+  List.iter
+    (fun name ->
+      if Stats.Series.kind_of sr name = Some Stats.Series.Gauge then begin
+        let peak = Array.fold_left max 0. (Stats.Series.primary sr name) in
+        if not !first then Buffer.add_char b ',';
+        first := false;
+        Buffer.add_string b (Printf.sprintf "{\"name\":%S,\"peak\":%.3f}" name peak)
+      end)
+    (Stats.Series.names sr);
+  Buffer.add_string b "]}}\n";
+  Buffer.contents b
+
 let smoke_cmd rest =
-  let seed = ref 42 and out_dir = ref None in
+  let seed = ref 42 and out_dir = ref None and bench_out = ref None in
   let rec parse = function
     | "--seed" :: n :: rest ->
       (match int_of_string_opt n with
@@ -42,13 +80,23 @@ let smoke_cmd rest =
     | "--out" :: dir :: rest ->
       out_dir := Some dir;
       parse rest
+    | "--bench-out" :: path :: rest ->
+      bench_out := Some path;
+      parse rest
     | [] -> ()
     | x :: _ ->
-      Printf.eprintf "smoke: unknown argument %S (expected --seed N / --out DIR)\n" x;
+      Printf.eprintf "smoke: unknown argument %S (expected --seed N / --out DIR / --bench-out FILE)\n" x;
       exit 2
   in
   parse rest;
-  ignore (Harness.Obs.run_smoke ~seed:!seed ?out_dir:!out_dir ())
+  let r = Harness.Obs.run_smoke ~seed:!seed ?out_dir:!out_dir () in
+  match !bench_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (smoke_bench_json r ~seed:!seed);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
 
 let () =
   match List.tl (Array.to_list Sys.argv) with

@@ -7,7 +7,8 @@
      social   run the Facebook-like benchmark
      trace    record / replay operation traces
      obs      observability smoke run (deterministic trace + counter gate)
-     faults   fault-injection scenario matrix with invariant checking *)
+     faults   fault-injection scenario matrix with invariant checking
+     series   windowed telemetry timelines (queue depths, recovery points) *)
 
 open Cmdliner
 
@@ -344,6 +345,88 @@ let obs_cmd =
     Term.(const obs $ seed $ out $ spans $ spans_out $ check $ counters_out $ counters_baseline
           $ tolerance)
 
+(* ---- series ------------------------------------------------------------------ *)
+
+let series_of_run ~scenario ~system ~seed =
+  if String.equal scenario "smoke" then
+    ((Harness.Obs.smoke ~seed ()).Harness.Obs.series, None)
+  else
+    let o = Harness.Fault_run.run_scenario ~seed ~scenario ~system () in
+    (o.Harness.Fault_run.series, Some o)
+
+let series scenario system seed csv json out check =
+  let sr, outcome = series_of_run ~scenario ~system ~seed in
+  (match outcome with
+  | Some o -> Harness.Fault_run.print_timeline o
+  | None ->
+    Stats.Table.print
+      (Stats.Series.to_table ~title:(Printf.sprintf "smoke series (seed %d)" seed) sr));
+  let write path s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  let csv, json =
+    match out with
+    | None -> (csv, json)
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      ( Some (Option.value csv ~default:(Filename.concat dir "series.csv")),
+        Some (Option.value json ~default:(Filename.concat dir "series.json")) )
+  in
+  Option.iter (fun p -> write p (Stats.Series.to_csv sr)) csv;
+  Option.iter (fun p -> write p (Stats.Series.to_json sr)) json;
+  Printf.printf "series digest: %s (%d series x %d windows)\n" (Stats.Series.digest sr)
+    (List.length (Stats.Series.names sr))
+    (Stats.Series.n_windows sr);
+  if check then begin
+    let sr2, _ = series_of_run ~scenario ~system ~seed in
+    if String.equal (Stats.Series.digest sr) (Stats.Series.digest sr2) then
+      Printf.printf "determinism check: OK (%s)\n" (Stats.Series.digest sr)
+    else begin
+      Printf.printf "determinism check: FAILED (%s vs %s)\n" (Stats.Series.digest sr)
+        (Stats.Series.digest sr2);
+      exit 1
+    end
+  end
+
+let series_cmd =
+  let doc =
+    "Windowed telemetry timelines: run one scenario and print per-series sparklines (queue \
+     depths, apply throughput, visibility p99 per 50 sim-ms window), with the series-derived \
+     recovery point cross-checked against the drain-based recovery metric."
+  in
+  let scenario =
+    Arg.(value
+         & opt (enum [ ("partition", "partition"); ("ser-crash", "ser-crash");
+                       ("latency-spike", "latency-spike"); ("smoke", "smoke") ]) "partition"
+         & info [ "scenario" ] ~doc:"partition|ser-crash|latency-spike|smoke")
+  in
+  let system =
+    Arg.(value & opt (enum [ ("saturn", `Saturn); ("eventual", `Eventual) ]) `Saturn
+         & info [ "system" ] ~doc:"saturn|eventual (ignored by the smoke scenario).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.") in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Write the long-form CSV dump to FILE.")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the JSON dump to FILE.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write series.csv and series.json under DIR (created if missing).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Run the scenario twice and assert the series digests are byte-identical.")
+  in
+  Cmd.v (Cmd.info "series" ~doc)
+    Term.(const series $ scenario $ system $ seed $ csv $ json $ out $ check)
+
 (* ---- faults ------------------------------------------------------------------ *)
 
 let faults seed check digest_out =
@@ -435,4 +518,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ matrix_cmd; plan_cmd; bench_cmd; social_cmd; trace_cmd; obs_cmd; faults_cmd ]))
+          [ matrix_cmd; plan_cmd; bench_cmd; social_cmd; trace_cmd; obs_cmd; faults_cmd;
+            series_cmd ]))

@@ -32,10 +32,11 @@ type t = {
   partitioning : Kvstore.Partitioning.t;
   dcs : dc_state array;
   bulk : Sim.Link.t array array;
+  series : Stats.Series.t option;
   mutable is_stopped : bool;
 }
 
-let create engine p =
+let create ?series engine p =
   let n = Array.length p.dc_sites in
   let dcs =
     Array.init n (fun dc ->
@@ -57,10 +58,32 @@ let create engine p =
             let lat = Sim.Time.of_us (int_of_float (float_of_int (Sim.Time.to_us lat) *. p.bulk_factor)) in
             Sim.Link.create engine ~latency:lat ()))
   in
-  { engine; p; partitioning = Kvstore.Partitioning.create ~partitions:p.partitions; dcs; bulk;
-    is_stopped = false }
+  let t =
+    { engine; p; partitioning = Kvstore.Partitioning.create ~partitions:p.partitions; dcs; bulk;
+      series; is_stopped = false }
+  in
+  (match series with
+  | Some sr ->
+    (* same series names as the Saturn deployment, so queue dynamics are
+       directly comparable across systems *)
+    let bulk_links = ref [] in
+    for i = n - 1 downto 0 do
+      for j = n - 1 downto 0 do
+        if i <> j then bulk_links := bulk.(i).(j) :: !bulk_links
+      done
+    done;
+    let bulk_links = !bulk_links in
+    Stats.Series.sample sr "series.link.bulk.in_flight" (fun () ->
+        float_of_int
+          (List.fold_left (fun acc l -> acc + Sim.Link.in_flight_count l) 0 bulk_links));
+    Sim.Engine.periodic engine ~every:(Stats.Series.tick_period sr)
+      (fun () -> Stats.Series.tick sr ~now:(Sim.Engine.now engine))
+      ~stop:(fun () -> t.is_stopped)
+  | None -> ());
+  t
 
 let engine t = t.engine
+let series t = t.series
 let n_dcs t = Array.length t.dcs
 let params t = t.p
 let partition_of t ~key = Kvstore.Partitioning.responsible t.partitioning ~key

@@ -29,9 +29,18 @@ val no_hooks : hooks
 
 type t
 
-val create : Sim.Engine.t -> params -> t
+val create : ?series:Stats.Series.t -> Sim.Engine.t -> params -> t
+(** [series], when given, gains a [series.link.bulk.in_flight] gauge over
+    the fabric's links — the same name the Saturn deployment uses, so
+    Saturn-vs-baseline queue dynamics line up — and the fabric drives the
+    series sampling tick until [stop]. Per-protocol modules add their own
+    apply/pending series via {!series}. *)
 
 val engine : t -> Sim.Engine.t
+
+val series : t -> Stats.Series.t option
+(** The windowed-telemetry registry passed at [create], if any. *)
+
 val n_dcs : t -> int
 val params : t -> params
 val partition_of : t -> key:int -> int

@@ -23,19 +23,37 @@ type t = {
   dcs : dc_state array;
   (* client context: explicit dependency set, one version per key *)
   contexts : (int, (int, version) Hashtbl.t) Hashtbl.t;
+  apply_series : Stats.Series.counter option array; (* per dc *)
   mutable deps_shipped : int;
   mutable updates_shipped : int;
   mutable max_deps : int;
 }
 
-let create engine p hooks ~prune_on_write =
-  let geo = Common.create engine p in
+let create ?series engine p hooks ~prune_on_write =
+  let geo = Common.create ?series engine p in
   let dcs =
     Array.init (Common.n_dcs geo) (fun _ ->
         { stores = Array.init p.Common.partitions (fun _ -> Kvstore.Store.create ()); pending = [] })
   in
-  { geo; hooks; prune_on_write; dcs; contexts = Hashtbl.create 256; deps_shipped = 0;
-    updates_shipped = 0; max_deps = 0 }
+  let apply_series =
+    Array.init (Common.n_dcs geo) (fun dc ->
+        Option.map
+          (fun sr -> Stats.Series.counter sr (Printf.sprintf "series.apply.dc%d" dc))
+          series)
+  in
+  let t =
+    { geo; hooks; prune_on_write; dcs; contexts = Hashtbl.create 256; apply_series;
+      deps_shipped = 0; updates_shipped = 0; max_deps = 0 }
+  in
+  (match series with
+  | Some sr ->
+    for dc = 0 to Common.n_dcs geo - 1 do
+      Stats.Series.sample sr
+        (Printf.sprintf "series.pending.dc%d" dc)
+        (fun () -> float_of_int (List.length t.dcs.(dc).pending))
+    done
+  | None -> ());
+  t
 
 let fabric t = t.geo
 let cost t = (Common.params t.geo).Common.cost
@@ -83,6 +101,9 @@ and install t ~dc pn =
     Kvstore.Store.put_if_newer t.dcs.(dc).stores.(part) ~cmp:compare_version ~key:pn.key pn.value
       pn.version
   in
+  (match t.apply_series.(dc) with
+  | Some c -> Stats.Series.incr c ~now:(Sim.Engine.now (Common.engine t.geo))
+  | None -> ());
   t.hooks.Common.on_visible ~dc ~key:pn.key ~origin_dc:(snd pn.version) ~origin_time:pn.origin_time
     ~value:pn.value
 

@@ -13,7 +13,8 @@
 
 type t
 
-val create : Sim.Engine.t -> Common.params -> Common.hooks -> prune_on_write:bool -> t
+val create :
+  ?series:Stats.Series.t -> Sim.Engine.t -> Common.params -> Common.hooks -> prune_on_write:bool -> t
 
 val fabric : t -> Common.t
 

@@ -26,6 +26,7 @@ type t = {
   hooks : Common.hooks;
   dcs : dc_state array;
   client_dv : (int, Sim.Time.t array) Hashtbl.t;
+  apply_series : Stats.Series.counter option array; (* per dc *)
 }
 
 let vector_wire_bytes n = (8 * n) + 4
@@ -41,8 +42,8 @@ let probe_vec t ~dc ~src ts =
       ~at:(Sim.Engine.now (Common.engine t.geo))
       (Sim.Probe.Vec_advance { dc; src; ts = Sim.Time.to_us ts })
 
-let rec create engine p hooks =
-  let geo = Common.create engine p in
+let rec create ?series engine p hooks =
+  let geo = Common.create ?series engine p in
   let n = Common.n_dcs geo in
   let dcs =
     Array.init n (fun _ ->
@@ -54,7 +55,21 @@ let rec create engine p hooks =
           waiters = [];
         })
   in
-  let t = { geo; hooks; dcs; client_dv = Hashtbl.create 256 } in
+  let apply_series =
+    Array.init n (fun dc ->
+        Option.map
+          (fun sr -> Stats.Series.counter sr (Printf.sprintf "series.apply.dc%d" dc))
+          series)
+  in
+  let t = { geo; hooks; dcs; client_dv = Hashtbl.create 256; apply_series } in
+  (match series with
+  | Some sr ->
+    for dc = 0 to n - 1 do
+      Stats.Series.sample sr
+        (Printf.sprintf "series.pending.dc%d" dc)
+        (fun () -> float_of_int (List.length t.dcs.(dc).pending))
+    done
+  | None -> ());
   let cost = p.Common.cost in
   for dc = 0 to n - 1 do
     Common.every geo cost.Saturn.Cost_model.heartbeat_period (fun () ->
@@ -121,6 +136,9 @@ and finish_stab_round t dc =
             let _ =
               Kvstore.Store.put_if_newer d.stores.(part) ~cmp:compare_meta ~key:pn.key pn.value pn.meta
             in
+            (match t.apply_series.(dc) with
+            | Some c -> Stats.Series.incr c ~now:(Sim.Engine.now (Common.engine geo))
+            | None -> ());
             t.hooks.Common.on_visible ~dc ~key:pn.key ~origin_dc:pn.meta.origin
               ~origin_time:pn.origin_time ~value:pn.value)
           (List.sort (fun a b -> compare_meta a.meta b.meta) visible);

@@ -10,7 +10,7 @@
 
 type t
 
-val create : Sim.Engine.t -> Common.params -> Common.hooks -> t
+val create : ?series:Stats.Series.t -> Sim.Engine.t -> Common.params -> Common.hooks -> t
 
 val fabric : t -> Common.t
 val gsv : t -> dc:int -> Sim.Time.t array

@@ -7,15 +7,22 @@ type t = {
   geo : Common.t;
   hooks : Common.hooks;
   stores : (meta, int) Kvstore.Store.t array array; (* [dc].[partition] *)
+  apply_series : Stats.Series.counter option array; (* per dc *)
 }
 
-let create engine p hooks =
-  let geo = Common.create engine p in
+let create ?series engine p hooks =
+  let geo = Common.create ?series engine p in
   let stores =
     Array.init (Common.n_dcs geo) (fun _ ->
         Array.init p.Common.partitions (fun _ -> Kvstore.Store.create ()))
   in
-  { geo; hooks; stores }
+  let apply_series =
+    Array.init (Common.n_dcs geo) (fun dc ->
+        Option.map
+          (fun sr -> Stats.Series.counter sr (Printf.sprintf "series.apply.dc%d" dc))
+          series)
+  in
+  { geo; hooks; stores; apply_series }
 
 let fabric t = t.geo
 let cost t = (Common.params t.geo).Common.cost
@@ -51,6 +58,9 @@ let apply_remote t ~dc ~key ~value ~meta ~origin_time =
           ~seq:(Sim.Time.to_us (fst meta))
           ~aux:part ~site:(snd meta) ~peer:dc;
       let _ = Kvstore.Store.put_if_newer t.stores.(dc).(part) ~cmp:compare_meta ~key value meta in
+      (match t.apply_series.(dc) with
+      | Some c -> Stats.Series.incr c ~now:(Sim.Engine.now (Common.engine t.geo))
+      | None -> ());
       t.hooks.Common.on_visible ~dc ~key ~origin_dc:(snd meta) ~origin_time ~value)
 
 let update t ~client:_ ~home ~dc ~key ~value ~k =

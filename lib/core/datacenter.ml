@@ -59,13 +59,13 @@ let install_remote t (p : Proxy.payload) =
   | Label.Migration _ | Label.Epoch_change _ -> assert false
 
 let create engine ~dc ~n_dcs ~partitions ~frontends ~cost ~rmap ~hooks ?(clock_offset = Sim.Time.zero)
-    ?registry ?(proxy_mode = Proxy.Stream) () =
+    ?registry ?series ?(proxy_mode = Proxy.Stream) () =
   let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
   let clock = Sim.Clock.create ~offset:clock_offset engine in
   let gears = Array.init partitions (fun gear_id -> Gear.create clock ~dc ~gear_id) in
   let sink =
     Sink.create engine ~gears ~period:cost.Cost_model.sink_period ~emit:(fun l -> hooks.emit_label l)
-      ~registry ~name:(Printf.sprintf "sink.dc%d" dc) ()
+      ~registry ?series ~name:(Printf.sprintf "sink.dc%d" dc) ()
   in
   let t =
     {
@@ -92,12 +92,14 @@ let create engine ~dc ~n_dcs ~partitions ~frontends ~cost ~rmap ~hooks ?(clock_o
       stopped = false;
     }
   in
-  (* tie the proxy's staging/install back to the datacenter's servers *)
+  (* tie the proxy's staging/install back to the datacenter's servers; only
+     this real proxy registers series gauges — the placeholder above must
+     not claim the names *)
   t.proxy <-
     Proxy.create engine ~dc ~n_dcs
       ~stage_update:(fun p ~k -> stage_remote t p ~k)
       ~install_update:(fun p -> install_remote t p)
-      ~registry ~mode:proxy_mode ();
+      ~registry ?series ~mode:proxy_mode ();
   (* long-running deployments: bound the proxy's applied-label bookkeeping *)
   Sim.Engine.periodic engine ~every:(Sim.Time.of_sec 10.) (fun () -> Proxy.compact t.proxy)
     ~stop:(fun () -> t.stopped);

@@ -29,13 +29,15 @@ val create :
   hooks:hooks ->
   ?clock_offset:Sim.Time.t ->
   ?registry:Stats.Registry.t ->
+  ?series:Stats.Series.t ->
   ?proxy_mode:Proxy.mode ->
   unit ->
   t
 (** [registry] collects the datacenter's counters and those of its sink and
     proxy, scoped by datacenter id ([dc0.updates_originated],
     [sink.dc0.emitted], [proxy.dc0.applied_updates], …); a private registry
-    is created when omitted. *)
+    is created when omitted. [series] is forwarded to the sink and proxy
+    for windowed queue-depth / apply-throughput telemetry. *)
 
 val dc : t -> int
 val proxy : t -> Proxy.t

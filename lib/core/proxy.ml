@@ -30,13 +30,16 @@ type t = {
   mutable switch_done : bool;
   applied_counter : Stats.Registry.counter;
   fallback_counter : Stats.Registry.counter;
+  apply_series : Stats.Series.counter option;
   mutable scanning : bool;
   mutable need_rescan : bool;
 }
 
-let create engine ~dc ~n_dcs ~stage_update ~install_update ?registry ?(mode = Stream) () =
+let create engine ~dc ~n_dcs ~stage_update ~install_update ?registry ?series ?(mode = Stream) ()
+    =
   let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
-  {
+  let t =
+    {
     engine;
     dc;
     n_dcs;
@@ -59,9 +62,25 @@ let create engine ~dc ~n_dcs ~stage_update ~install_update ?registry ?(mode = St
     applied_counter = Stats.Registry.counter registry (Printf.sprintf "proxy.dc%d.applied_updates" dc);
     fallback_counter =
       Stats.Registry.counter registry (Printf.sprintf "proxy.dc%d.fallback_activations" dc);
+    apply_series =
+      Option.map (fun s -> Stats.Series.counter s (Printf.sprintf "series.apply.dc%d" dc)) series;
     scanning = false;
     need_rescan = false;
-  }
+    }
+  in
+  (match series with
+  | Some series ->
+    Stats.Series.sample series
+      (Printf.sprintf "series.pending.dc%d" dc)
+      (fun () ->
+        let s = t.stream in
+        let n = ref (Hashtbl.length t.payloads) in
+        for i = s.head to s.tail - 1 do
+          match s.arr.(i) with Some { state = Waiting; _ } -> incr n | Some _ | None -> ()
+        done;
+        float_of_int !n)
+  | None -> ());
+  t
 
 let probe_mode t m =
   if Sim.Probe.active () then
@@ -163,7 +182,12 @@ let mark_applied t (label : Label.t) =
      labels in timestamp order *)
   if label.src_dc <> t.dc then
     t.applied_wm.(label.src_dc) <- Sim.Time.max t.applied_wm.(label.src_dc) label.ts;
-  if Label.is_update label then Stats.Registry.incr t.applied_counter;
+  if Label.is_update label then begin
+    Stats.Registry.incr t.applied_counter;
+    match t.apply_series with
+    | Some c -> Stats.Series.incr c ~now:(Sim.Engine.now t.engine)
+    | None -> ()
+  end;
   fire_label_waiters t label;
   check_ts_waiters t
 

@@ -37,6 +37,7 @@ val create :
   stage_update:(payload -> k:(unit -> unit) -> unit) ->
   install_update:(payload -> unit) ->
   ?registry:Stats.Registry.t ->
+  ?series:Stats.Series.t ->
   ?mode:mode ->
   unit ->
   t
@@ -49,9 +50,11 @@ val create :
     updates are staged in parallel as they arrive and exposed in order, as
     in the paper's remote-proxy parallelism discussion (§4.3). Defaults to
     [Stream] mode. [registry] receives the proxy's counters, scoped
-    [proxy.dc<k>.*]; a private registry is created when omitted. Applies
-    and mode transitions are also traced through {!Sim.Probe} when a probe
-    is installed. *)
+    [proxy.dc<k>.*]; a private registry is created when omitted. [series],
+    when given, gains a [series.pending.dc<k>] queue-depth gauge (stream
+    entries waiting + payloads held) and a [series.apply.dc<k>] per-window
+    apply-throughput counter. Applies and mode transitions are also traced
+    through {!Sim.Probe} when a probe is installed. *)
 
 val mode : t -> mode
 val set_mode : t -> mode -> unit

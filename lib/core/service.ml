@@ -98,11 +98,19 @@ let route t s msg =
     (Tree.neighbors tree s)
 
 let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
-    ?(intra_latency = Sim.Time.of_us 300) ?registry ?(name = "service") ?(instance = 0) () =
+    ?(intra_latency = Sim.Time.of_us 300) ?registry ?series ?(name = "service") ?(instance = 0)
+    () =
   let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
   let tree = Config.tree config in
   let n_ser = Tree.n_serializers tree in
   let n_dcs = Tree.n_dcs tree in
+  let ser_ingress =
+    match series with
+    | Some sr ->
+      Array.init n_ser (fun s ->
+          Some (Stats.Series.counter sr (Printf.sprintf "series.ser%d.ingress" s)))
+    | None -> Array.make n_ser None
+  in
   let t =
     {
       engine;
@@ -150,6 +158,9 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
         | `Ser x -> Sim.Span.end_ ~at Sim.Span.Sk_hop ~origin ~seq:oseq ~aux:instance ~site:x ~peer:s);
         Sim.Span.begin_ ~at Sim.Span.Sk_chain ~origin ~seq:oseq ~aux:instance ~site:s
       end;
+      (match ser_ingress.(s) with
+      | Some c -> Stats.Series.incr c ~now:(Sim.Engine.now engine)
+      | None -> ());
       ingest s msg ~confirm
     in
     let recv = Reliable_fifo.receiver_deferred engine ~deliver in
@@ -211,6 +222,49 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
         Hashtbl.replace t.dc_out_senders dc out_sender;
         register_sender out_sender;
         { in_data = data; in_ack = ack; out_data; out_ack });
+  (match series with
+  | Some sr ->
+    (* per-serializer backlog: unacked messages on every reliable channel
+       feeding serializer [s] (sink attachments + inbound tree edges); the
+       feeder lists are resolved here, once — the pull closures do single
+       reads, no hash iteration *)
+    for s = 0 to n_ser - 1 do
+      let dc_feeds = List.map (fun dc -> t.dc_in_senders.(dc)) (Tree.dcs_at tree s) in
+      let edge_feeds =
+        List.filter_map
+          (fun x -> Hashtbl.find_opt t.edge_senders (x, s))
+          (Tree.neighbors tree s)
+      in
+      Stats.Series.sample sr
+        (Printf.sprintf "series.ser%d.pending" s)
+        (fun () ->
+          let n =
+            List.fold_left (fun acc snd -> acc + Reliable_fifo.unacked snd) 0 dc_feeds
+            + List.fold_left (fun acc snd -> acc + Reliable_fifo.unacked snd) 0 edge_feeds
+          in
+          float_of_int n)
+    done;
+    (* metadata-plane wire depth: label-bearing data links only (tree edges
+       + attach ingress/egress), resolved into a flat list up front *)
+    let meta_links =
+      let edges =
+        List.concat_map
+          (fun (a, b) ->
+            List.filter_map
+              (fun key -> Option.map fst (Hashtbl.find_opt t.edge_links key))
+              [ (a, b); (b, a) ])
+          (Tree.edges tree)
+      in
+      let attach =
+        Array.to_list t.dc_links
+        |> List.concat_map (fun l -> [ l.in_data; l.out_data ])
+      in
+      edges @ attach
+    in
+    Stats.Series.sample sr "series.link.meta.in_flight" (fun () ->
+        float_of_int
+          (List.fold_left (fun acc l -> acc + Sim.Link.in_flight_count l) 0 meta_links))
+  | None -> ());
   t
 
 let input t ~dc label =

@@ -24,6 +24,7 @@ val create :
   ?serializer_replicas:int ->
   ?intra_latency:Sim.Time.t ->
   ?registry:Stats.Registry.t ->
+  ?series:Stats.Series.t ->
   ?name:string ->
   ?instance:int ->
   unit ->
@@ -33,6 +34,11 @@ val create :
     at each interested datacenter, in that datacenter's serialization
     order. [registry] receives the service's counters under [name]
     (default ["service"]); a private registry is created when omitted.
+    [series], when given, gains per-serializer [series.ser<k>.ingress]
+    (per-window chain-ingress rate) and [series.ser<k>.pending] (unacked
+    backlog on the channels feeding [k]) plus [series.link.meta.in_flight]
+    (labels on the wire across the whole metadata plane). Pass it only to
+    one service instance per run: gauge names would collide across epochs.
     Label ingress, serializer hops and artificial-delay waits are traced
     through {!Sim.Probe} when a probe is installed, and every leg of a
     forwarded label's trip (attach, chain, δ-waits, hops, egress) is

@@ -33,7 +33,7 @@ let flush t =
   in
   drain ()
 
-let create engine ~gears ~period ~emit ?registry ?(name = "sink") () =
+let create engine ~gears ~period ~emit ?registry ?series ?(name = "sink") () =
   let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
   let t =
     {
@@ -46,6 +46,12 @@ let create engine ~gears ~period ~emit ?registry ?(name = "sink") () =
       stopped = false;
     }
   in
+  (match series with
+  | Some series ->
+    Stats.Series.sample series
+      ("series." ^ name ^ ".depth")
+      (fun () -> float_of_int (Sim.Heap.size t.buffer))
+  | None -> ());
   Sim.Engine.periodic engine ~every:period (fun () -> flush t) ~stop:(fun () -> t.stopped);
   t
 

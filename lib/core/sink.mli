@@ -16,6 +16,7 @@ val create :
   period:Sim.Time.t ->
   emit:(Label.t -> unit) ->
   ?registry:Stats.Registry.t ->
+  ?series:Stats.Series.t ->
   ?name:string ->
   unit ->
   t
@@ -23,7 +24,8 @@ val create :
     feeds {!Service.input}. The periodic flush stops after {!stop}.
     [registry] receives the sink's counters under [name] (default
     ["sink"], e.g. ["sink.dc0"] when scoped by the datacenter); a private
-    registry is created when omitted. *)
+    registry is created when omitted. [series], when given, gains a
+    [series.<name>.depth] gauge sampling the hold-queue depth. *)
 
 val offer : t -> Label.t -> unit
 (** Called by a gear right after persisting the update (same site; modelled

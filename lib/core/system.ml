@@ -79,7 +79,7 @@ let route_label t dc label =
   | Some m when Label.equal m label -> route.to_next <- true
   | Some _ | None -> ()
 
-let create ?registry engine p hooks =
+let create ?registry ?series engine p hooks =
   let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
   let n = Array.length p.dc_sites in
   let bulk =
@@ -132,7 +132,7 @@ let create ?registry engine p hooks =
           match p.clock_offsets with Some offs -> offs.(dc) | None -> Sim.Time.zero
         in
         Datacenter.create engine ~dc ~n_dcs:n ~partitions:p.partitions ~frontends:p.frontends
-          ~cost:p.cost ~rmap:p.rmap ~hooks:hooks_dc ~clock_offset ~registry
+          ~cost:p.cost ~rmap:p.rmap ~hooks:hooks_dc ~clock_offset ~registry ?series
           ~proxy_mode:(if p.peer_mode then Proxy.Fallback else Proxy.Stream)
           ());
   if not p.peer_mode then
@@ -140,7 +140,28 @@ let create ?registry engine p hooks =
       Some
         (Service.create engine ~topo:p.topo ~config:p.config ~interest:(interest_of p)
            ~deliver:(fun ~dc label -> deliver_current t ~dc label)
-           ~serializer_replicas:p.serializer_replicas ~registry ~name:"service" ~instance:0 ());
+           ~serializer_replicas:p.serializer_replicas ~registry ?series ~name:"service"
+           ~instance:0 ());
+  (match series with
+  | Some sr ->
+    (* datastore-plane wire depth: every inter-dc bulk link, flattened in
+       (src, dst) order once at startup *)
+    let bulk_links = ref [] in
+    for i = n - 1 downto 0 do
+      for j = n - 1 downto 0 do
+        if i <> j then bulk_links := bulk.(i).(j) :: !bulk_links
+      done
+    done;
+    let bulk_links = !bulk_links in
+    Stats.Series.sample sr "series.link.bulk.in_flight" (fun () ->
+        float_of_int
+          (List.fold_left (fun acc l -> acc + Sim.Link.in_flight_count l) 0 bulk_links));
+    (* drive the sampling clock: ticks only read state and emit no probe
+       events, so the trace digest is unchanged by instrumentation *)
+    Sim.Engine.periodic engine ~every:(Stats.Series.tick_period sr)
+      (fun () -> Stats.Series.tick sr ~now:(Sim.Engine.now engine))
+      ~stop:(fun () -> t.stopped)
+  | None -> ());
   (* bulk-channel heartbeats: each datacenter periodically promises its gear
      floor to every other datacenter (liveness for attach stabilization and
      for the timestamp fallback) *)

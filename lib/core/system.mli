@@ -44,8 +44,14 @@ val no_hooks : hooks
 
 type t
 
-val create : ?registry:Stats.Registry.t -> Sim.Engine.t -> params -> hooks -> t
-(** [registry] collects every counter of the deployment (per-datacenter
+val create :
+  ?registry:Stats.Registry.t -> ?series:Stats.Series.t -> Sim.Engine.t -> params -> hooks -> t
+(** [series], when given, receives windowed queue-depth and throughput
+    telemetry from every layer (sink hold queues, proxy pending sets,
+    serializer ingress/backlog, metadata and bulk link in-flight counts)
+    and the system drives its sampling tick until {!stop}. The tick only
+    reads state and emits no probe events, so trace digests are unchanged.
+    [registry] collects every counter of the deployment (per-datacenter
     counters are scoped by id, the serializer tree under ["service"]);
     a private registry is created when omitted. *)
 

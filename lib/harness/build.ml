@@ -57,7 +57,7 @@ let hooks_of_metrics metrics =
         Metrics.on_visible metrics ~dc ~key ~origin_dc ~origin_time ~value);
   }
 
-let saturn_with ~peer ?registry ?faults engine spec metrics =
+let saturn_with ~peer ?registry ?series ?faults engine spec metrics =
   let config =
     match spec.saturn_config with
     | Some c -> c
@@ -84,7 +84,7 @@ let saturn_with ~peer ?registry ?faults engine spec metrics =
       clock_offsets = None;
     }
   in
-  let system = Saturn.System.create ?registry engine params (hooks_of_metrics metrics) in
+  let system = Saturn.System.create ?registry ?series engine params (hooks_of_metrics metrics) in
   Option.iter (fun f -> Faults.Registry.bind_system f system) faults;
   let table : (int, Saturn.Client_lib.t) Hashtbl.t = Hashtbl.create 256 in
   let lib (c : Client.t) =
@@ -122,11 +122,11 @@ let saturn_with ~peer ?registry ?faults engine spec metrics =
   in
   (api, system)
 
-let saturn ?registry ?faults engine spec metrics =
-  saturn_with ~peer:false ?registry ?faults engine spec metrics
+let saturn ?registry ?series ?faults engine spec metrics =
+  saturn_with ~peer:false ?registry ?series ?faults engine spec metrics
 
-let saturn_peer ?registry ?faults engine spec metrics =
-  saturn_with ~peer:true ?registry ?faults engine spec metrics
+let saturn_peer ?registry ?series ?faults engine spec metrics =
+  saturn_with ~peer:true ?registry ?series ?faults engine spec metrics
 
 let baseline_params spec =
   {
@@ -146,8 +146,8 @@ let baseline_hooks metrics =
         Metrics.on_visible metrics ~dc ~key ~origin_dc ~origin_time ~value);
   }
 
-let eventual ?faults engine spec metrics =
-  let sys = Baselines.Eventual.create engine (baseline_params spec) (baseline_hooks metrics) in
+let eventual ?series ?faults engine spec metrics =
+  let sys = Baselines.Eventual.create ?series engine (baseline_params spec) (baseline_hooks metrics) in
   Option.iter (fun f -> Faults.Registry.bind_fabric f (Baselines.Eventual.fabric sys)) faults;
   {
     Api.name = "eventual";
@@ -174,8 +174,8 @@ let eventual ?faults engine spec metrics =
     store_value = (fun ~dc ~key -> Baselines.Eventual.store_value sys ~dc ~key);
   }
 
-let gentlerain engine spec metrics =
-  let sys = Baselines.Gentlerain.create engine (baseline_params spec) (baseline_hooks metrics) in
+let gentlerain ?series engine spec metrics =
+  let sys = Baselines.Gentlerain.create ?series engine (baseline_params spec) (baseline_hooks metrics) in
   {
     Api.name = "gentlerain";
     attach =
@@ -202,8 +202,8 @@ let gentlerain engine spec metrics =
     store_value = (fun ~dc ~key -> Baselines.Gentlerain.store_value sys ~dc ~key);
   }
 
-let cure engine spec metrics =
-  let sys = Baselines.Cure.create engine (baseline_params spec) (baseline_hooks metrics) in
+let cure ?series engine spec metrics =
+  let sys = Baselines.Cure.create ?series engine (baseline_params spec) (baseline_hooks metrics) in
   {
     Api.name = "cure";
     attach =
@@ -229,9 +229,10 @@ let cure engine spec metrics =
     store_value = (fun ~dc ~key -> Baselines.Cure.store_value sys ~dc ~key);
   }
 
-let cops engine spec metrics ~prune_on_write =
+let cops ?series engine spec metrics ~prune_on_write =
   let sys =
-    Baselines.Cops.create engine (baseline_params spec) (baseline_hooks metrics) ~prune_on_write
+    Baselines.Cops.create ?series engine (baseline_params spec) (baseline_hooks metrics)
+      ~prune_on_write
   in
   let api =
     {

@@ -26,18 +26,22 @@ val solve_config : spec -> Saturn.Config.t
 
 val saturn :
   ?registry:Stats.Registry.t ->
+  ?series:Stats.Series.t ->
   ?faults:Faults.Registry.t ->
   Sim.Engine.t ->
   spec ->
   Metrics.t ->
   Api.t * Saturn.System.t
 (** [registry] collects the deployment's counters (see
-    {!Saturn.System.create}); [faults] receives the deployment's breakable
+    {!Saturn.System.create}); [series] receives windowed queue-depth and
+    throughput telemetry (see {!Stats.Series}); [faults] receives the
+    deployment's breakable
     pieces via {!Faults.Registry.bind_system}, so a fault plan can be armed
     against it. *)
 
 val saturn_peer :
   ?registry:Stats.Registry.t ->
+  ?series:Stats.Series.t ->
   ?faults:Faults.Registry.t ->
   Sim.Engine.t ->
   spec ->
@@ -45,13 +49,20 @@ val saturn_peer :
   Api.t * Saturn.System.t
 (** The P-configuration: timestamp order only, no serializer tree. *)
 
-val eventual : ?faults:Faults.Registry.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t
+val eventual :
+  ?series:Stats.Series.t -> ?faults:Faults.Registry.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t
 (** [faults] receives the baseline's bulk links via
     {!Faults.Registry.bind_fabric}. *)
 
-val gentlerain : Sim.Engine.t -> spec -> Metrics.t -> Api.t
-val cure : Sim.Engine.t -> spec -> Metrics.t -> Api.t
-val cops : Sim.Engine.t -> spec -> Metrics.t -> prune_on_write:bool -> Api.t * Baselines.Cops.t
+val gentlerain : ?series:Stats.Series.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t
+val cure : ?series:Stats.Series.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t
+val cops :
+  ?series:Stats.Series.t ->
+  Sim.Engine.t ->
+  spec ->
+  Metrics.t ->
+  prune_on_write:bool ->
+  Api.t * Baselines.Cops.t
 val orbe : Sim.Engine.t -> spec -> Metrics.t -> Api.t * Baselines.Orbe.t
 (** Dependency-matrix explicit checking; sound under full replication only
     (see {!Baselines.Orbe}). *)

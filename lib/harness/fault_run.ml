@@ -11,6 +11,9 @@ type outcome = {
   flame : (string * int) list;
   span_us : (string * int) list;
   registry : Stats.Registry.t;
+  series : Stats.Series.t;
+  fault_at_us : int option;
+  heal_at_us : int option;
 }
 
 let scenario_names = [ "ser-crash"; "partition"; "latency-spike" ]
@@ -127,6 +130,13 @@ let fault_ref plan =
         Some (match acc with None -> e.at | Some a -> Sim.Time.max a e.at))
       None (Faults.Plan.events plan)
 
+(* the onset of the fault, for the timeline: the plan's earliest event *)
+let fault_onset plan =
+  List.fold_left
+    (fun acc (e : Faults.Plan.event) ->
+      Some (match acc with None -> e.at | Some a -> Sim.Time.min a e.at))
+    None (Faults.Plan.events plan)
+
 let run_one ~seed ~scenario ~system ~busiest =
   let spec = spec () in
   let engine = Sim.Engine.create () in
@@ -138,15 +148,25 @@ let run_one ~seed ~scenario ~system ~busiest =
     Stats.Registry.histogram registry "faults.recovery_ms" ~lo:0. ~hi:2000. ~buckets:40
   in
   let recovery = ref None in
+  let series = Stats.Series.create () in
+  let vis_series = Stats.Series.hist series "series.vis_ms" in
+  let fault_at_us = ref None in
+  let heal_at_us = ref None in
   let ops =
     Sim.Probe.with_probe probe (fun () ->
         let api =
           match system with
-          | `Saturn -> fst (Build.saturn ~registry ~faults:freg engine spec metrics)
-          | `Eventual -> Build.eventual ~faults:freg engine spec metrics
+          | `Saturn -> fst (Build.saturn ~registry ~series ~faults:freg engine spec metrics)
+          | `Eventual -> Build.eventual ~series ~faults:freg engine spec metrics
         in
         let plan = plan_for ~scenario ~busiest freg system in
         let (_ : Faults.Injector.t) = Faults.Injector.arm ~registry engine freg plan in
+        fault_at_us := Option.map Sim.Time.to_us (fault_onset plan);
+        heal_at_us := Option.map Sim.Time.to_us (fault_ref plan);
+        Metrics.subscribe metrics (fun ~dc:_ ~key:_ ~origin_dc:_ ~origin_time ~value:_ ->
+            let now = Sim.Engine.now engine in
+            Stats.Series.observe vis_series ~now
+              (Sim.Time.to_ms_float (Sim.Time.sub now origin_time)));
         (match fault_ref plan with
         | None -> ()
         | Some fr ->
@@ -162,6 +182,7 @@ let run_one ~seed ~scenario ~system ~busiest =
         (run_driver engine api metrics ~seed ~rmap:spec.Build.rmap ~topo:spec.Build.topo)
           .Driver.ops_completed)
   in
+  Stats.Series.seal series ~now:(Sim.Engine.now engine);
   let recovery_ms =
     match !recovery with None -> 0. | Some lag -> Sim.Time.to_ms_float lag
   in
@@ -183,7 +204,79 @@ let run_one ~seed ~scenario ~system ~busiest =
     flame = Sim.Probe.counts_by_kind probe;
     span_us = Sim.Probe.span_totals_us probe;
     registry;
+    series;
+    fault_at_us = !fault_at_us;
+    heal_at_us = !heal_at_us;
   }
+
+let run_scenario ?(seed = 42) ~scenario ~system () =
+  if not (List.mem scenario scenario_names) then
+    invalid_arg ("Fault_run.run_scenario: unknown scenario " ^ scenario);
+  (* only the latency-spike plan needs the busiest edge; skip the dry
+     pre-run otherwise *)
+  let busiest = if scenario = "latency-spike" then busiest_edge ~seed else (0, 1) in
+  run_one ~seed ~scenario ~system ~busiest
+
+let series_recovery_ms o =
+  match (o.fault_at_us, o.heal_at_us) with
+  | Some fault_at_us, Some heal_at_us ->
+    let window_us = Sim.Time.to_us (Stats.Series.window o.series) in
+    (match Stats.Series.kind_of o.series "series.vis_ms" with
+    | None -> None
+    | Some _ ->
+      Stats.Series.recovery_window ~window_us ~fault_at_us ~heal_at_us ~slack:1.0
+        (Stats.Series.primary o.series "series.vis_ms")
+      |> Option.map (fun w ->
+             (* quantized to window starts, like the series itself *)
+             (float_of_int (w * window_us) -. float_of_int heal_at_us) /. 1000.))
+  | _ -> None
+
+let recovery_agrees o =
+  match (series_recovery_ms o, o.heal_at_us) with
+  | Some s_ms, Some heal ->
+    let window_us = Sim.Time.to_us (Stats.Series.window o.series) in
+    (* both recovery points, quantized to the window that contains them:
+       the series can only answer at window granularity *)
+    let s_win = (heal + int_of_float (s_ms *. 1000.)) / window_us in
+    let d_win = (heal + int_of_float (o.recovery_ms *. 1000.)) / window_us in
+    Some (abs (s_win - d_win) <= 1)
+  | _ -> None
+
+let print_timeline o =
+  let sr = o.series in
+  let n = Stats.Series.n_windows sr in
+  if n = 0 then Printf.printf "%s/%s: no closed windows\n" o.scenario o.system
+  else begin
+    let window_us = Sim.Time.to_us (Stats.Series.window sr) in
+    Printf.printf "%s/%s timeline: %d windows x %d ms\n" o.scenario o.system n (window_us / 1000);
+    let names = Stats.Series.names sr in
+    let name_w = List.fold_left (fun a s -> max a (String.length s)) 0 names in
+    List.iter
+      (fun name ->
+        let v = Stats.Series.primary sr name in
+        let peak = Array.fold_left max 0. v in
+        Printf.printf "  %-*s |%s| peak %.1f\n" name_w name (Stats.Series.sparkline v) peak)
+      names;
+    (match o.fault_at_us with
+    | None -> ()
+    | Some f ->
+      let marks = Bytes.make n ' ' in
+      let mark us c =
+        let i = us / window_us in
+        if i >= 0 && i < n then Bytes.set marks i c
+      in
+      mark f '^';
+      (match o.heal_at_us with Some h when h <> f -> mark h '^' | _ -> ());
+      Printf.printf "  %-*s |%s| ^ = fault / heal\n" name_w "" (Bytes.to_string marks));
+    match series_recovery_ms o with
+    | Some ms ->
+      Printf.printf
+        "  series recovery (vis p99 back to steady state): %.1f ms after heal; drain-based \
+         faults.recovery_ms: %.1f; same window +/-1: %s\n"
+        ms o.recovery_ms
+        (match recovery_agrees o with Some true -> "yes" | Some false -> "NO" | None -> "n/a")
+    | None -> ()
+  end
 
 let run_matrix ?(seed = 42) () =
   let busiest = busiest_edge ~seed in

@@ -32,6 +32,13 @@ type outcome = {
   flame : (string * int) list;  (** probe event counts by kind, name-sorted *)
   span_us : (string * int) list;  (** matched-span µs by span kind, name-sorted *)
   registry : Stats.Registry.t;
+  series : Stats.Series.t;
+      (** windowed telemetry of this run (queue depths, apply throughput,
+          [series.vis_ms] visibility latency), sealed at run end *)
+  fault_at_us : int option;  (** the plan's earliest event; [None] for empty plans *)
+  heal_at_us : int option;
+      (** the restorative reference that [recovery_ms] measures from: the
+          plan's last heal, or its last event when nothing heals *)
 }
 
 val scenario_names : string list
@@ -40,6 +47,32 @@ val scenario_names : string list
 val run_matrix : ?seed:int -> unit -> outcome list
 (** Every scenario × {Saturn, eventual}, in a fixed order (default
     seed 42). *)
+
+val run_scenario :
+  ?seed:int -> scenario:string -> system:[ `Saturn | `Eventual ] -> unit -> outcome
+(** One cell of the matrix (default seed 42). Only the latency-spike
+    scenario pays for the fault-free pre-run that locates the busiest edge.
+    @raise Invalid_argument on a name outside {!scenario_names}. *)
+
+val series_recovery_ms : outcome -> float option
+(** Recovery measured {e from the windowed series}: the start of the first
+    window at or after the heal whose [series.vis_ms] p99 is back within
+    tolerance of the pre-fault steady state ({!Stats.Series.recovery_window}),
+    minus the heal time. [None] when the run had no fault, no pre-fault
+    calibration windows, or never recovered. Independent of — and a
+    cross-check on — the drain-based [recovery_ms]; the two agree to within
+    one window width. *)
+
+val recovery_agrees : outcome -> bool option
+(** Whether the two recovery measurements land in the same window ±1 —
+    the finest agreement a window-quantized series can certify. [None]
+    when {!series_recovery_ms} is [None]. *)
+
+val print_timeline : outcome -> unit
+(** The recovery-timeline view: one sparkline per series (queue depths,
+    apply throughput, visibility p99) over the common window axis, a marker
+    row locating the fault and heal windows, and the
+    {!series_recovery_ms} / [recovery_ms] cross-check, on stdout. *)
 
 val matrix_digest : outcome list -> string
 (** Digest over every run's probe digest — one string for the CI

@@ -3,6 +3,7 @@ type result = {
   n_events : int;
   ops : int;
   registry : Stats.Registry.t;
+  series : Stats.Series.t;
   probe : Sim.Probe.t;
 }
 
@@ -46,12 +47,16 @@ let smoke ?(seed = 42) () =
   in
   let metrics = Metrics.create ~registry engine ~topo ~dc_sites in
   let vis_hist = Stats.Registry.histogram registry "smoke.visibility_ms" ~lo:0. ~hi:1000. ~buckets:40 in
+  let series = Stats.Series.create () in
+  let vis_series = Stats.Series.hist series "series.vis_ms" in
   Metrics.subscribe metrics (fun ~dc:_ ~key:_ ~origin_dc:_ ~origin_time ~value:_ ->
-      Stats.Histogram.add vis_hist
-        (Sim.Time.to_ms_float (Sim.Time.sub (Sim.Engine.now engine) origin_time)));
+      let now = Sim.Engine.now engine in
+      let ms = Sim.Time.to_ms_float (Sim.Time.sub now origin_time) in
+      Stats.Histogram.add vis_hist ms;
+      Stats.Series.observe vis_series ~now ms);
   let driver_result =
     Sim.Probe.with_probe probe (fun () ->
-        let api, _system = Build.saturn ~registry engine spec metrics in
+        let api, _system = Build.saturn ~registry ~series engine spec metrics in
         let clients = Driver.make_clients ~dc_sites ~per_dc:2 in
         let syn =
           Workload.Synthetic.create
@@ -72,11 +77,20 @@ let smoke ?(seed = 42) () =
   List.iter
     (fun (k, us) -> Stats.Registry.incr ~by:us (Stats.Registry.counter registry ("span." ^ k ^ ".us")))
     (Sim.Probe.span_totals_us probe);
+  Stats.Series.seal series ~now:(Sim.Engine.now engine);
+  (* fold each series' total event/sample count into the registry, so the
+     probe-counter gate also catches a series going silent *)
+  List.iter
+    (fun name ->
+      let total = Array.fold_left (fun acc p -> acc + p.Stats.Series.count) 0 (Stats.Series.points series name) in
+      Stats.Registry.incr ~by:total (Stats.Registry.counter registry (name ^ ".n")))
+    (Stats.Series.names series);
   {
     digest = Sim.Probe.digest probe;
     n_events = Sim.Probe.count probe;
     ops = driver_result.Driver.ops_completed;
     registry;
+    series;
     probe;
   }
 
@@ -95,6 +109,8 @@ let write_artifacts r ~out_dir =
     file "decomposition.txt" (fun oc ->
         output_string oc (Stats.Table.render (Journey.table (Journey.analyze r.probe)));
         output_char oc '\n');
+    file "series.csv" (fun oc -> output_string oc (Stats.Series.to_csv r.series));
+    file "series.json" (fun oc -> output_string oc (Stats.Series.to_json r.series));
   ]
 
 (* ---- probe-counter regression gate ------------------------------------- *)

@@ -13,6 +13,7 @@ type result = {
   n_events : int;  (** probe events recorded *)
   ops : int;  (** client operations completed in the measurement window *)
   registry : Stats.Registry.t;
+  series : Stats.Series.t;  (** windowed telemetry, sealed at run end *)
   probe : Sim.Probe.t;
 }
 
@@ -28,11 +29,14 @@ val chain_config : dc_sites:Sim.Topology.site array -> Saturn.Config.t
 val smoke : ?seed:int -> unit -> result
 (** Runs the scenario (default seed 42). Pure apart from simulation. The
     registry also collects per-subsystem matched-span time as
-    [span.<kind>.us] counters next to the [probe.*] event counts. *)
+    [span.<kind>.us] counters next to the [probe.*] event counts, and each
+    windowed series' total sample count as [series.<name>.n] counters so
+    the counter gate catches a series going silent. *)
 
 val write_artifacts : result -> out_dir:string -> string list
 (** Writes [trace.jsonl], [trace.digest], [trace.chrome.json] (Perfetto/
-    chrome://tracing) and [decomposition.txt] (the {!Journey} table) under
+    chrome://tracing), [decomposition.txt] (the {!Journey} table) and
+    [series.csv] / [series.json] (the {!Stats.Series} dump) under
     [out_dir] (created if missing); returns the paths. *)
 
 val run_smoke : ?seed:int -> ?out_dir:string -> unit -> result

@@ -264,6 +264,16 @@ let registration_call text =
     true
   | _ -> false
 
+(* windowed-series registration sites share the registry's name grammar
+   plus one extra rule: the literal must carry the "series." prefix the
+   runtime enforces, so a typo fails at lint time, not mid-run *)
+let series_registration_call text =
+  match String.split_on_char '.' text with
+  | [ _; "Series"; ("counter" | "sample" | "hist") ]
+  | [ "Series"; ("counter" | "sample" | "hist") ] ->
+    true
+  | _ -> false
+
 let name_char c =
   (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
   || c = '_' || c = '.' || c = '*' || c = '>' || c = '-'
@@ -361,7 +371,7 @@ let check_counters ~file (toks : Token.t array) =
   let patterns = ref [] in
   Array.iteri
     (fun i (t : Token.t) ->
-      if t.kind = Token.Ident && registration_call t.text then
+      if t.kind = Token.Ident && (registration_call t.text || series_registration_call t.text) then
         match extract_pattern toks i with
         | None -> ()
         | Some (line, pieces, pattern) ->
@@ -389,6 +399,23 @@ let check_counters ~file (toks : Token.t array) =
                 message =
                   Printf.sprintf
                     "counter name %S is not dotted; names follow the family.metric convention"
+                    pattern;
+              }
+              :: !findings;
+          if
+            series_registration_call t.text
+            && pattern <> "*"
+            && not (String.length pattern >= 7 && String.sub pattern 0 7 = "series.")
+          then
+            findings :=
+              {
+                rule = r_counter;
+                file;
+                line;
+                message =
+                  Printf.sprintf
+                    "series name %S must start with \"series.\" (Stats.Series rejects it at \
+                     runtime)"
                     pattern;
               }
               :: !findings;

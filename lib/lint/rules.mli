@@ -14,7 +14,9 @@
       matching [Span.end_] for the same [Sk_*] constructor somewhere in the
       tree (front-runs the exact-tiling gate).
     - [counter-name-grammar] (R4): counter names reaching the registry must
-      match [[a-z0-9_.*>-]+] and the dotted family.metric convention, and
+      match [[a-z0-9_.*>-]+] and the dotted family.metric convention;
+      [Stats.Series] registration sites ([Series.counter]/[sample]/[hist])
+      additionally need the ["series."] prefix the runtime enforces; and
       every name in [ci/smoke-counters.txt] must still be coverable by a
       registration site (front-runs the probe-counter gate).
     - [physical-equality] (R5): [==]/[!=] compare addresses; use [=]/[<>]

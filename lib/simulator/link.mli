@@ -60,4 +60,8 @@ val dropped_down_count : t -> int
 val dropped_cut_count : t -> int
 (** Messages that were in flight when the link was cut. *)
 
+val in_flight_count : t -> int
+(** Messages sent but neither delivered nor dropped yet — the queue depth
+    of the wire at the current simulated instant. *)
+
 val bytes_sent : t -> int

@@ -3,6 +3,7 @@ let () =
     [
       ("sim", Test_sim.suite);
       ("stats", Test_stats.suite);
+      ("series", Test_series.suite);
       ("obs", Test_obs.suite);
       ("spans", Test_spans.suite);
       ("kvstore", Test_kvstore.suite);

@@ -197,6 +197,22 @@ let test_r4_grammar () =
     run [ ("lib/a.ml", "let c reg = Stats.Registry.counter reg \"family.metric\"\n") ] in
   Alcotest.check slist "conforming name" [] (rules_of r)
 
+(* Series registration sites share R4's grammar, plus the "series." prefix
+   the runtime enforces *)
+let test_r4_series_prefix () =
+  let r =
+    run [ ("lib/a.ml", "let c sr = Stats.Series.counter sr \"queue.depth\"\n") ] in
+  Alcotest.check slist "missing series. prefix" [ Lint.Rules.r_counter ] (rules_of r);
+  let r =
+    run
+      [ ("lib/a.ml",
+         "let g sr dc = Stats.Series.sample sr (Printf.sprintf \"series.pending.dc%d\" dc)\n") ]
+  in
+  Alcotest.check slist "prefixed sprintf shape passes" [] (rules_of r);
+  let r = run [ ("lib/a.ml", "let h sr = Stats.Series.hist sr \"series.vis ms\"\n") ] in
+  Alcotest.check slist "grammar still applies to series names" [ Lint.Rules.r_counter ]
+    (rules_of r)
+
 let test_r4_baseline_coverage () =
   let sources =
     [
@@ -319,6 +335,7 @@ let suite =
     Alcotest.test_case "R3 unresolved kind" `Quick test_r3_unresolved_kind;
     Alcotest.test_case "R3 helper segment fallback" `Quick test_r3_helper_segment_fallback;
     Alcotest.test_case "R4 name grammar" `Quick test_r4_grammar;
+    Alcotest.test_case "R4 series name prefix" `Quick test_r4_series_prefix;
     Alcotest.test_case "R4 baseline coverage" `Quick test_r4_baseline_coverage;
     Alcotest.test_case "glob matcher" `Quick test_glob;
     Alcotest.test_case "unused waiver reported" `Quick test_unused_waiver;

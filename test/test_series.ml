@@ -1,0 +1,246 @@
+(* Tests for Stats.Series: windowed telemetry semantics, recovery-point
+   detection, and digest determinism under random fault plans. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+let ms = Sim.Time.of_ms
+
+(* ---- window semantics ------------------------------------------------------ *)
+
+(* windows are left-closed, right-open: an event at exactly k*window lands
+   in window k only *)
+let test_window_edge () =
+  let t = Stats.Series.create ~window:(ms 50) () in
+  let c = Stats.Series.counter t "series.edge" in
+  Stats.Series.incr c ~now:(Sim.Time.of_us 49_999);
+  Stats.Series.incr c ~now:(ms 50);
+  Stats.Series.seal t ~now:(ms 120);
+  let p = Stats.Series.points t "series.edge" in
+  Alcotest.(check int) "three windows" 3 (Stats.Series.n_windows t);
+  Alcotest.(check int) "window 0 delta" 1 p.(0).Stats.Series.count;
+  Alcotest.(check int) "window 1 delta (boundary event)" 1 p.(1).Stats.Series.count;
+  Alcotest.(check int) "window 2 empty" 0 p.(2).Stats.Series.count
+
+let test_empty_windows_padded () =
+  let t = Stats.Series.create ~window:(ms 50) () in
+  let c = Stats.Series.counter t "series.sparse" in
+  Stats.Series.incr ~by:7 c ~now:(ms 10);
+  (* nothing in windows 1-3 *)
+  Stats.Series.incr ~by:2 c ~now:(ms 210);
+  Stats.Series.seal t ~now:(ms 240);
+  let v = Stats.Series.primary t "series.sparse" in
+  Alcotest.(check (array (float 1e-9)))
+    "deltas with zero-filled gaps" [| 7.; 0.; 0.; 0.; 2. |] v
+
+(* ---- counter-delta vs gauge-sample ---------------------------------------- *)
+
+let test_counter_vs_gauge () =
+  let t = Stats.Series.create ~window:(ms 50) () in
+  let c = Stats.Series.counter t "series.rate" in
+  let level = ref 0. in
+  Stats.Series.sample t "series.depth" (fun () -> !level);
+  (* window 0: three increments, gauge sampled at 2 then 10 *)
+  Stats.Series.incr ~by:3 c ~now:(ms 5);
+  level := 2.;
+  Stats.Series.tick t ~now:(ms 10);
+  level := 10.;
+  Stats.Series.tick t ~now:(ms 40);
+  (* window 1: one increment, gauge back at 4 *)
+  Stats.Series.incr c ~now:(ms 60);
+  level := 4.;
+  Stats.Series.tick t ~now:(ms 70);
+  Stats.Series.seal t ~now:(ms 99);
+  (* counters report the per-window delta, not the running total *)
+  Alcotest.(check (array (float 1e-9))) "counter deltas" [| 3.; 1. |]
+    (Stats.Series.primary t "series.rate");
+  let g = Stats.Series.points t "series.depth" in
+  Alcotest.(check int) "gauge samples in window 0" 2 g.(0).Stats.Series.count;
+  Alcotest.(check (float 1e-9)) "gauge min" 2. g.(0).Stats.Series.vmin;
+  Alcotest.(check (float 1e-9)) "gauge mean" 6. g.(0).Stats.Series.vmean;
+  Alcotest.(check (float 1e-9)) "gauge max" 10. g.(0).Stats.Series.vmax;
+  (* a gauge's primary is its per-window max *)
+  Alcotest.(check (array (float 1e-9))) "gauge primary" [| 10.; 4. |]
+    (Stats.Series.primary t "series.depth");
+  Alcotest.(check bool) "kinds differ" true
+    (Stats.Series.kind_of t "series.rate" <> Stats.Series.kind_of t "series.depth")
+
+let test_hist_per_window () =
+  let t = Stats.Series.create ~window:(ms 50) () in
+  let h = Stats.Series.hist t "series.lat_ms" in
+  List.iter (Stats.Series.observe h ~now:(ms 10)) [ 10.; 10.; 10.; 10. ];
+  (* the next window's histogram is reused (reset), not contaminated *)
+  List.iter (Stats.Series.observe h ~now:(ms 60)) [ 100.; 100. ];
+  Stats.Series.seal t ~now:(ms 99);
+  let p = Stats.Series.points t "series.lat_ms" in
+  Alcotest.(check int) "window 0 n" 4 p.(0).Stats.Series.count;
+  Alcotest.(check bool) "window 0 p99 near 10" true (abs_float (p.(0).Stats.Series.p99 -. 10.) < 2.);
+  Alcotest.(check bool) "window 1 p99 near 100 (no carry-over)" true
+    (abs_float (p.(1).Stats.Series.p99 -. 100.) < 2.)
+
+(* ---- registration rules ---------------------------------------------------- *)
+
+let test_registration_rules () =
+  let t = Stats.Series.create () in
+  Alcotest.check_raises "names must start with series."
+    (Invalid_argument "Series: name \"bogus.name\" must start with \"series.\"") (fun () ->
+      ignore (Stats.Series.counter t "bogus.name"));
+  Stats.Series.sample t "series.g" (fun () -> 0.);
+  (* a second closure for the same gauge would be ambiguous *)
+  Alcotest.(check bool) "duplicate gauge raises" true
+    (try
+       Stats.Series.sample t "series.g" (fun () -> 1.);
+       false
+     with Invalid_argument _ -> true);
+  (* one name, one kind *)
+  Alcotest.(check bool) "kind clash raises" true
+    (try
+       ignore (Stats.Series.counter t "series.g");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- recovery detection ----------------------------------------------------- *)
+
+(* hand-built series: steady at 10, spikes to 100 at the fault (window 8),
+   heals at window 14, decays back to steady at window 17 *)
+let test_recovery_window () =
+  let values =
+    Array.init 24 (fun i -> if i >= 8 && i < 17 then 100. else 10.)
+  in
+  Alcotest.(check (option int)) "first recovered window" (Some 17)
+    (Stats.Series.recovery_window ~window_us:50_000 ~fault_at_us:400_000 ~heal_at_us:700_000
+       values);
+  (* still elevated at the heal itself: detection must not fire early *)
+  Alcotest.(check (option int)) "not the heal window" (Some 17)
+    (Stats.Series.recovery_window ~window_us:50_000 ~fault_at_us:400_000 ~heal_at_us:700_000
+       ~tolerance:0.5 values);
+  (* no pre-fault windows: nothing to calibrate against *)
+  Alcotest.(check (option int)) "no steady state" None
+    (Stats.Series.recovery_window ~window_us:50_000 ~fault_at_us:0 ~heal_at_us:100_000 values);
+  (* never recovers *)
+  Alcotest.(check (option int)) "no recovery" None
+    (Stats.Series.recovery_window ~window_us:50_000 ~fault_at_us:400_000 ~heal_at_us:700_000
+       (Array.init 24 (fun i -> if i >= 8 then 100. else 10.)))
+
+(* ---- rendering --------------------------------------------------------------- *)
+
+let test_sparkline () =
+  Alcotest.(check string) "zeros render as spaces" "    " (Stats.Series.sparkline [| 0.; 0.; 0.; 0. |]);
+  let s = Stats.Series.sparkline [| 0.; 1.; 5.; 10. |] in
+  Alcotest.(check int) "one char per window" 4 (String.length s);
+  Alcotest.(check char) "zero is blank" ' ' s.[0];
+  Alcotest.(check char) "max is the densest glyph" '@' s.[3]
+
+let test_csv_shape () =
+  let t = Stats.Series.create ~window:(ms 50) () in
+  let c = Stats.Series.counter t "series.a" in
+  Stats.Series.incr c ~now:(ms 10);
+  Stats.Series.seal t ~now:(ms 60);
+  (match String.split_on_char '\n' (Stats.Series.to_csv t) with
+  | header :: _ ->
+    Alcotest.(check string) "csv header"
+      "series,kind,window,start_ms,count,min,mean,max,p50,p99" header
+  | [] -> Alcotest.fail "empty csv");
+  Alcotest.(check int) "digest is 16 hex chars" 16 (String.length (Stats.Series.digest t))
+
+(* ---- digest determinism under random fault plans ----------------------------- *)
+
+(* one Saturn run under a random fault plan, returning the sealed series
+   digest; the same seed must reproduce it bit-for-bit *)
+let series_digest_of_random_plan ~seed =
+  let topo = Harness.Obs.topo3 () in
+  let dc_sites = [| 0; 1; 2 |] in
+  let n_keys = 24 in
+  let rmap = Kvstore.Replica_map.full ~n_dcs:3 ~n_keys in
+  let engine = Sim.Engine.create () in
+  let registry = Stats.Registry.create () in
+  let freg = Faults.Registry.create () in
+  let series = Stats.Series.create () in
+  let spec =
+    {
+      (Harness.Build.default_spec ~topo ~dc_sites ~rmap) with
+      Harness.Build.saturn_config = Some (Harness.Obs.chain_config ~dc_sites);
+      serializer_replicas = 2;
+    }
+  in
+  let metrics = Harness.Metrics.create ~registry engine ~topo ~dc_sites in
+  let api, _system = Harness.Build.saturn ~registry ~series ~faults:freg engine spec metrics in
+  let vis = Stats.Series.hist series "series.vis_ms" in
+  Harness.Metrics.subscribe metrics (fun ~dc:_ ~key:_ ~origin_dc:_ ~origin_time ~value:_ ->
+      let now = Sim.Engine.now engine in
+      Stats.Series.observe vis ~now (Sim.Time.to_ms_float (Sim.Time.sub now origin_time)));
+  let plan =
+    Faults.Plan.random ~seed
+      ~link_names:(Faults.Registry.link_names freg)
+      ~serializer_names:(Faults.Registry.serializer_names freg)
+      ~clock_names:(Faults.Registry.clock_names freg)
+      ~max_replica_crashes:1
+      ~horizon:(Sim.Time.of_ms 500)
+  in
+  let (_ : Faults.Injector.t) = Faults.Injector.arm ~registry engine freg plan in
+  let clients = Harness.Driver.make_clients ~dc_sites ~per_dc:2 in
+  let syn =
+    Workload.Synthetic.create
+      { Workload.Synthetic.default with n_keys; read_ratio = 0.5; seed }
+      ~rmap ~topo ~dc_sites
+  in
+  ignore
+    (Harness.Driver.run engine api metrics ~clients
+       ~next_op:(fun c -> Workload.Synthetic.next syn ~dc:c.Harness.Client.preferred_dc)
+       ~warmup:(Sim.Time.of_ms 100) ~measure:(Sim.Time.of_ms 400)
+       ~cooldown:(Sim.Time.of_ms 100));
+  Stats.Series.seal series ~now:(Sim.Engine.now engine);
+  (Stats.Series.digest series, Stats.Series.n_windows series)
+
+let prop_series_digest_deterministic =
+  QCheck.Test.make ~name:"series digest identical across two runs of a random fault plan"
+    ~count:3
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let d1, w1 = series_digest_of_random_plan ~seed in
+      let d2, w2 = series_digest_of_random_plan ~seed in
+      if w1 = 0 then QCheck.Test.fail_report "no windows closed";
+      String.equal d1 d2 && w1 = w2)
+
+(* ---- fault-run integration ---------------------------------------------------- *)
+
+(* the partition cell of the fault matrix: queue depths must rise during
+   the cut and return to steady state, and the series-derived recovery
+   point must agree with the drain-based faults.recovery_ms *)
+let test_partition_timeline () =
+  let o = Harness.Fault_run.run_scenario ~seed:7 ~scenario:"partition" ~system:`Saturn () in
+  let sr = o.Harness.Fault_run.series in
+  let fault_us = Option.get o.Harness.Fault_run.fault_at_us in
+  let heal_us = Option.get o.Harness.Fault_run.heal_at_us in
+  let w_us = Sim.Time.to_us (Stats.Series.window sr) in
+  let peak_in lo hi v =
+    let acc = ref 0. in
+    Array.iteri (fun i x -> if i >= lo && i < hi && x > !acc then acc := x) v;
+    !acc
+  in
+  let check_queue name =
+    let v = Stats.Series.primary sr name in
+    let fw = fault_us / w_us and hw = heal_us / w_us in
+    let steady = peak_in 1 fw v in
+    let during = peak_in fw (hw + 4) v in
+    Alcotest.(check bool) (name ^ " builds up during the cut") true (during > 2. *. steady);
+    let tail = peak_in (Array.length v - 6) (Array.length v) v in
+    Alcotest.(check bool) (name ^ " drains after the heal") true (tail < during /. 2.)
+  in
+  check_queue "series.pending.dc2";
+  check_queue "series.ser2.pending";
+  Alcotest.(check (option bool)) "series recovery agrees with faults.recovery_ms" (Some true)
+    (Harness.Fault_run.recovery_agrees o)
+
+let suite =
+  [
+    Alcotest.test_case "window edge is left-closed right-open" `Quick test_window_edge;
+    Alcotest.test_case "empty windows are zero-padded" `Quick test_empty_windows_padded;
+    Alcotest.test_case "counter delta vs gauge sample" `Quick test_counter_vs_gauge;
+    Alcotest.test_case "per-window histogram percentiles" `Quick test_hist_per_window;
+    Alcotest.test_case "registration rules" `Quick test_registration_rules;
+    Alcotest.test_case "recovery-point detection" `Quick test_recovery_window;
+    Alcotest.test_case "sparkline" `Quick test_sparkline;
+    Alcotest.test_case "csv shape + digest" `Quick test_csv_shape;
+    qtest prop_series_digest_deterministic;
+    Alcotest.test_case "partition timeline: buildup, drain, recovery agreement" `Slow
+      test_partition_timeline;
+  ]
