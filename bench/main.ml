@@ -98,9 +98,66 @@ let smoke_cmd rest =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* dune exec bench/main.exe -- engine [--tiers 61k,250k,1m] [--seed N] [--out FILE]
+   Raw engine speed per scale tier: graph generation, op streaming and a
+   fixed simulation, reported as deterministic counts/words plus advisory
+   wall-clock rates (BENCH_engine.json; gated by saturn-cli bench-check). *)
+let engine_cmd rest =
+  let seed = ref 42 and out = ref None and tiers = ref Workload.Scale.tiers in
+  let rec parse = function
+    | "--seed" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n -> seed := n
+      | None ->
+        Printf.eprintf "engine: --seed expects an integer, got %S\n" n;
+        exit 2);
+      parse rest
+    | "--tiers" :: spec :: rest ->
+      tiers :=
+        List.map
+          (fun name ->
+            match Workload.Scale.tier_of_name name with
+            | Some t -> t
+            | None ->
+              Printf.eprintf "engine: unknown tier %S (expected 61k / 250k / 1m)\n" name;
+              exit 2)
+          (String.split_on_char ',' spec);
+      parse rest
+    | "--out" :: path :: rest ->
+      out := Some path;
+      parse rest
+    | [] -> ()
+    | x :: _ ->
+      Printf.eprintf
+        "engine: unknown argument %S (expected --tiers LIST / --seed N / --out FILE)\n" x;
+      exit 2
+  in
+  parse rest;
+  let results =
+    List.map
+      (fun tier ->
+        Printf.printf "engine: tier %s (%d users)...%!" (Workload.Scale.tier_name tier)
+          (Workload.Scale.tier_users tier);
+        let r = Harness.Engine_bench.run_tier ~now_s:Unix.gettimeofday ~seed:!seed tier in
+        Printf.printf
+          " %d edges, gen %.0f ms (%.1f w/edge), stream %.0f kops/s (%.1f w/op), sim %d ops / %d events (%.0f ev/s, %.1f w/op)\n%!"
+          r.Harness.Engine_bench.edges r.gen_ms r.gen_words_per_edge r.stream_kops_per_s
+          r.stream_words_per_op r.sim_ops r.sim_events r.sim_events_per_s r.sim_words_per_op;
+        r)
+      !tiers
+  in
+  match !out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Harness.Engine_bench.to_json ~seed:!seed results);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | "smoke" :: rest -> smoke_cmd rest
+  | "engine" :: rest -> engine_cmd rest
   | args ->
   (* --csv DIR: additionally write every printed table as a CSV artifact *)
   let rec extract_csv acc = function

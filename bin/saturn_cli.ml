@@ -4,6 +4,7 @@
      matrix   print the EC2 latency matrix the simulations run on (Table 1)
      plan     run the configuration generator (Algorithm 3) over regions
      bench    run one comparative workload and print the measurements
+     bench-check  gate a fresh engine-bench JSON against the checked-in baseline
      social   run the Facebook-like benchmark
      trace    record / replay operation traces
      obs      observability smoke run (deterministic trace + counter gate)
@@ -305,8 +306,8 @@ let obs seed out spans spans_out check counters_out counters_baseline tolerance 
       Printf.printf "counter baseline check: FAILED\n";
       List.iter (fun f -> Printf.printf "  %s\n" f) failures;
       Printf.printf
-        "hint: if the drift is expected (new instrumentation, changed batching), regenerate the \
-         baseline with: saturn-cli obs --counters-out %s\n"
+        "hint: if the drift is expected (new instrumentation, changed batching), regenerate every \
+         checked-in baseline with: ci/regen.sh (baseline: %s)\n"
         baseline;
       exit 1)
 
@@ -344,6 +345,60 @@ let obs_cmd =
   Cmd.v (Cmd.info "obs" ~doc)
     Term.(const obs $ seed $ out $ spans $ spans_out $ check $ counters_out $ counters_baseline
           $ tolerance)
+
+(* ---- bench-check ------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let bench_check baseline_path fresh_path tolerance =
+  let baseline =
+    try read_file baseline_path
+    with Sys_error e -> Printf.eprintf "bench-check: %s\n" e; exit 2
+  in
+  let fresh =
+    try read_file fresh_path with Sys_error e -> Printf.eprintf "bench-check: %s\n" e; exit 2
+  in
+  let r =
+    try Harness.Engine_bench.check ~baseline ~fresh ~tolerance
+    with Failure e -> Printf.eprintf "bench-check: %s\n" e; exit 2
+  in
+  List.iter (fun n -> Printf.printf "  wall  %s\n" n) r.Harness.Engine_bench.notes;
+  match r.Harness.Engine_bench.failures with
+  | [] ->
+    Printf.printf "bench-check: OK (%s vs %s, tolerance %.0f%%)\n" fresh_path baseline_path
+      (tolerance *. 100.)
+  | failures ->
+    Printf.printf "bench-check: FAILED\n";
+    List.iter (fun f -> Printf.printf "  det   %s\n" f) failures;
+    Printf.printf
+      "hint: if the drift is intended (engine or workload change), regenerate every checked-in \
+       baseline with: ci/regen.sh\n";
+    exit 1
+
+let bench_check_cmd =
+  let doc =
+    "Compare a fresh engine-bench JSON (bench -- engine --out) against the checked-in baseline. \
+     Deterministic fields (counts, words/op) gate hard within the tolerance; wall-clock fields \
+     are reported but never fail the check."
+  in
+  let baseline =
+    Arg.(required & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"Checked-in baseline (BENCH_engine.json).")
+  in
+  let fresh =
+    Arg.(required & opt (some string) None & info [ "fresh" ] ~docv:"FILE"
+           ~doc:"Freshly generated engine-bench JSON.")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.02 & info [ "tolerance" ]
+           ~doc:"Allowed relative drift for deterministic fields (absolute floor of the same \
+                 magnitude for near-zero baselines).")
+  in
+  Cmd.v (Cmd.info "bench-check" ~doc) Term.(const bench_check $ baseline $ fresh $ tolerance)
 
 (* ---- series ------------------------------------------------------------------ *)
 
@@ -518,5 +573,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ matrix_cmd; plan_cmd; bench_cmd; social_cmd; trace_cmd; obs_cmd; faults_cmd;
-            series_cmd ]))
+          [ matrix_cmd; plan_cmd; bench_cmd; bench_check_cmd; social_cmd; trace_cmd; obs_cmd;
+            faults_cmd; series_cmd ]))

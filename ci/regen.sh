@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate every checked-in deterministic baseline in one command:
+#
+#   ci/smoke-counters.txt   probe/span/series counters of the smoke run
+#   BENCH_smoke.json        smoke-run headline numbers (saturn-bench-smoke/1)
+#   BENCH_engine.json       per-tier engine speed (saturn-bench-engine/1)
+#
+# Run this after any change that legitimately shifts the gated numbers
+# (new instrumentation, different event batching, a workload change) and
+# commit the diff together with the change that caused it — the diff IS
+# the reviewable statement of what moved.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build bin bench
+
+dune exec bin/saturn_cli.exe -- obs --counters-out ci/smoke-counters.txt > /dev/null
+dune exec bench/main.exe -- smoke --bench-out BENCH_smoke.json > /dev/null
+dune exec bench/main.exe -- engine --out BENCH_engine.json
+
+echo
+echo "regenerated baselines:"
+git --no-pager diff --stat -- ci/smoke-counters.txt BENCH_smoke.json BENCH_engine.json

@@ -28,6 +28,13 @@ let compare_ts_src a b =
 let compare a b =
   match compare_ts_src a b with 0 -> compare_target a.target b.target | c -> c
 
+(* Integer keys realising [compare_ts_src] for Sim.Heap.Keyed buffers:
+   k1 = timestamp in µs, k2 = (src_dc, src_gear) packed. Gear indices are
+   partition counts (a few bits); 20 bits leaves src_dc its full range on
+   63-bit ints. *)
+let key_ts t = Sim.Time.to_us t.ts
+let key_src t = (t.src_dc lsl 20) lor t.src_gear
+
 let equal a b = compare a b = 0
 let is_update t = match t.target with Update _ -> true | Migration _ | Epoch_change _ -> false
 let is_migration t = match t.target with Migration _ -> true | Update _ | Epoch_change _ -> false

@@ -21,7 +21,8 @@ type t = {
   applied_set : (Label.t, unit) Hashtbl.t;
   applied_wm : Sim.Time.t array; (* per-source applied watermark *)
   bulk_floor : Sim.Time.t array; (* per-source promise carried by bulk channel *)
-  pending_by_src : Label.t Sim.Heap.t array; (* payloads not yet applied, per source *)
+  pending_by_src : Label.t Sim.Heap.Keyed.t array;
+    (* payloads not yet applied, per source, keyed by (ts, src) *)
   label_waiters : (Label.t, (unit -> unit) list) Hashtbl.t;
   mutable ts_waiters : (Sim.Time.t * (unit -> unit)) list;
   mutable migration_hook : (Label.t -> unit) option;
@@ -52,7 +53,9 @@ let create engine ~dc ~n_dcs ~stage_update ~install_update ?registry ?series ?(m
     applied_set = Hashtbl.create 256;
     applied_wm = Array.make n_dcs Sim.Time.zero;
     bulk_floor = Array.make n_dcs Sim.Time.zero;
-    pending_by_src = Array.init n_dcs (fun _ -> Sim.Heap.create ~cmp:Label.compare_ts_src ());
+    pending_by_src =
+      (let dummy = Label.update ~ts:Sim.Time.zero ~src_dc:0 ~src_gear:0 ~key:0 in
+       Array.init n_dcs (fun _ -> Sim.Heap.Keyed.create ~dummy ()));
     label_waiters = Hashtbl.create 32;
     ts_waiters = [];
     migration_hook = None;
@@ -130,9 +133,9 @@ let pending_min t src =
      applied labels left in the heap *)
   let heap = t.pending_by_src.(src) in
   let rec peek () =
-    match Sim.Heap.peek heap with
+    match Sim.Heap.Keyed.peek heap with
     | Some l when Hashtbl.mem t.applied_set l ->
-      ignore (Sim.Heap.pop_exn heap);
+      ignore (Sim.Heap.Keyed.pop_exn heap);
       peek ()
     | Some l -> Some l.Label.ts
     | None -> None
@@ -371,9 +374,9 @@ let rec try_fallback t =
       if src <> t.dc then begin
         let heap = t.pending_by_src.(src) in
         let rec clean () =
-          match Sim.Heap.peek heap with
+          match Sim.Heap.Keyed.peek heap with
           | Some l when Hashtbl.mem t.applied_set l ->
-            ignore (Sim.Heap.pop_exn heap);
+            ignore (Sim.Heap.Keyed.pop_exn heap);
             clean ()
           | Some l -> Some l
           | None -> None
@@ -409,7 +412,8 @@ let on_payload t (p : payload) =
   t.bulk_floor.(src) <- Sim.Time.max t.bulk_floor.(src) p.label.Label.ts;
   if not (Hashtbl.mem t.applied_set p.label) then begin
     Hashtbl.replace t.payloads p.label p;
-    Sim.Heap.push t.pending_by_src.(src) p.label;
+    Sim.Heap.Keyed.push t.pending_by_src.(src) ~k1:(Label.key_ts p.label)
+      ~k2:(Label.key_src p.label) p.label;
     t.stage_update p ~k:(fun () ->
         if not (Hashtbl.mem t.applied_set p.label) then begin
           (* closes the bulk-transfer span opened when the payload left the

@@ -19,7 +19,7 @@ type 'msg sender = {
   s_id : int;
   resend_period : Sim.Time.t;
   mutable next_seq : int;
-  mutable unacked : 'msg entry list; (* oldest first *)
+  unacked : 'msg entry Queue.t; (* oldest first; seqs strictly increasing *)
   mutable route : 'msg route option;
   mutable stopped : bool;
   mutable timer_running : bool;
@@ -95,17 +95,25 @@ let receive recv ~sender_id ~seq msg ~send_ack =
 
 let sender s_engine ~resend_period =
   incr sender_ids;
-  { s_engine; s_id = !sender_ids; resend_period; next_seq = 0; unacked = []; route = None;
-    stopped = false; timer_running = false }
+  { s_engine; s_id = !sender_ids; resend_period; next_seq = 0; unacked = Queue.create ();
+    route = None; stopped = false; timer_running = false }
 
-let unacked s = List.length s.unacked
+let unacked s = Queue.length s.unacked
 
 let transmit s route entry =
   entry.last_sent <- Sim.Engine.now s.s_engine;
   Sim.Link.send route.data ~size_bytes:entry.size (fun () ->
       receive route.dest ~sender_id:s.s_id ~seq:entry.seq entry.msg ~send_ack:(fun acked ->
           Sim.Link.send route.ack (fun () ->
-              s.unacked <- List.filter (fun e -> e.seq > acked) s.unacked)))
+              (* cumulative ack + seq-ordered queue: drop the acked prefix *)
+              let rec drop () =
+                match Queue.peek_opt s.unacked with
+                | Some e when e.seq <= acked ->
+                  ignore (Queue.pop s.unacked);
+                  drop ()
+                | Some _ | None -> ()
+              in
+              drop ())))
 
 let rec arm_timer s =
   if (not s.timer_running) && not s.stopped then begin
@@ -114,20 +122,20 @@ let rec arm_timer s =
         s.timer_running <- false;
         if not s.stopped then begin
           let now = Sim.Engine.now s.s_engine in
-          (match (s.unacked, s.route) with
-          | [], _ | _, None -> ()
-          | backlog, Some route ->
+          (match s.route with
+          | None -> ()
+          | Some route ->
             (* retransmit only entries that have been in flight for a full
                period — fresh entries are just waiting on the normal RTT *)
-            List.iter
+            Queue.iter
               (fun e ->
                 if Sim.Time.compare (Sim.Time.sub now e.last_sent) s.resend_period >= 0 then begin
                   if Sim.Probe.active () then
                     Sim.Probe.emit ~at:now (Sim.Probe.Fifo_resend { sender = s.s_id; seq = e.seq });
                   transmit s route e
                 end)
-              backlog);
-          if s.unacked <> [] then arm_timer s
+              s.unacked);
+          if not (Queue.is_empty s.unacked) then arm_timer s
         end)
   end
 
@@ -138,13 +146,14 @@ let send s ?(size_bytes = 0) msg =
     let seq = s.next_seq in
     s.next_seq <- seq + 1;
     let entry = { seq; size = size_bytes; msg; last_sent = Sim.Engine.now s.s_engine } in
-    s.unacked <- s.unacked @ [ entry ];
+    Queue.push entry s.unacked;
     transmit s route entry;
     arm_timer s
 
 let connect s ~data ~ack dest =
   s.route <- Some { data; ack; dest };
-  List.iter (transmit s { data; ack; dest }) s.unacked;
-  if s.unacked <> [] then arm_timer s
+  let route = { data; ack; dest } in
+  Queue.iter (transmit s route) s.unacked;
+  if not (Queue.is_empty s.unacked) then arm_timer s
 
 let stop s = s.stopped <- true

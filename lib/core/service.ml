@@ -15,10 +15,13 @@ type t = {
   deliver : dc:int -> Label.t -> unit;
   interest : Label.t -> int list;
   mutable chains : msg Chain.t array;
-  edge_senders : (int * int, msg Reliable_fifo.sender) Hashtbl.t;
-  edge_links : (int * int, Sim.Link.t * Sim.Link.t) Hashtbl.t; (* a->b: data, ack *)
+  (* serializer and datacenter id spaces are dense, so the per-hop routing
+     tables are plain arrays indexed [from].[to] — no (int*int) hashing on
+     the per-label path *)
+  edge_senders : msg Reliable_fifo.sender option array array;
+  edge_links : (Sim.Link.t * Sim.Link.t) option array array; (* a->b: data, ack *)
   dc_in_senders : msg Reliable_fifo.sender array;
-  dc_out_senders : (int, Label.t Reliable_fifo.sender) Hashtbl.t;
+  dc_out_senders : Label.t Reliable_fifo.sender option array;
   mutable dc_links : attach_links array; (* dc <-> home-serializer channels *)
   uid_counter : int array;
   input_counter : Stats.Registry.counter;
@@ -56,7 +59,9 @@ let route t s msg =
           Sim.Span.begin_ ~at Sim.Span.Sk_delay_egress ~origin ~seq:oseq ~aux:t.instance ~site:s
             ~peer:dc
       end;
-      let sender = Hashtbl.find t.dc_out_senders dc in
+      let sender =
+        match t.dc_out_senders.(dc) with Some snd -> snd | None -> assert false
+      in
       Sim.Engine.schedule t.engine ~delay:delta (fun () ->
           if Sim.Probe.active () then begin
             let at = Sim.Engine.now t.engine in
@@ -83,7 +88,9 @@ let route t s msg =
             Sim.Span.begin_ ~at Sim.Span.Sk_delay_hop ~origin ~seq:oseq ~aux:t.instance ~site:s
               ~peer:b
         end;
-        let sender = Hashtbl.find t.edge_senders (s, b) in
+        let sender =
+          match t.edge_senders.(s).(b) with Some snd -> snd | None -> assert false
+        in
         let forwarded = { msg with targets = sub } in
         Sim.Engine.schedule t.engine ~delay:delta (fun () ->
             if Sim.Probe.active () then begin
@@ -120,10 +127,10 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
       deliver;
       interest;
       chains = [||];
-      edge_senders = Hashtbl.create 16;
-      edge_links = Hashtbl.create 16;
+      edge_senders = Array.init n_ser (fun _ -> Array.make n_ser None);
+      edge_links = Array.init n_ser (fun _ -> Array.make n_ser None);
       dc_in_senders = Array.make n_dcs (Reliable_fifo.sender engine ~resend_period:(Sim.Time.of_ms 100));
-      dc_out_senders = Hashtbl.create 16;
+      dc_out_senders = Array.make n_dcs None;
       dc_links = [||];
       uid_counter = Array.make n_dcs 0;
       input_counter = Stats.Registry.counter registry (name ^ ".labels_input");
@@ -187,10 +194,10 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
           let lat = Sim.Topology.latency topo (Config.site_of_serializer config x) (Config.site_of_serializer config y) in
           let data = Sim.Link.create engine ~latency:lat () in
           let ack = Sim.Link.create engine ~latency:lat () in
-          Hashtbl.replace t.edge_links (x, y) (data, ack);
+          t.edge_links.(x).(y) <- Some (data, ack);
           let sender = Reliable_fifo.sender engine ~resend_period:(resend_period lat) in
           Reliable_fifo.connect sender ~data ~ack (chain_ingress y ~from:(`Ser x));
-          Hashtbl.replace t.edge_senders (x, y) sender;
+          t.edge_senders.(x).(y) <- Some sender;
           register_sender sender)
         [ (a, b); (b, a) ])
     (Tree.edges tree);
@@ -219,7 +226,7 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
               deliver ~dc label)
         in
         Reliable_fifo.connect out_sender ~data:out_data ~ack:out_ack out_recv;
-        Hashtbl.replace t.dc_out_senders dc out_sender;
+        t.dc_out_senders.(dc) <- Some out_sender;
         register_sender out_sender;
         { in_data = data; in_ack = ack; out_data; out_ack });
   (match series with
@@ -230,11 +237,7 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
        reads, no hash iteration *)
     for s = 0 to n_ser - 1 do
       let dc_feeds = List.map (fun dc -> t.dc_in_senders.(dc)) (Tree.dcs_at tree s) in
-      let edge_feeds =
-        List.filter_map
-          (fun x -> Hashtbl.find_opt t.edge_senders (x, s))
-          (Tree.neighbors tree s)
-      in
+      let edge_feeds = List.filter_map (fun x -> t.edge_senders.(x).(s)) (Tree.neighbors tree s) in
       Stats.Series.sample sr
         (Printf.sprintf "series.ser%d.pending" s)
         (fun () ->
@@ -251,7 +254,7 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
         List.concat_map
           (fun (a, b) ->
             List.filter_map
-              (fun key -> Option.map fst (Hashtbl.find_opt t.edge_links key))
+              (fun (x, y) -> Option.map fst t.edge_links.(x).(y))
               [ (a, b); (b, a) ])
           (Tree.edges tree)
       in
@@ -306,10 +309,14 @@ let crash_serializer t s =
 
 let serializer_down t s = Chain.is_down t.chains.(s)
 
+let edge_links_of t x y =
+  let n = Array.length t.edge_links in
+  if x < 0 || x >= n || y < 0 || y >= n then None else t.edge_links.(x).(y)
+
 let cut_edge t a b =
   List.iter
-    (fun key ->
-      match Hashtbl.find_opt t.edge_links key with
+    (fun (x, y) ->
+      match edge_links_of t x y with
       | Some (data, ack) ->
         Sim.Link.cut data;
         Sim.Link.cut ack
@@ -318,8 +325,8 @@ let cut_edge t a b =
 
 let restore_edge t a b =
   List.iter
-    (fun key ->
-      match Hashtbl.find_opt t.edge_links key with
+    (fun (x, y) ->
+      match edge_links_of t x y with
       | Some (data, ack) ->
         Sim.Link.restore data;
         Sim.Link.restore ack
@@ -333,16 +340,22 @@ let head_changes t = Stats.Registry.counter_value t.head_change_counter
 let n_serializers t = Array.length t.chains
 
 let edge_link_list t =
-  List.sort
-    (fun (a, _) (b, _) -> compare a b)
-    (Hashtbl.fold (fun edge links acc -> (edge, links) :: acc) t.edge_links [])
+  (* index-order iteration over the dense table is already (from, to)-sorted *)
+  let acc = ref [] in
+  let n = Array.length t.edge_links in
+  for x = n - 1 downto 0 do
+    for y = n - 1 downto 0 do
+      match t.edge_links.(x).(y) with
+      | Some links -> acc := ((x, y), links) :: !acc
+      | None -> ()
+    done
+  done;
+  !acc
 
 let attach_links t ~dc = t.dc_links.(dc)
 
 let edge_traffic t =
-  List.sort
-    (fun (a, _) (b, _) -> compare a b)
-    (Hashtbl.fold (fun edge (data, _) acc -> (edge, Sim.Link.delivered_count data) :: acc) t.edge_links [])
+  List.map (fun (edge, (data, _)) -> (edge, Sim.Link.delivered_count data)) (edge_link_list t)
 
 let total_label_hops t =
   List.fold_left (fun acc (_, n) -> acc + n) 0 (edge_traffic t) + labels_delivered t

@@ -1,7 +1,7 @@
 type t = {
   engine : Sim.Engine.t;
   gears : Gear.t array;
-  buffer : Label.t Sim.Heap.t;
+  buffer : Label.t Sim.Heap.Keyed.t; (* keyed by (ts, src): Label.compare_ts_src *)
   emit : Label.t -> unit;
   emitted_counter : Stats.Registry.counter;
   mutable last_emitted_ts : Sim.Time.t;
@@ -14,9 +14,9 @@ let stable_ts t =
 let flush t =
   let stable = stable_ts t in
   let rec drain () =
-    match Sim.Heap.peek t.buffer with
+    match Sim.Heap.Keyed.peek t.buffer with
     | Some l when Sim.Time.compare l.Label.ts stable <= 0 ->
-      let l = Sim.Heap.pop_exn t.buffer in
+      let l = Sim.Heap.Keyed.pop_exn t.buffer in
       (* the stability rule guarantees monotone emission *)
       assert (Sim.Time.compare l.Label.ts t.last_emitted_ts >= 0);
       t.last_emitted_ts <- l.Label.ts;
@@ -39,7 +39,10 @@ let create engine ~gears ~period ~emit ?registry ?series ?(name = "sink") () =
     {
       engine;
       gears;
-      buffer = Sim.Heap.create ~cmp:Label.compare_ts_src ();
+      buffer =
+        Sim.Heap.Keyed.create
+          ~dummy:(Label.update ~ts:Sim.Time.zero ~src_dc:0 ~src_gear:0 ~key:0)
+          ();
       emit;
       emitted_counter = Stats.Registry.counter registry (name ^ ".emitted");
       last_emitted_ts = Sim.Time.zero;
@@ -50,7 +53,7 @@ let create engine ~gears ~period ~emit ?registry ?series ?(name = "sink") () =
   | Some series ->
     Stats.Series.sample series
       ("series." ^ name ^ ".depth")
-      (fun () -> float_of_int (Sim.Heap.size t.buffer))
+      (fun () -> float_of_int (Sim.Heap.Keyed.size t.buffer))
   | None -> ());
   Sim.Engine.periodic engine ~every:period (fun () -> flush t) ~stop:(fun () -> t.stopped);
   t
@@ -60,7 +63,7 @@ let offer t label =
     Sim.Span.begin_ ~at:(Sim.Engine.now t.engine) Sim.Span.Sk_sink_hold
       ~origin:label.Label.src_dc ~seq:(Sim.Time.to_us label.Label.ts) ~aux:label.Label.src_gear
       ~site:label.Label.src_dc;
-  Sim.Heap.push t.buffer label
+  Sim.Heap.Keyed.push t.buffer ~k1:(Label.key_ts label) ~k2:(Label.key_src label) label
 let stop t = t.stopped <- true
 let emitted t = Stats.Registry.counter_value t.emitted_counter
-let buffered t = Sim.Heap.size t.buffer
+let buffered t = Sim.Heap.Keyed.size t.buffer

@@ -128,8 +128,8 @@ let write_counters r ~path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc "# smoke-run counter baseline; regenerate with\n";
-      output_string oc "#   saturn-cli obs --counters-out <path>\n";
+      output_string oc "# smoke-run counter baseline; regenerate every baseline with\n";
+      output_string oc "#   ci/regen.sh   (or just this file: saturn-cli obs --counters-out <path>)\n";
       List.iter (fun l -> output_string oc (l ^ "\n")) (counter_lines r.registry))
 
 let check_counters r ~baseline ~tolerance =

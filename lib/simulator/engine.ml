@@ -1,17 +1,19 @@
-type event = { at : Time.t; seq : int; run : unit -> unit }
+(* The event queue is a Keyed heap: k1 = absolute time in µs, k2 = the
+   scheduling sequence number, payload = the closure. Equal-time events
+   still fire in scheduling (FIFO) order via k2, and the per-event path
+   never materialises an event record. *)
 
-let compare_event a b =
-  match Time.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
+let nop () = ()
 
 type t = {
-  queue : event Heap.t;
+  queue : (unit -> unit) Heap.Keyed.t;
   mutable now : Time.t;
   mutable seq : int;
   mutable processed : int;
 }
 
 let create () =
-  { queue = Heap.create ~cmp:compare_event (); now = Time.zero; seq = 0; processed = 0 }
+  { queue = Heap.Keyed.create ~capacity:64 ~dummy:nop (); now = Time.zero; seq = 0; processed = 0 }
 
 let now t = t.now
 
@@ -19,7 +21,7 @@ let schedule_at t at run =
   let at = Time.max at t.now in
   let seq = t.seq in
   t.seq <- seq + 1;
-  Heap.push t.queue { at; seq; run }
+  Heap.Keyed.push t.queue ~k1:(Time.to_us at) ~k2:seq run
 
 let schedule t ~delay run =
   let delay = Time.max delay Time.zero in
@@ -35,20 +37,23 @@ let periodic t ~every run ~stop =
   schedule t ~delay:every tick
 
 let step t =
-  match Heap.pop t.queue with
+  match Heap.Keyed.pop t.queue with
   | None -> false
-  | Some ev ->
-    t.now <- ev.at;
+  | Some run ->
+    let at = Time.of_us (Heap.Keyed.popped_k1 t.queue) in
+    t.now <- at;
     t.processed <- t.processed + 1;
-    if Probe.active () then Probe.emit ~at:ev.at (Probe.Engine_step { seq = ev.seq });
-    ev.run ();
+    if Probe.active () then
+      Probe.emit ~at (Probe.Engine_step { seq = Heap.Keyed.popped_k2 t.queue });
+    run ();
     true
 
 let run ?until t =
   let horizon_reached () =
     match until with
     | None -> false
-    | Some h -> ( match Heap.peek t.queue with None -> false | Some ev -> Time.compare ev.at h > 0 )
+    | Some h ->
+      (not (Heap.Keyed.is_empty t.queue)) && Heap.Keyed.min_k1 t.queue > Time.to_us h
   in
   let continue = ref true in
   while !continue do
@@ -58,5 +63,5 @@ let run ?until t =
   | Some h when Time.compare t.now h < 0 -> t.now <- h
   | Some _ | None -> ()
 
-let pending t = Heap.size t.queue
+let pending t = Heap.Keyed.size t.queue
 let events_processed t = t.processed

@@ -70,3 +70,124 @@ let clear h = h.len <- 0
 let to_list h =
   let rec loop i acc = if i < 0 then acc else loop (i - 1) (h.data.(i) :: acc) in
   loop (h.len - 1) []
+
+module Keyed = struct
+  (* Keys live in two parallel unboxed [int array]s instead of per-entry
+     records, so a push/pop touches flat arrays and never allocates. The
+     comparison is fixed lexicographic (k1, k2) — no closure call per
+     sift step. *)
+  type 'a t = {
+    dummy : 'a;
+    mutable k1 : int array;
+    mutable k2 : int array;
+    mutable data : 'a array;
+    mutable len : int;
+    mutable popped_k1 : int;
+    mutable popped_k2 : int;
+  }
+
+  let create ?(capacity = 16) ~dummy () =
+    let capacity = max capacity 1 in
+    { dummy;
+      k1 = Array.make capacity 0;
+      k2 = Array.make capacity 0;
+      data = Array.make capacity dummy;
+      len = 0;
+      popped_k1 = 0;
+      popped_k2 = 0 }
+
+  let size h = h.len
+  let is_empty h = h.len = 0
+
+  let grow h =
+    let cap = Array.length h.data in
+    if h.len = cap then begin
+      let ncap = cap * 2 in
+      let nk1 = Array.make ncap 0 and nk2 = Array.make ncap 0 in
+      let ndata = Array.make ncap h.dummy in
+      Array.blit h.k1 0 nk1 0 h.len;
+      Array.blit h.k2 0 nk2 0 h.len;
+      Array.blit h.data 0 ndata 0 h.len;
+      h.k1 <- nk1;
+      h.k2 <- nk2;
+      h.data <- ndata
+    end
+
+  (* true iff entry [i] orders strictly before entry [j] *)
+  let lt h i j =
+    let a = h.k1.(i) and b = h.k1.(j) in
+    a < b || (a = b && h.k2.(i) < h.k2.(j))
+
+  let swap h i j =
+    let t1 = h.k1.(i) in
+    h.k1.(i) <- h.k1.(j);
+    h.k1.(j) <- t1;
+    let t2 = h.k2.(i) in
+    h.k2.(i) <- h.k2.(j);
+    h.k2.(j) <- t2;
+    let td = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- td
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if lt h i parent then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.len && lt h l !smallest then smallest := l;
+    if r < h.len && lt h r !smallest then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h ~k1 ~k2 x =
+    grow h;
+    let i = h.len in
+    h.k1.(i) <- k1;
+    h.k2.(i) <- k2;
+    h.data.(i) <- x;
+    h.len <- i + 1;
+    sift_up h i
+
+  let peek h = if h.len = 0 then None else Some h.data.(0)
+  let min_k1 h = if h.len = 0 then invalid_arg "Heap.Keyed.min_k1: empty heap" else h.k1.(0)
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.popped_k1 <- h.k1.(0);
+      h.popped_k2 <- h.k2.(0);
+      h.len <- h.len - 1;
+      if h.len > 0 then begin
+        let n = h.len in
+        h.k1.(0) <- h.k1.(n);
+        h.k2.(0) <- h.k2.(n);
+        h.data.(0) <- h.data.(n);
+        h.data.(n) <- h.dummy;
+        sift_down h 0
+      end
+      else h.data.(0) <- h.dummy;
+      Some top
+    end
+
+  let pop_exn h =
+    match pop h with
+    | Some x -> x
+    | None -> invalid_arg "Heap.Keyed.pop_exn: empty heap"
+
+  let popped_k1 h = h.popped_k1
+  let popped_k2 h = h.popped_k2
+
+  let clear h =
+    Array.fill h.data 0 h.len h.dummy;
+    h.len <- 0
+end

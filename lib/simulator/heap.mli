@@ -27,3 +27,40 @@ val clear : 'a t -> unit
 
 val to_list : 'a t -> 'a list
 (** Elements in unspecified order; does not modify the heap. *)
+
+(** Min-heap keyed by a pair of unboxed integers, compared lexicographically
+    [(k1, k2)]. Keys are stored in parallel [int array]s so the per-event hot
+    path (engine queue, sink/proxy label buffers) touches flat arrays instead
+    of chasing per-entry records through a comparison closure. Pushing and
+    popping never allocate (beyond amortised array doubling). *)
+module Keyed : sig
+  type 'a t
+
+  val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+  (** [dummy] fills unused slots so popped payloads do not leak. *)
+
+  val size : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val push : 'a t -> k1:int -> k2:int -> 'a -> unit
+
+  val peek : 'a t -> 'a option
+  (** Payload of the smallest key without removing it. *)
+
+  val min_k1 : 'a t -> int
+  (** Primary key of the smallest entry. @raise Invalid_argument if empty. *)
+
+  val pop : 'a t -> 'a option
+  (** Removes and returns the payload of the smallest key. The popped entry's
+      keys are readable via {!popped_k1}/{!popped_k2} until the next [pop]. *)
+
+  val pop_exn : 'a t -> 'a
+  (** @raise Invalid_argument on an empty heap. *)
+
+  val popped_k1 : 'a t -> int
+  val popped_k2 : 'a t -> int
+  (** Keys of the most recently popped entry. Unspecified before the first
+      successful [pop]. *)
+
+  val clear : 'a t -> unit
+end

@@ -1,3 +1,14 @@
+(* A batch is the set of messages sharing one arrival instant: the link
+   schedules one engine event per batch instead of one per message. FIFO
+   order within the batch is send order; [b_epoch] is checked per item at
+   fire time so a mid-batch cut still drops exactly the in-flight tail. *)
+type batch = {
+  b_epoch : int;
+  mutable b_items : (unit -> unit) array;
+  mutable b_n : int;
+  mutable b_fired : bool;
+}
+
 type t = {
   engine : Engine.t;
   mutable base_latency : Time.t;
@@ -7,6 +18,8 @@ type t = {
   mutable last_arrival : Time.t;
   mutable up : bool;
   mutable epoch : int; (* bumped on cut: invalidates in-flight messages *)
+  mutable open_batch : batch option;
+  mutable open_batch_at : Time.t;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped_down : int; (* sent while the link was down *)
@@ -25,6 +38,8 @@ let create ?(jitter_us = 0) ?bandwidth_bytes_per_us ?rng engine ~latency () =
     last_arrival = Time.zero;
     up = true;
     epoch = 0;
+    open_batch = None;
+    open_batch_at = Time.zero;
     sent = 0;
     delivered = 0;
     dropped_down = 0;
@@ -45,6 +60,42 @@ let delay t ~size_bytes =
   in
   Time.add t.base_latency (Time.of_us (jitter + transmission))
 
+let nop () = ()
+
+let batch_push b deliver =
+  let cap = Array.length b.b_items in
+  if b.b_n = cap then begin
+    let bigger = Array.make (cap * 2) nop in
+    Array.blit b.b_items 0 bigger 0 b.b_n;
+    b.b_items <- bigger
+  end;
+  b.b_items.(b.b_n) <- deliver;
+  b.b_n <- b.b_n + 1
+
+let fire t b =
+  (* mark first: a deliver callback that immediately sends back through
+     this link at the same instant must open a fresh batch (a later engine
+     event), preserving the unbatched ordering *)
+  b.b_fired <- true;
+  (match t.open_batch with
+  | Some ob when ob.b_fired -> t.open_batch <- None
+  | Some _ | None -> ());
+  let at = Engine.now t.engine in
+  for i = 0 to b.b_n - 1 do
+    (* per-item check: a cut by an earlier item in this batch (epoch bump)
+       drops the rest, exactly as per-message events did *)
+    if t.up && t.epoch = b.b_epoch then begin
+      t.delivered <- t.delivered + 1;
+      if Probe.active () then Probe.emit ~at Probe.Link_deliver;
+      b.b_items.(i) ()
+    end
+    else begin
+      t.dropped_cut <- t.dropped_cut + 1;
+      if Probe.active () then Probe.emit ~at (Probe.Link_drop { in_flight = true })
+    end;
+    b.b_items.(i) <- nop
+  done
+
 let send t ?(size_bytes = 0) deliver =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size_bytes;
@@ -58,18 +109,16 @@ let send t ?(size_bytes = 0) deliver =
     let now = Engine.now t.engine in
     let arrival = Time.max (Time.add now (delay t ~size_bytes)) t.last_arrival in
     t.last_arrival <- arrival;
-    let epoch = t.epoch in
-    Engine.schedule_at t.engine arrival (fun () ->
-        if t.up && t.epoch = epoch then begin
-          t.delivered <- t.delivered + 1;
-          if Probe.active () then Probe.emit ~at:(Engine.now t.engine) Probe.Link_deliver;
-          deliver ()
-        end
-        else begin
-          t.dropped_cut <- t.dropped_cut + 1;
-          if Probe.active () then
-            Probe.emit ~at:(Engine.now t.engine) (Probe.Link_drop { in_flight = true })
-        end)
+    match t.open_batch with
+    | Some b
+      when (not b.b_fired) && b.b_epoch = t.epoch && Time.equal t.open_batch_at arrival ->
+      batch_push b deliver
+    | Some _ | None ->
+      let b = { b_epoch = t.epoch; b_items = Array.make 4 nop; b_n = 0; b_fired = false } in
+      batch_push b deliver;
+      t.open_batch <- Some b;
+      t.open_batch_at <- arrival;
+      Engine.schedule_at t.engine arrival (fun () -> fire t b)
   end
 
 let set_latency t l = t.base_latency <- l

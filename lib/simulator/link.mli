@@ -27,7 +27,10 @@ val create :
 
 val send : t -> ?size_bytes:int -> (unit -> unit) -> unit
 (** Schedules [deliver] on the receiving side after the link delay.
-    [size_bytes] defaults to 0 (metadata-sized message). *)
+    [size_bytes] defaults to 0 (metadata-sized message). Messages that
+    share an arrival instant are delivered by a single engine event
+    (batched), in send order; cut/epoch checks still happen per message at
+    delivery time, so batching is invisible to fault semantics. *)
 
 val set_latency : t -> Time.t -> unit
 (** Changes the base latency for subsequent messages (used by the

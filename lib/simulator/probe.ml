@@ -28,6 +28,21 @@ let span_kinds =
   [ Sk_sink_hold; Sk_attach; Sk_chain; Sk_delay_hop; Sk_hop; Sk_delay_egress; Sk_egress;
     Sk_proxy_order; Sk_bulk; Sk_stab ]
 
+let n_span_kinds = 10
+
+(* dense id per span kind, in [span_kinds] order *)
+let span_kind_id = function
+  | Sk_sink_hold -> 0
+  | Sk_attach -> 1
+  | Sk_chain -> 2
+  | Sk_delay_hop -> 3
+  | Sk_hop -> 4
+  | Sk_delay_egress -> 5
+  | Sk_egress -> 6
+  | Sk_proxy_order -> 7
+  | Sk_bulk -> 8
+  | Sk_stab -> 9
+
 type span = { sk : span_kind; origin : int; seq : int; aux : int; site : int; peer : int }
 
 type event =
@@ -70,6 +85,39 @@ let kind = function
   | Stab_round _ -> "stab_round"
   | Vec_advance _ -> "vec_advance"
   | Span_begin s | Span_end s -> "span." ^ span_kind_name s.sk
+
+(* Interned kind ids: per-event counting bumps a dense [int array] slot
+   instead of hashing the kind string. Span begins and ends share one
+   "span.<kind>" bucket, matching [kind]. *)
+let n_point_kinds = 17
+let n_kinds = n_point_kinds + n_span_kinds
+
+let kind_id = function
+  | Engine_step _ -> 0
+  | Link_send _ -> 1
+  | Link_deliver -> 2
+  | Link_drop _ -> 3
+  | Fifo_resend _ -> 4
+  | Label_forward _ -> 5
+  | Serializer_hop _ -> 6
+  | Serializer_deliver _ -> 7
+  | Delay_wait _ -> 8
+  | Chain_ack _ -> 9
+  | Ser_commit _ -> 10
+  | Head_change _ -> 11
+  | Sink_emit _ -> 12
+  | Proxy_apply _ -> 13
+  | Proxy_mode _ -> 14
+  | Stab_round _ -> 15
+  | Vec_advance _ -> 16
+  | Span_begin s | Span_end s -> n_point_kinds + span_kind_id s.sk
+
+let kind_names =
+  Array.append
+    [| "engine_step"; "link_send"; "link_deliver"; "link_drop"; "fifo_resend"; "label_forward";
+       "serializer_hop"; "serializer_deliver"; "delay_wait"; "chain_ack"; "ser_commit";
+       "head_change"; "sink_emit"; "proxy_apply"; "proxy_mode"; "stab_round"; "vec_advance" |]
+    (Array.of_list (List.map (fun sk -> "span." ^ span_kind_name sk) span_kinds))
 
 let mode_string = function Stream -> "stream" | Fallback -> "fallback"
 
@@ -130,27 +178,26 @@ type t = {
   mutable items : (Time.t * event) array;
   mutable len : int;
   mutable hash : int64;
-  counts : (string, int) Hashtbl.t;
+  counts : int array; (* indexed by [kind_id] *)
   (* span pairing state: lives in the probe (not in [events]) so matched
      totals are available even on count-only (~keep:false) probes, which is
      what bench's flame table runs under *)
   open_spans : (span, Time.t) Hashtbl.t;
-  span_us : (string, int) Hashtbl.t;
-  span_n : (string, int) Hashtbl.t;
+  span_us : int array; (* indexed by [span_kind_id] *)
+  span_n : int array;
   mutable span_orphans : int;
   mutable stream : out_channel option;
 }
 
 let create ?(keep = true) () =
   { keep; items = Array.make 1024 (Time.zero, Link_deliver); len = 0; hash = fnv_offset;
-    counts = Hashtbl.create 16; open_spans = Hashtbl.create 64; span_us = Hashtbl.create 16;
-    span_n = Hashtbl.create 16; span_orphans = 0; stream = None }
+    counts = Array.make n_kinds 0; open_spans = Hashtbl.create 64;
+    span_us = Array.make n_span_kinds 0; span_n = Array.make n_span_kinds 0; span_orphans = 0;
+    stream = None }
 
 let count t = t.len
 
 let stream_jsonl t oc = t.stream <- Some oc
-
-let bump tbl k by = Hashtbl.replace tbl k (by + Option.value ~default:0 (Hashtbl.find_opt tbl k))
 
 let record t at ev =
   let line = to_json at ev in
@@ -160,7 +207,8 @@ let record t at ev =
     output_string oc line;
     output_char oc '\n'
   | None -> ());
-  bump t.counts (kind ev) 1;
+  let kid = kind_id ev in
+  t.counts.(kid) <- t.counts.(kid) + 1;
   (match ev with
   | Span_begin s ->
     (* keep the first begin: duplicates (none are expected from the core
@@ -170,9 +218,9 @@ let record t at ev =
     match Hashtbl.find_opt t.open_spans s with
     | Some t0 ->
       Hashtbl.remove t.open_spans s;
-      let k = span_kind_name s.sk in
-      bump t.span_us k (Time.to_us at - Time.to_us t0);
-      bump t.span_n k 1
+      let sid = span_kind_id s.sk in
+      t.span_us.(sid) <- t.span_us.(sid) + (Time.to_us at - Time.to_us t0);
+      t.span_n.(sid) <- t.span_n.(sid) + 1
     | None -> t.span_orphans <- t.span_orphans + 1)
   | _ -> ());
   if t.keep then begin
@@ -187,13 +235,19 @@ let record t at ev =
 
 let events t = if not t.keep then [] else List.init t.len (fun i -> t.items.(i))
 
-let sorted_bindings tbl =
-  List.sort (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+(* rebuild the historical (name, count) view: nonzero slots only, so
+   kinds a run never emitted stay absent, name-sorted *)
+let sorted_nonzero names arr =
+  let acc = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if arr.(i) <> 0 then acc := (names i, arr.(i)) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
-let counts_by_kind t = sorted_bindings t.counts
-let span_totals_us t = sorted_bindings t.span_us
-let span_counts t = sorted_bindings t.span_n
+let span_name_of_id i = span_kind_name (List.nth span_kinds i)
+let counts_by_kind t = sorted_nonzero (fun i -> kind_names.(i)) t.counts
+let span_totals_us t = sorted_nonzero span_name_of_id t.span_us
+let span_counts t = sorted_nonzero span_name_of_id t.span_n
 let span_orphans t = t.span_orphans
 let open_span_count t = Hashtbl.length t.open_spans
 

@@ -151,6 +151,21 @@ val kind : event -> string
 val to_json : Time.t -> event -> string
 (** One JSON object, e.g. [{"t":1200,"ev":"serializer_hop","from":0,"to":1}]. *)
 
+(** {2 Interned kind ids}
+
+    The set of event kinds is closed, so per-event accounting uses a dense
+    integer id instead of the kind string: {!record} bumps [counts.(kind_id
+    ev)] — no hashing, no allocation on the per-event path. *)
+
+val n_kinds : int
+
+val kind_id : event -> int
+(** Dense id in [\[0, n_kinds)]. [Span_begin]/[Span_end] of the same
+    {!span_kind} share an id, mirroring {!kind}. *)
+
+val kind_names : string array
+(** [kind_names.(kind_id ev) = kind ev] for every event. *)
+
 val write_jsonl : t -> out_channel -> unit
 (** One {!to_json} line per recorded event, in emission order.
     @raise Invalid_argument if the probe was created with [~keep:false].

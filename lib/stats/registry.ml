@@ -7,9 +7,18 @@ type metric =
   | M_pull of (unit -> float)
   | M_hist of Histogram.t
 
-type t = { metrics : (string, metric) Hashtbl.t }
+type t = {
+  metrics : (string, metric) Hashtbl.t;
+  (* interning: dense integer ids over counters, so per-op call sites that
+     cannot conveniently hold a [counter] handle (id tables, arrays of
+     op kinds) bump a flat array slot instead of hashing the name *)
+  ids : (string, int) Hashtbl.t;
+  mutable dense : counter array;
+  mutable n_dense : int;
+}
 
-let create () = { metrics = Hashtbl.create 32 }
+let create () =
+  { metrics = Hashtbl.create 32; ids = Hashtbl.create 16; dense = [||]; n_dense = 0 }
 
 let kind_name = function
   | M_counter _ -> "counter"
@@ -34,6 +43,29 @@ let counter t name =
 let incr ?(by = 1) c = c.n <- c.n + by
 let counter_value c = c.n
 let counter_name c = c.cname
+
+let intern t name =
+  match Hashtbl.find_opt t.ids name with
+  | Some id -> id
+  | None ->
+    let c = counter t name in
+    let id = t.n_dense in
+    let cap = Array.length t.dense in
+    if id = cap then begin
+      let bigger = Array.make (max 16 (cap * 2)) c in
+      Array.blit t.dense 0 bigger 0 id;
+      t.dense <- bigger
+    end;
+    t.dense.(id) <- c;
+    t.n_dense <- id + 1;
+    Hashtbl.replace t.ids name id;
+    id
+
+let incr_id ?(by = 1) t id =
+  let c = t.dense.(id) in
+  c.n <- c.n + by
+
+let id_value t id = t.dense.(id).n
 
 let gauge t name =
   match Hashtbl.find_opt t.metrics name with

@@ -27,6 +27,21 @@ val incr : ?by:int -> counter -> unit
 val counter_value : counter -> int
 val counter_name : counter -> string
 
+(** {3 Interned counter ids}
+
+    For per-op paths that index counters dynamically (by op kind, by dc) and
+    cannot hold one [counter] handle per site, [intern] maps a name to a
+    dense integer id once, and [incr_id] bumps a flat array slot — no string
+    hashing on the hot path. Ids share the counter namespace: an interned
+    name and [counter] on the same name hit the same metric. *)
+
+val intern : t -> string -> int
+(** Get-or-create the dense id for counter [name].
+    @raise Invalid_argument if the name holds a non-counter metric. *)
+
+val incr_id : ?by:int -> t -> int -> unit
+val id_value : t -> int -> int
+
 (** {2 Gauges} *)
 
 type gauge

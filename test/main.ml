@@ -15,6 +15,7 @@ let () =
       ("system", Test_system.suite);
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
+      ("scale", Test_scale.suite);
       ("reconfig", Test_reconfig.suite);
       ("consistency", Test_consistency.suite);
       ("harness", Test_harness.suite);

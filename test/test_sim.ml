@@ -50,6 +50,35 @@ let prop_heap_to_list_preserves =
       List.iter (Sim.Heap.push h) xs;
       List.sort Int.compare (Sim.Heap.to_list h) = List.sort Int.compare xs)
 
+(* ---- Keyed heap ----------------------------------------------------------- *)
+
+let test_keyed_heap_basic () =
+  let h = Sim.Heap.Keyed.create ~dummy:"" () in
+  Alcotest.(check bool) "empty" true (Sim.Heap.Keyed.is_empty h);
+  List.iter
+    (fun (k1, k2, x) -> Sim.Heap.Keyed.push h ~k1 ~k2 x)
+    [ (5, 0, "e"); (1, 1, "b"); (1, 0, "a"); (3, 0, "c"); (3, 0, "d") ];
+  Alcotest.(check int) "size" 5 (Sim.Heap.Keyed.size h);
+  Alcotest.(check int) "min_k1" 1 (Sim.Heap.Keyed.min_k1 h);
+  Alcotest.(check (option string)) "peek" (Some "a") (Sim.Heap.Keyed.peek h);
+  Alcotest.(check string) "pop a" "a" (Sim.Heap.Keyed.pop_exn h);
+  Alcotest.(check int) "popped k1" 1 (Sim.Heap.Keyed.popped_k1 h);
+  Alcotest.(check int) "popped k2" 0 (Sim.Heap.Keyed.popped_k2 h);
+  Alcotest.(check string) "pop b" "b" (Sim.Heap.Keyed.pop_exn h);
+  Sim.Heap.Keyed.clear h;
+  Alcotest.(check (option string)) "cleared" None (Sim.Heap.Keyed.pop h)
+
+let prop_keyed_heap_sorts =
+  QCheck.Test.make ~name:"keyed heap drains in (k1, k2) order" ~count:200
+    QCheck.(list (pair small_int small_int))
+    (fun ks ->
+      let h = Sim.Heap.Keyed.create ~dummy:(-1, -1) () in
+      List.iter (fun (k1, k2) -> Sim.Heap.Keyed.push h ~k1 ~k2 (k1, k2)) ks;
+      let rec drain acc =
+        match Sim.Heap.Keyed.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare ks)
+
 (* ---- Rng ----------------------------------------------------------------- *)
 
 let test_rng_deterministic () =
@@ -288,6 +317,8 @@ let suite =
     Alcotest.test_case "heap pop on empty" `Quick test_heap_pop_empty;
     qtest prop_heap_sorts;
     qtest prop_heap_to_list_preserves;
+    Alcotest.test_case "keyed heap basics" `Quick test_keyed_heap_basic;
+    qtest prop_keyed_heap_sorts;
     Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
     qtest prop_shuffle_is_permutation;
