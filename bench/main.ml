@@ -154,10 +154,69 @@ let engine_cmd rest =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* dune exec bench/main.exe -- shootout [--seed N] [--out FILE]
+   The stabilization shootout: every system on one fixed deployment,
+   visibility + metadata bytes/op per protocol, with the family-ordering
+   verdict. Fully simulated time, so the JSON (BENCH_shootout.json) is
+   byte-reproducible and gated by saturn-cli bench-check. *)
+let shootout_cmd rest =
+  let seed = ref 42 and out = ref None and systems = ref Harness.Shootout.systems in
+  let rec parse = function
+    | "--seed" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n -> seed := n
+      | None ->
+        Printf.eprintf "shootout: --seed expects an integer, got %S\n" n;
+        exit 2);
+      parse rest
+    | "--systems" :: spec :: rest ->
+      let names = String.split_on_char ',' spec in
+      List.iter
+        (fun s ->
+          if not (List.mem s Harness.Shootout.systems) then begin
+            Printf.eprintf "shootout: unknown system %S (expected %s)\n" s
+              (String.concat "/" Harness.Shootout.systems);
+            exit 2
+          end)
+        names;
+      systems := names;
+      parse rest
+    | "--out" :: path :: rest ->
+      out := Some path;
+      parse rest
+    | [] -> ()
+    | x :: _ ->
+      Printf.eprintf
+        "shootout: unknown argument %S (expected --seed N / --systems LIST / --out FILE)\n" x;
+      exit 2
+  in
+  parse rest;
+  let rows =
+    List.map
+      (fun name ->
+        Printf.printf "shootout: %s...%!" name;
+        let t0 = Unix.gettimeofday () in
+        let r = Harness.Shootout.run_system ~seed:!seed name in
+        Printf.printf " %d ops, %.2f B/op (%.1fs)\n%!" r.Harness.Shootout.ops
+          r.Harness.Shootout.bytes_per_op
+          (Unix.gettimeofday () -. t0);
+        r)
+      !systems
+  in
+  Harness.Shootout.print rows;
+  match !out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Harness.Shootout.to_json ~seed:!seed rows);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | "smoke" :: rest -> smoke_cmd rest
   | "engine" :: rest -> engine_cmd rest
+  | "shootout" :: rest -> shootout_cmd rest
   | args ->
   (* --csv DIR: additionally write every printed table as a CSV artifact *)
   let rec extract_csv acc = function

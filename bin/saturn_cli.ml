@@ -90,6 +90,8 @@ let system_conv =
       ("eventual", Harness.Scenario.Eventual);
       ("gentlerain", Harness.Scenario.Gentlerain);
       ("cure", Harness.Scenario.Cure);
+      ("eunomia", Harness.Scenario.Eunomia);
+      ("okapi", Harness.Scenario.Okapi);
     ]
 
 let correlation_conv =
@@ -229,6 +231,8 @@ let trace_replay path n_dcs sys =
     | Harness.Scenario.Eventual -> Harness.Build.eventual engine spec metrics
     | Harness.Scenario.Gentlerain -> Harness.Build.gentlerain engine spec metrics
     | Harness.Scenario.Cure -> Harness.Build.cure engine spec metrics
+    | Harness.Scenario.Eunomia -> Harness.Build.eunomia engine spec metrics
+    | Harness.Scenario.Okapi -> Harness.Build.okapi engine spec metrics
   in
   let total = Workload.Trace.remaining trace in
   let clients = List.init (3 * n_dcs) (fun i ->
@@ -455,12 +459,14 @@ let series_cmd =
   let scenario =
     Arg.(value
          & opt (enum [ ("partition", "partition"); ("ser-crash", "ser-crash");
+                       ("seq-crash", "seq-crash");
                        ("latency-spike", "latency-spike"); ("smoke", "smoke") ]) "partition"
-         & info [ "scenario" ] ~doc:"partition|ser-crash|latency-spike|smoke")
+         & info [ "scenario" ] ~doc:"partition|ser-crash|seq-crash|latency-spike|smoke")
   in
   let system =
-    Arg.(value & opt (enum [ ("saturn", `Saturn); ("eventual", `Eventual) ]) `Saturn
-         & info [ "system" ] ~doc:"saturn|eventual (ignored by the smoke scenario).")
+    Arg.(value & opt (enum [ ("saturn", `Saturn); ("eventual", `Eventual);
+                             ("eunomia", `Eunomia); ("okapi", `Okapi) ]) `Saturn
+         & info [ "system" ] ~doc:"saturn|eventual|eunomia|okapi (ignored by the smoke scenario).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.") in
   let csv =

@@ -4,6 +4,8 @@
 #   ci/smoke-counters.txt   probe/span/series counters of the smoke run
 #   BENCH_smoke.json        smoke-run headline numbers (saturn-bench-smoke/1)
 #   BENCH_engine.json       per-tier engine speed (saturn-bench-engine/1)
+#   BENCH_shootout.json     per-system visibility + metadata bytes/op
+#                           (saturn-bench-shootout/1)
 #
 # Run this after any change that legitimately shifts the gated numbers
 # (new instrumentation, different event batching, a workload change) and
@@ -17,7 +19,8 @@ dune build bin bench
 dune exec bin/saturn_cli.exe -- obs --counters-out ci/smoke-counters.txt > /dev/null
 dune exec bench/main.exe -- smoke --bench-out BENCH_smoke.json > /dev/null
 dune exec bench/main.exe -- engine --out BENCH_engine.json
+dune exec bench/main.exe -- shootout --out BENCH_shootout.json > /dev/null
 
 echo
 echo "regenerated baselines:"
-git --no-pager diff --stat -- ci/smoke-counters.txt BENCH_smoke.json BENCH_engine.json
+git --no-pager diff --stat -- ci/smoke-counters.txt BENCH_smoke.json BENCH_engine.json BENCH_shootout.json

@@ -24,12 +24,13 @@ type t = {
   (* client context: explicit dependency set, one version per key *)
   contexts : (int, (int, version) Hashtbl.t) Hashtbl.t;
   apply_series : Stats.Series.counter option array; (* per dc *)
+  meta_bytes : Stats.Meta_bytes.t option;
   mutable deps_shipped : int;
   mutable updates_shipped : int;
   mutable max_deps : int;
 }
 
-let create ?series engine p hooks ~prune_on_write =
+let create ?series ?meta engine p hooks ~prune_on_write =
   let geo = Common.create ?series engine p in
   let dcs =
     Array.init (Common.n_dcs geo) (fun _ ->
@@ -43,7 +44,7 @@ let create ?series engine p hooks ~prune_on_write =
   in
   let t =
     { geo; hooks; prune_on_write; dcs; contexts = Hashtbl.create 256; apply_series;
-      deps_shipped = 0; updates_shipped = 0; max_deps = 0 }
+      meta_bytes = meta; deps_shipped = 0; updates_shipped = 0; max_deps = 0 }
   in
   (match series with
   | Some sr ->
@@ -158,10 +159,14 @@ let update t ~client ~home ~dc ~key ~value ~k =
               t.deps_shipped <- t.deps_shipped + n_deps;
               t.updates_shipped <- t.updates_shipped + 1;
               t.max_deps <- max t.max_deps n_deps;
+              (* 16 bytes of version header (excluded from causal-metadata
+                 accounting, as everywhere) + 16 per (key, version) dep *)
               let size = value.Kvstore.Value.size_bytes + (16 * (1 + n_deps)) in
+              let fanout = ref 0 in
               List.iter
                 (fun dst ->
-                  if dst <> dc then
+                  if dst <> dc then begin
+                    incr fanout;
                     Common.ship t.geo ~src:dc ~dst ~size_bytes:size (fun () ->
                         let apply_cost =
                           Saturn.Cost_model.eventual_apply_us (cost t)
@@ -170,8 +175,12 @@ let update t ~client ~home ~dc ~key ~value ~k =
                         in
                         Common.submit t.geo ~dc:dst ~part:(Common.partition_of t.geo ~key)
                           ~cost_us:apply_cost (fun () ->
-                            apply_remote t ~dc:dst { key; value; version; deps; origin_time })))
+                            apply_remote t ~dc:dst { key; value; version; deps; origin_time }))
+                  end)
                 (Kvstore.Replica_map.replicas (rmap t) ~key);
+              (match t.meta_bytes with
+              | Some m -> Stats.Meta_bytes.record_op m ~bytes:(16 * n_deps) ~fanout:!fanout
+              | None -> ());
               (* transitivity-based pruning: sound only under full
                  replication *)
               if t.prune_on_write then Hashtbl.reset ctx;

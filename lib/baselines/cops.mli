@@ -14,7 +14,8 @@
 type t
 
 val create :
-  ?series:Stats.Series.t -> Sim.Engine.t -> Common.params -> Common.hooks -> prune_on_write:bool -> t
+  ?series:Stats.Series.t -> ?meta:Stats.Meta_bytes.t -> Sim.Engine.t -> Common.params ->
+  Common.hooks -> prune_on_write:bool -> t
 
 val fabric : t -> Common.t
 

@@ -27,6 +27,7 @@ type t = {
   dcs : dc_state array;
   client_dv : (int, Sim.Time.t array) Hashtbl.t;
   apply_series : Stats.Series.counter option array; (* per dc *)
+  meta_bytes : Stats.Meta_bytes.t option;
 }
 
 let vector_wire_bytes n = (8 * n) + 4
@@ -42,7 +43,7 @@ let probe_vec t ~dc ~src ts =
       ~at:(Sim.Engine.now (Common.engine t.geo))
       (Sim.Probe.Vec_advance { dc; src; ts = Sim.Time.to_us ts })
 
-let rec create ?series engine p hooks =
+let rec create ?series ?meta engine p hooks =
   let geo = Common.create ?series engine p in
   let n = Common.n_dcs geo in
   let dcs =
@@ -61,7 +62,7 @@ let rec create ?series engine p hooks =
           (fun sr -> Stats.Series.counter sr (Printf.sprintf "series.apply.dc%d" dc))
           series)
   in
-  let t = { geo; hooks; dcs; client_dv = Hashtbl.create 256; apply_series } in
+  let t = { geo; hooks; dcs; client_dv = Hashtbl.create 256; apply_series; meta_bytes = meta } in
   (match series with
   | Some sr ->
     for dc = 0 to n - 1 do
@@ -75,13 +76,17 @@ let rec create ?series engine p hooks =
     Common.every geo cost.Saturn.Cost_model.heartbeat_period (fun () ->
         let floor = Common.dc_floor geo ~dc in
         for dst = 0 to n - 1 do
-          if dst <> dc then
+          if dst <> dc then begin
+            (match t.meta_bytes with
+            | Some m -> Stats.Meta_bytes.record_heartbeat m ~bytes:(vector_wire_bytes n)
+            | None -> ());
             Common.ship geo ~src:dc ~dst ~size_bytes:(vector_wire_bytes n) (fun () ->
                 let d = t.dcs.(dst) in
                 if Sim.Time.compare floor d.vv.(dc) > 0 then begin
                   d.vv.(dc) <- floor;
                   probe_vec t ~dc:dst ~src:dc floor
                 end)
+          end
         done)
   done;
   (* the GSV advances only after every partition finishes its aggregation
@@ -212,9 +217,11 @@ let update t ~client ~home ~dc ~key ~value ~k =
               Kvstore.Store.put t.dcs.(dc).stores.(part) ~key value meta;
               let origin_time = Sim.Engine.now (Common.engine t.geo) in
               let size = value.Kvstore.Value.size_bytes + vector_wire_bytes n in
+              let fanout = ref 0 in
               List.iter
                 (fun dst ->
                   if dst <> dc then begin
+                    incr fanout;
                     if Sim.Probe.active () then
                       Sim.Span.begin_ ~at:origin_time Sim.Span.Sk_bulk ~origin:dc
                         ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dc ~peer:dst;
@@ -241,6 +248,9 @@ let update t ~client ~home ~dc ~key ~value ~k =
                             dd.pending <- { key; value; meta; origin_time } :: dd.pending))
                   end)
                 (Kvstore.Replica_map.replicas (rmap t) ~key);
+              (match t.meta_bytes with
+              | Some m -> Stats.Meta_bytes.record_op m ~bytes:(vector_wire_bytes n) ~fanout:!fanout
+              | None -> ());
               reply meta)))
     ~k:(fun meta ->
       merge_dv (client_dv t client) meta.vc;

@@ -8,9 +8,10 @@ type t = {
   hooks : Common.hooks;
   stores : (meta, int) Kvstore.Store.t array array; (* [dc].[partition] *)
   apply_series : Stats.Series.counter option array; (* per dc *)
+  meta_bytes : Stats.Meta_bytes.t option;
 }
 
-let create ?series engine p hooks =
+let create ?series ?meta engine p hooks =
   let geo = Common.create ?series engine p in
   let stores =
     Array.init (Common.n_dcs geo) (fun _ ->
@@ -22,7 +23,7 @@ let create ?series engine p hooks =
           (fun sr -> Stats.Series.counter sr (Printf.sprintf "series.apply.dc%d" dc))
           series)
   in
-  { geo; hooks; stores; apply_series }
+  { geo; hooks; stores; apply_series; meta_bytes = meta }
 
 let fabric t = t.geo
 let cost t = (Common.params t.geo).Common.cost
@@ -76,10 +77,15 @@ let update t ~client:_ ~home ~dc ~key ~value ~k =
               let meta = (ts, dc) in
               Kvstore.Store.put t.stores.(dc).(part) ~key value meta;
               let origin_time = Sim.Engine.now (Common.engine t.geo) in
+              (* the 16 bytes are the LWW (ts, origin) storage-version
+                 header every protocol ships; they are versioning, not
+                 causal metadata, so Meta_bytes records this op at 0 *)
               let size = value.Kvstore.Value.size_bytes + 16 in
+              let fanout = ref 0 in
               List.iter
                 (fun dst ->
                   if dst <> dc then begin
+                    incr fanout;
                     if Sim.Probe.active () then
                       Sim.Span.begin_ ~at:origin_time Sim.Span.Sk_bulk ~origin:dc
                         ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dc ~peer:dst;
@@ -87,6 +93,9 @@ let update t ~client:_ ~home ~dc ~key ~value ~k =
                         apply_remote t ~dc:dst ~key ~value ~meta ~origin_time)
                   end)
                 (Kvstore.Replica_map.replicas (rmap t) ~key);
+              (match t.meta_bytes with
+              | Some m -> Stats.Meta_bytes.record_op m ~bytes:0 ~fanout:!fanout
+              | None -> ());
               reply ())))
     ~k
 

@@ -9,7 +9,9 @@
 
 type t
 
-val create : ?series:Stats.Series.t -> Sim.Engine.t -> Common.params -> Common.hooks -> t
+val create :
+  ?series:Stats.Series.t -> ?meta:Stats.Meta_bytes.t -> Sim.Engine.t -> Common.params ->
+  Common.hooks -> t
 
 val fabric : t -> Common.t
 

@@ -1,4 +1,4 @@
-type meta = Sim.Time.t * int (* (update ts, origin dc) *)
+type meta = Sim.Time.t * int (* (hybrid ts, origin dc) *)
 
 let compare_meta (ta, da) (tb, db) =
   match Sim.Time.compare ta tb with 0 -> Int.compare da db | c -> c
@@ -12,9 +12,9 @@ type pending = {
 
 type dc_state = {
   stores : (meta, int) Kvstore.Store.t array;
-  vv : Sim.Time.t array; (* max ts received from each remote dc *)
-  mutable gst : Sim.Time.t;
-  pending : pending Sim.Heap.t; (* applied payloads awaiting GST *)
+  known : Sim.Time.t array array; (* known.(i).(k): what DC i has received from k *)
+  mutable ust : Sim.Time.t; (* min over the whole matrix *)
+  pending : pending Sim.Heap.t; (* applied payloads awaiting UST *)
   mutable waiters : (Sim.Time.t * (unit -> unit)) list; (* attach waits *)
 }
 
@@ -27,13 +27,74 @@ type t = {
   meta_bytes : Stats.Meta_bytes.t option;
 }
 
-let meta_wire_bytes = 12 (* ts (8) + origin (4): one scalar, as in the paper *)
+(* hybrid timestamp (physical 8 + logical 4) + origin (4) + dependency
+   cut (8): a constant, between GentleRain's scalar and Cure's vector *)
+let meta_wire_bytes = 24
+
+(* one matrix row: n scalar entries (8 each) + row owner (4) *)
+let row_wire_bytes n = (8 * n) + 4
 
 let probe_vec t ~dc ~src ts =
   if Sim.Probe.active () then
     Sim.Probe.emit
       ~at:(Sim.Engine.now (Common.engine t.geo))
       (Sim.Probe.Vec_advance { dc; src; ts = Sim.Time.to_us ts })
+
+(* Recompute dc's UST from its matrix and flush every pending remote
+   update it now covers: UST ≥ ts means every DC has received everything
+   up to ts, so installing in timestamp order cannot skip a dependency. *)
+let advance t dc =
+  let geo = t.geo in
+  let n = Common.n_dcs geo in
+  let d = t.dcs.(dc) in
+  let ust = ref Sim.Time.infinity in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      ust := Sim.Time.min !ust d.known.(i).(k)
+    done
+  done;
+  if n > 1 && Sim.Time.compare !ust d.ust > 0 then d.ust <- !ust;
+  let rec flush () =
+    match Sim.Heap.peek d.pending with
+    | Some pn when Sim.Time.compare (fst pn.meta) d.ust <= 0 ->
+      let pn = Sim.Heap.pop_exn d.pending in
+      let part = Common.partition_of geo ~key:pn.key in
+      if Sim.Probe.active () then
+        Sim.Span.end_
+          ~at:(Sim.Engine.now (Common.engine geo))
+          Sim.Span.Sk_stab ~origin:(snd pn.meta)
+          ~seq:(Sim.Time.to_us (fst pn.meta))
+          ~aux:part ~site:dc;
+      let _ =
+        Kvstore.Store.put_if_newer d.stores.(part) ~cmp:compare_meta ~key:pn.key pn.value pn.meta
+      in
+      (match t.apply_series.(dc) with
+      | Some c -> Stats.Series.incr c ~now:(Sim.Engine.now (Common.engine geo))
+      | None -> ());
+      t.hooks.Common.on_visible ~dc ~key:pn.key ~origin_dc:(snd pn.meta)
+        ~origin_time:pn.origin_time ~value:pn.value;
+      flush ()
+    | Some _ | None -> ()
+  in
+  flush ();
+  let ready, still = List.partition (fun (ts, _) -> Sim.Time.compare ts d.ust <= 0) d.waiters in
+  d.waiters <- still;
+  List.iter (fun (_, k) -> k ()) ready
+
+(* Merge a broadcast of src's own matrix row into dst's matrix. The row's
+   diagonal entry is src's announced floor: merging it into dst's own row
+   is safe because any payload below the floor was shipped before the row
+   on the same FIFO link. *)
+let merge_row t ~dst ~src row =
+  let d = t.dcs.(dst) in
+  Array.iteri
+    (fun k x -> if Sim.Time.compare x d.known.(src).(k) > 0 then d.known.(src).(k) <- x)
+    row;
+  if Sim.Time.compare row.(src) d.known.(dst).(src) > 0 then begin
+    d.known.(dst).(src) <- row.(src);
+    probe_vec t ~dc:dst ~src row.(src)
+  end;
+  advance t dst
 
 let rec create ?series ?meta engine p hooks =
   let geo = Common.create ?series engine p in
@@ -42,10 +103,9 @@ let rec create ?series ?meta engine p hooks =
     Array.init n (fun _ ->
         {
           stores = Array.init p.Common.partitions (fun _ -> Kvstore.Store.create ());
-          vv = Array.make n Sim.Time.zero;
-          gst = Sim.Time.zero;
-          pending =
-            Sim.Heap.create ~cmp:(fun a b -> compare_meta a.meta b.meta) ();
+          known = Array.init n (fun _ -> Array.make n Sim.Time.zero);
+          ust = Sim.Time.zero;
+          pending = Sim.Heap.create ~cmp:(fun a b -> compare_meta a.meta b.meta) ();
           waiters = [];
         })
   in
@@ -65,33 +125,14 @@ let rec create ?series ?meta engine p hooks =
     done
   | None -> ());
   let cost = p.Common.cost in
-  (* heartbeats: every dc promises its clock floor to every other dc *)
-  for dc = 0 to n - 1 do
-    Common.every geo cost.Saturn.Cost_model.heartbeat_period (fun () ->
-        let floor = Common.dc_floor geo ~dc in
-        for dst = 0 to n - 1 do
-          if dst <> dc then begin
-            (match t.meta_bytes with
-            | Some m -> Stats.Meta_bytes.record_heartbeat m ~bytes:meta_wire_bytes
-            | None -> ());
-            Common.ship geo ~src:dc ~dst ~size_bytes:meta_wire_bytes (fun () ->
-                let d = t.dcs.(dst) in
-                if Sim.Time.compare floor d.vv.(dc) > 0 then begin
-                  d.vv.(dc) <- floor;
-                  probe_vec t ~dc:dst ~src:dc floor
-                end)
-          end
-        done)
-  done;
-  (* the stabilization mechanism, every 5 ms as in the authors' setup; the
-     GST only advances once every partition has finished its aggregation
-     task, so a loaded server delays stabilization — the effect the paper
-     observes in Cure's and GentleRain's measured visibility *)
+  (* stable-time rounds: like Cure the round only completes once every
+     partition has finished its (cheaper, one-entry) aggregation task; the
+     completed round broadcasts this DC's matrix row. No heartbeats. *)
   for dc = 0 to n - 1 do
     Common.every geo cost.Saturn.Cost_model.stabilization_period (fun () ->
         let remaining = ref p.Common.partitions in
         for part = 0 to p.Common.partitions - 1 do
-          Common.submit geo ~dc ~part ~cost_us:(Saturn.Cost_model.gentlerain_stab_us cost)
+          Common.submit geo ~dc ~part ~cost_us:(Saturn.Cost_model.okapi_stab_us cost)
             (fun () ->
               decr remaining;
               if !remaining = 0 then finish_stab_round t dc)
@@ -102,48 +143,27 @@ let rec create ?series ?meta engine p hooks =
 and finish_stab_round t dc =
   let geo = t.geo in
   let n = Common.n_dcs geo in
-  begin
-    let d = t.dcs.(dc) in
-        let gst = ref Sim.Time.infinity in
-        for src = 0 to n - 1 do
-          if src <> dc then gst := Sim.Time.min !gst d.vv.(src)
-        done;
-        if n > 1 then d.gst <- Sim.Time.max d.gst !gst;
-        if Sim.Probe.active () then
-          Sim.Probe.emit
-            ~at:(Sim.Engine.now (Common.engine geo))
-            (Sim.Probe.Stab_round { dc; gst = Sim.Time.to_us d.gst });
-        (* flush newly-stable remote updates *)
-        let rec flush () =
-          match Sim.Heap.peek d.pending with
-          | Some pn when Sim.Time.compare (fst pn.meta) d.gst <= 0 ->
-            let pn = Sim.Heap.pop_exn d.pending in
-            let part = Common.partition_of geo ~key:pn.key in
-            if Sim.Probe.active () then
-              Sim.Span.end_
-                ~at:(Sim.Engine.now (Common.engine geo))
-                Sim.Span.Sk_stab ~origin:(snd pn.meta)
-                ~seq:(Sim.Time.to_us (fst pn.meta))
-                ~aux:part ~site:dc;
-            let _ =
-              Kvstore.Store.put_if_newer d.stores.(part) ~cmp:compare_meta ~key:pn.key pn.value pn.meta
-            in
-            (match t.apply_series.(dc) with
-            | Some c -> Stats.Series.incr c ~now:(Sim.Engine.now (Common.engine geo))
-            | None -> ());
-            t.hooks.Common.on_visible ~dc ~key:pn.key ~origin_dc:(snd pn.meta)
-              ~origin_time:pn.origin_time ~value:pn.value;
-            flush ()
-          | Some _ | None -> ()
-        in
-        flush ();
-        let ready, still = List.partition (fun (ts, _) -> Sim.Time.compare ts d.gst <= 0) d.waiters in
-        d.waiters <- still;
-        List.iter (fun (_, k) -> k ()) ready
-  end
+  let d = t.dcs.(dc) in
+  let floor = Common.dc_floor geo ~dc in
+  if Sim.Time.compare floor d.known.(dc).(dc) > 0 then d.known.(dc).(dc) <- floor;
+  if Sim.Probe.active () then
+    Sim.Probe.emit
+      ~at:(Sim.Engine.now (Common.engine geo))
+      (Sim.Probe.Stab_round { dc; gst = Sim.Time.to_us d.ust });
+  let row = Array.copy d.known.(dc) in
+  for dst = 0 to n - 1 do
+    if dst <> dc then begin
+      (match t.meta_bytes with
+      | Some m -> Stats.Meta_bytes.record_stabilization m ~bytes:(row_wire_bytes n)
+      | None -> ());
+      Common.ship geo ~src:dc ~dst ~size_bytes:(row_wire_bytes n) (fun () ->
+          merge_row t ~dst ~src:dc row)
+    end
+  done;
+  advance t dc
 
 let fabric t = t.geo
-let gst t ~dc = t.dcs.(dc).gst
+let ust t ~dc = t.dcs.(dc).ust
 let cost t = (Common.params t.geo).Common.cost
 let rmap t = (Common.params t.geo).Common.rmap
 let client_dt t client = Option.value ~default:Sim.Time.zero (Hashtbl.find_opt t.client_dt client)
@@ -158,7 +178,7 @@ let attach t ~client ~home ~dc ~k =
       Common.via_frontend t.geo ~dc (fun () ->
           let d = t.dcs.(dc) in
           let dt = client_dt t client in
-          if Sim.Time.compare dt d.gst <= 0 then reply ()
+          if Sim.Time.compare dt d.ust <= 0 then reply ()
           else d.waiters <- (dt, reply) :: d.waiters))
     ~k
 
@@ -173,7 +193,7 @@ let read t ~client ~home ~dc ~key ~k =
             | Some (v, _) -> v.Kvstore.Value.size_bytes
             | None -> 0
           in
-          let cost_us = Saturn.Cost_model.gentlerain_read_us (cost t) ~size_bytes:size in
+          let cost_us = Saturn.Cost_model.okapi_read_us (cost t) ~size_bytes:size in
           Common.submit t.geo ~dc ~part ~cost_us (fun () -> reply (Kvstore.Store.get store ~key))))
     ~k:(fun result ->
       match result with
@@ -188,7 +208,7 @@ let update t ~client ~home ~dc ~key ~value ~k =
       Common.via_frontend t.geo ~dc (fun () ->
           let part = Common.partition_of t.geo ~key in
           let cost_us =
-            Saturn.Cost_model.gentlerain_write_us (cost t) ~size_bytes:value.Kvstore.Value.size_bytes
+            Saturn.Cost_model.okapi_write_us (cost t) ~size_bytes:value.Kvstore.Value.size_bytes
           in
           Common.submit t.geo ~dc ~part ~cost_us (fun () ->
               let ts = Common.gen_ts t.geo ~dc ~part ~floor:(client_dt t client) in
@@ -206,12 +226,12 @@ let update t ~client ~home ~dc ~key ~value ~k =
                         ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dc ~peer:dst;
                     Common.ship t.geo ~src:dc ~dst ~size_bytes:size (fun () ->
                         let dd = t.dcs.(dst) in
-                        if Sim.Time.compare ts dd.vv.(dc) > 0 then begin
-                          dd.vv.(dc) <- ts;
+                        if Sim.Time.compare ts dd.known.(dst).(dc) > 0 then begin
+                          dd.known.(dst).(dc) <- ts;
                           probe_vec t ~dc:dst ~src:dc ts
                         end;
                         let apply_cost =
-                          Saturn.Cost_model.gentlerain_apply_us (cost t)
+                          Saturn.Cost_model.okapi_apply_us (cost t)
                             ~size_bytes:value.Kvstore.Value.size_bytes
                         in
                         Common.submit t.geo ~dc:dst ~part:(Common.partition_of t.geo ~key)
@@ -220,11 +240,12 @@ let update t ~client ~home ~dc ~key ~value ~k =
                               let at = Sim.Engine.now (Common.engine t.geo) in
                               Sim.Span.end_ ~at Sim.Span.Sk_bulk ~origin:dc
                                 ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dc ~peer:dst;
-                              (* stabilization hold: until the GST covers ts *)
+                              (* universal-stability hold: until UST ≥ ts *)
                               Sim.Span.begin_ ~at Sim.Span.Sk_stab ~origin:dc
                                 ~seq:(Sim.Time.to_us ts) ~aux:part ~site:dst
                             end;
-                            Sim.Heap.push dd.pending { key; value; meta; origin_time }))
+                            Sim.Heap.push dd.pending { key; value; meta; origin_time };
+                            advance t dst))
                   end)
                 (Kvstore.Replica_map.replicas (rmap t) ~key);
               (match t.meta_bytes with

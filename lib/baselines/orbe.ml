@@ -32,12 +32,14 @@ type t = {
   dcs : dc_state array;
   seq : int array array; (* [dc].[partition] -> updates issued *)
   contexts : (int, int Dm.t) Hashtbl.t; (* client -> dependency matrix *)
+  apply_series : Stats.Series.counter option array; (* per dc *)
+  meta_bytes : Stats.Meta_bytes.t option;
   mutable entries_shipped : int;
   mutable updates_shipped : int;
 }
 
-let create engine p hooks =
-  let geo = Common.create engine p in
+let create ?series ?meta engine p hooks =
+  let geo = Common.create ?series engine p in
   let n = Common.n_dcs geo in
   let dcs =
     Array.init n (fun _ ->
@@ -47,15 +49,34 @@ let create engine p hooks =
           pending = [];
         })
   in
-  {
-    geo;
-    hooks;
-    dcs;
-    seq = Array.init n (fun _ -> Array.make p.Common.partitions 0);
-    contexts = Hashtbl.create 256;
-    entries_shipped = 0;
-    updates_shipped = 0;
-  }
+  let apply_series =
+    Array.init n (fun dc ->
+        Option.map
+          (fun sr -> Stats.Series.counter sr (Printf.sprintf "series.apply.dc%d" dc))
+          series)
+  in
+  let t =
+    {
+      geo;
+      hooks;
+      dcs;
+      seq = Array.init n (fun _ -> Array.make p.Common.partitions 0);
+      contexts = Hashtbl.create 256;
+      apply_series;
+      meta_bytes = meta;
+      entries_shipped = 0;
+      updates_shipped = 0;
+    }
+  in
+  (match series with
+  | Some sr ->
+    for dc = 0 to n - 1 do
+      Stats.Series.sample sr
+        (Printf.sprintf "series.pending.dc%d" dc)
+        (fun () -> float_of_int (List.length t.dcs.(dc).pending))
+    done
+  | None -> ());
+  t
 
 let fabric t = t.geo
 let cost t = (Common.params t.geo).Common.cost
@@ -91,6 +112,9 @@ and install t ~dc pn =
   in
   let applied = t.dcs.(dc).applied.(pn.meta.origin) in
   applied.(pn.src_part) <- pn.seq;
+  (match t.apply_series.(dc) with
+  | Some c -> Stats.Series.incr c ~now:(Sim.Engine.now (Common.engine t.geo))
+  | None -> ());
   t.hooks.Common.on_visible ~dc ~key:pn.key ~origin_dc:pn.meta.origin ~origin_time:pn.origin_time
     ~value:pn.value
 
@@ -154,10 +178,18 @@ let update t ~client ~home ~dc ~key ~value ~k =
               let origin_time = Sim.Engine.now (Common.engine t.geo) in
               t.updates_shipped <- t.updates_shipped + 1;
               t.entries_shipped <- t.entries_shipped + Dm.cardinal dm;
-              let size = value.Kvstore.Value.size_bytes + 16 + (12 * Dm.cardinal dm) in
+              (* wire layout: 16-byte LWW version header (excluded from
+                 causal accounting, as everywhere) + 16 bytes of sequencing
+                 coordinates and matrix framing (src partition, sequence
+                 number, entry count — the prefix-order machinery) + 12 per
+                 (dc, partition) matrix entry *)
+              let causal_bytes = 16 + (12 * Dm.cardinal dm) in
+              let size = value.Kvstore.Value.size_bytes + 16 + causal_bytes in
+              let fanout = ref 0 in
               List.iter
                 (fun dst ->
-                  if dst <> dc then
+                  if dst <> dc then begin
+                    incr fanout;
                     Common.ship t.geo ~src:dc ~dst ~size_bytes:size (fun () ->
                         let apply_cost =
                           Saturn.Cost_model.eventual_apply_us (cost t)
@@ -167,8 +199,12 @@ let update t ~client ~home ~dc ~key ~value ~k =
                         Common.submit t.geo ~dc:dst ~part:(Common.partition_of t.geo ~key)
                           ~cost_us:apply_cost (fun () ->
                             apply_remote t ~dc:dst
-                              { key; value; meta; dm; src_part = part; seq; origin_time })))
+                              { key; value; meta; dm; src_part = part; seq; origin_time }))
+                  end)
                 (Kvstore.Replica_map.replicas (rmap t) ~key);
+              (match t.meta_bytes with
+              | Some m -> Stats.Meta_bytes.record_op m ~bytes:causal_bytes ~fanout:!fanout
+              | None -> ());
               (* transitivity: the new version subsumes the whole context *)
               Hashtbl.replace t.contexts client (Dm.singleton (dc, part) seq);
               reply ())))

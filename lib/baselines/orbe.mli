@@ -16,7 +16,9 @@
 
 type t
 
-val create : Sim.Engine.t -> Common.params -> Common.hooks -> t
+val create :
+  ?series:Stats.Series.t -> ?meta:Stats.Meta_bytes.t -> Sim.Engine.t -> Common.params ->
+  Common.hooks -> t
 
 val fabric : t -> Common.t
 

@@ -57,3 +57,20 @@ let cure_read_us t ~n_dcs ~size_bytes = eventual_read_us t ~size_bytes + (t.vect
 let cure_write_us t ~n_dcs ~size_bytes = eventual_write_us t ~size_bytes + (t.vector_entry_us * n_dcs)
 let cure_apply_us t ~n_dcs ~size_bytes = eventual_apply_us t ~size_bytes + (t.vector_entry_us * n_dcs)
 let cure_stab_us t ~n_dcs = t.stabilization_us + (t.stabilization_vector_entry_us * n_dcs)
+
+(* Eunomia: writes touch one scalar only — the sequencer notification is
+   asynchronous and stabilization runs on the sequencer, not on the storage
+   servers, so the client path is one scalar cheaper than GentleRain's. *)
+let eunomia_read_us t ~size_bytes = eventual_read_us t ~size_bytes + t.scalar_meta_us
+let eunomia_write_us t ~size_bytes = eventual_write_us t ~size_bytes + t.scalar_meta_us
+let eunomia_apply_us t ~size_bytes = eventual_apply_us t ~size_bytes + t.scalar_meta_us
+let eunomia_seq_us t = t.scalar_meta_us
+let eunomia_stab_us t = t.stabilization_us
+
+(* Okapi: hybrid timestamps cost a few scalars on the client path (more than
+   GentleRain's single scalar, far less than Cure's O(N) vectors), and the
+   stable-vector round touches one row entry instead of the full vector. *)
+let okapi_read_us t ~size_bytes = eventual_read_us t ~size_bytes + (2 * t.scalar_meta_us)
+let okapi_write_us t ~size_bytes = eventual_write_us t ~size_bytes + (3 * t.scalar_meta_us)
+let okapi_apply_us t ~size_bytes = eventual_apply_us t ~size_bytes + t.scalar_meta_us
+let okapi_stab_us t = t.stabilization_us + t.stabilization_vector_entry_us

@@ -53,3 +53,24 @@ val cure_read_us : t -> n_dcs:int -> size_bytes:int -> int
 val cure_write_us : t -> n_dcs:int -> size_bytes:int -> int
 val cure_apply_us : t -> n_dcs:int -> size_bytes:int -> int
 val cure_stab_us : t -> n_dcs:int -> int
+
+val eunomia_read_us : t -> size_bytes:int -> int
+val eunomia_write_us : t -> size_bytes:int -> int
+
+val eunomia_apply_us : t -> size_bytes:int -> int
+(** Installing a replicated update at a remote DC (scalar metadata). *)
+
+val eunomia_seq_us : t -> int
+(** Sequencer cost to absorb one asynchronous update notification. *)
+
+val eunomia_stab_us : t -> int
+(** Per-round stabilization cost, paid on the sequencer — not on the
+    storage servers: Eunomia's defining move. *)
+
+val okapi_read_us : t -> size_bytes:int -> int
+val okapi_write_us : t -> size_bytes:int -> int
+val okapi_apply_us : t -> size_bytes:int -> int
+
+val okapi_stab_us : t -> int
+(** Per-partition cost of one stable-vector round: one row entry, not the
+    full O(N) vector Cure aggregates. *)

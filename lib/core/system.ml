@@ -79,8 +79,16 @@ let route_label t dc label =
   | Some m when Label.equal m label -> route.to_next <- true
   | Some _ | None -> ()
 
+let heartbeat_wire_bytes = 12 (* floor ts (8) + src dc (4) *)
+
 let create ?registry ?series engine p hooks =
   let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
+  (* Metadata-byte accounting: Saturn attaches one constant label per
+     remote payload shipment; the metadata tree itself is the
+     stabilization mechanism (its cost shows up as tree-hop latency, not
+     as per-update wire bytes), so the stabilization counter stays 0 by
+     construction and only heartbeats add background bytes. *)
+  let meta = Stats.Meta_bytes.create registry ~system:"saturn" in
   let n = Array.length p.dc_sites in
   let bulk =
     Array.init n (fun i ->
@@ -113,6 +121,7 @@ let create ?registry ?series engine p hooks =
             Datacenter.ship_payload =
               (fun ~dst payload ->
                 let size = payload.Proxy.value.Kvstore.Value.size_bytes + Label.size_bytes in
+                Stats.Meta_bytes.record_op meta ~bytes:Label.size_bytes ~fanout:1;
                 if Sim.Probe.active () then begin
                   (* closed at [dst] once the payload finishes staging *)
                   let l = payload.Proxy.label in
@@ -170,9 +179,11 @@ let create ?registry ?series engine p hooks =
       (fun () ->
         let floor = Datacenter.gear_floor t.dcs.(dc) in
         for dst = 0 to n - 1 do
-          if dst <> dc then
-            Sim.Link.send t.bulk.(dc).(dst) (fun () ->
+          if dst <> dc then begin
+            Stats.Meta_bytes.record_heartbeat meta ~bytes:heartbeat_wire_bytes;
+            Sim.Link.send t.bulk.(dc).(dst) ~size_bytes:heartbeat_wire_bytes (fun () ->
                 Proxy.on_heartbeat (Datacenter.proxy t.dcs.(dst)) ~src:dc floor)
+          end
         done)
       ~stop:(fun () -> t.stopped)
   done;

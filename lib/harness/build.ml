@@ -146,8 +146,14 @@ let baseline_hooks metrics =
         Metrics.on_visible metrics ~dc ~key ~origin_dc ~origin_time ~value);
   }
 
-let eventual ?series ?faults engine spec metrics =
-  let sys = Baselines.Eventual.create ?series engine (baseline_params spec) (baseline_hooks metrics) in
+let meta_of ?registry system =
+  Option.map (fun r -> Stats.Meta_bytes.create r ~system) registry
+
+let eventual ?registry ?series ?faults engine spec metrics =
+  let meta = meta_of ?registry "eventual" in
+  let sys =
+    Baselines.Eventual.create ?series ?meta engine (baseline_params spec) (baseline_hooks metrics)
+  in
   Option.iter (fun f -> Faults.Registry.bind_fabric f (Baselines.Eventual.fabric sys)) faults;
   {
     Api.name = "eventual";
@@ -174,8 +180,11 @@ let eventual ?series ?faults engine spec metrics =
     store_value = (fun ~dc ~key -> Baselines.Eventual.store_value sys ~dc ~key);
   }
 
-let gentlerain ?series engine spec metrics =
-  let sys = Baselines.Gentlerain.create ?series engine (baseline_params spec) (baseline_hooks metrics) in
+let gentlerain ?registry ?series engine spec metrics =
+  let meta = meta_of ?registry "gentlerain" in
+  let sys =
+    Baselines.Gentlerain.create ?series ?meta engine (baseline_params spec) (baseline_hooks metrics)
+  in
   {
     Api.name = "gentlerain";
     attach =
@@ -202,8 +211,11 @@ let gentlerain ?series engine spec metrics =
     store_value = (fun ~dc ~key -> Baselines.Gentlerain.store_value sys ~dc ~key);
   }
 
-let cure ?series engine spec metrics =
-  let sys = Baselines.Cure.create ?series engine (baseline_params spec) (baseline_hooks metrics) in
+let cure ?registry ?series engine spec metrics =
+  let meta = meta_of ?registry "cure" in
+  let sys =
+    Baselines.Cure.create ?series ?meta engine (baseline_params spec) (baseline_hooks metrics)
+  in
   {
     Api.name = "cure";
     attach =
@@ -229,9 +241,10 @@ let cure ?series engine spec metrics =
     store_value = (fun ~dc ~key -> Baselines.Cure.store_value sys ~dc ~key);
   }
 
-let cops ?series engine spec metrics ~prune_on_write =
+let cops ?registry ?series engine spec metrics ~prune_on_write =
+  let meta = meta_of ?registry "cops" in
   let sys =
-    Baselines.Cops.create ?series engine (baseline_params spec) (baseline_hooks metrics)
+    Baselines.Cops.create ?series ?meta engine (baseline_params spec) (baseline_hooks metrics)
       ~prune_on_write
   in
   let api =
@@ -262,8 +275,11 @@ let cops ?series engine spec metrics ~prune_on_write =
   in
   (api, sys)
 
-let orbe engine spec metrics =
-  let sys = Baselines.Orbe.create engine (baseline_params spec) (baseline_hooks metrics) in
+let orbe ?registry ?series engine spec metrics =
+  let meta = meta_of ?registry "orbe" in
+  let sys =
+    Baselines.Orbe.create ?series ?meta engine (baseline_params spec) (baseline_hooks metrics)
+  in
   let api =
     {
       Api.name = "orbe";
@@ -291,3 +307,81 @@ let orbe engine spec metrics =
     }
   in
   (api, sys)
+
+let eunomia ?registry ?series ?faults engine spec metrics =
+  let meta = meta_of ?registry "eunomia" in
+  let sys =
+    Baselines.Eunomia.create ?series ?meta engine (baseline_params spec) (baseline_hooks metrics)
+  in
+  Option.iter
+    (fun f ->
+      Faults.Registry.bind_fabric f (Baselines.Eunomia.fabric sys);
+      (* each per-DC sequencer registers as a crashable serializer: the
+         ser-crash scenario shape applies to Eunomia's single point of
+         order, with the backup takeover as the recovery path *)
+      Array.iteri
+        (fun dc site ->
+          Faults.Registry.register_serializer f
+            ~name:(Printf.sprintf "seq%d" dc)
+            ~site
+            ~crash_all:(fun () -> Baselines.Eunomia.sequencer_crash sys ~dc)
+            ~crash_replica:(fun _ -> Baselines.Eunomia.sequencer_crash sys ~dc)
+            ~down:(fun () -> Baselines.Eunomia.sequencer_down sys ~dc))
+        spec.dc_sites)
+    faults;
+  {
+    Api.name = "eunomia";
+    attach =
+      (fun c ~dc ~k ->
+        Baselines.Eunomia.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc
+          ~k:(fun () ->
+            c.Client.current_dc <- dc;
+            k ()));
+    read =
+      (fun c ~key ~k ->
+        Baselines.Eunomia.read sys ~client:c.Client.id ~home:c.Client.home_site
+          ~dc:c.Client.current_dc ~key ~k);
+    update =
+      (fun c ~key ~value ~k ->
+        Baselines.Eunomia.update sys ~client:c.Client.id ~home:c.Client.home_site
+          ~dc:c.Client.current_dc ~key ~value ~k);
+    migrate =
+      (fun c ~dest_dc ~k ->
+        Baselines.Eunomia.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc:dest_dc
+          ~k:(fun () ->
+            c.Client.current_dc <- dest_dc;
+            k ()));
+    stop = (fun () -> Baselines.Eunomia.stop sys);
+    store_value = (fun ~dc ~key -> Baselines.Eunomia.store_value sys ~dc ~key);
+  }
+
+let okapi ?registry ?series ?faults engine spec metrics =
+  let meta = meta_of ?registry "okapi" in
+  let sys =
+    Baselines.Okapi.create ?series ?meta engine (baseline_params spec) (baseline_hooks metrics)
+  in
+  Option.iter (fun f -> Faults.Registry.bind_fabric f (Baselines.Okapi.fabric sys)) faults;
+  {
+    Api.name = "okapi";
+    attach =
+      (fun c ~dc ~k ->
+        Baselines.Okapi.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc ~k:(fun () ->
+            c.Client.current_dc <- dc;
+            k ()));
+    read =
+      (fun c ~key ~k ->
+        Baselines.Okapi.read sys ~client:c.Client.id ~home:c.Client.home_site
+          ~dc:c.Client.current_dc ~key ~k);
+    update =
+      (fun c ~key ~value ~k ->
+        Baselines.Okapi.update sys ~client:c.Client.id ~home:c.Client.home_site
+          ~dc:c.Client.current_dc ~key ~value ~k);
+    migrate =
+      (fun c ~dest_dc ~k ->
+        Baselines.Okapi.attach sys ~client:c.Client.id ~home:c.Client.home_site ~dc:dest_dc
+          ~k:(fun () ->
+            c.Client.current_dc <- dest_dc;
+            k ()));
+    stop = (fun () -> Baselines.Okapi.stop sys);
+    store_value = (fun ~dc ~key -> Baselines.Okapi.store_value sys ~dc ~key);
+  }

@@ -50,19 +50,63 @@ val saturn_peer :
 (** The P-configuration: timestamp order only, no serializer tree. *)
 
 val eventual :
-  ?series:Stats.Series.t -> ?faults:Faults.Registry.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t
+  ?registry:Stats.Registry.t ->
+  ?series:Stats.Series.t ->
+  ?faults:Faults.Registry.t ->
+  Sim.Engine.t ->
+  spec ->
+  Metrics.t ->
+  Api.t
 (** [faults] receives the baseline's bulk links via
-    {!Faults.Registry.bind_fabric}. *)
+    {!Faults.Registry.bind_fabric}. For every baseline builder, [registry]
+    enables per-op metadata-byte accounting: the builder registers
+    [meta.bytes.<system>.*] counters via {!Stats.Meta_bytes}. *)
 
-val gentlerain : ?series:Stats.Series.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t
-val cure : ?series:Stats.Series.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t
+val gentlerain :
+  ?registry:Stats.Registry.t -> ?series:Stats.Series.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t
+
+val cure :
+  ?registry:Stats.Registry.t -> ?series:Stats.Series.t -> Sim.Engine.t -> spec -> Metrics.t -> Api.t
+
 val cops :
+  ?registry:Stats.Registry.t ->
   ?series:Stats.Series.t ->
   Sim.Engine.t ->
   spec ->
   Metrics.t ->
   prune_on_write:bool ->
   Api.t * Baselines.Cops.t
-val orbe : Sim.Engine.t -> spec -> Metrics.t -> Api.t * Baselines.Orbe.t
+
+val orbe :
+  ?registry:Stats.Registry.t ->
+  ?series:Stats.Series.t ->
+  Sim.Engine.t ->
+  spec ->
+  Metrics.t ->
+  Api.t * Baselines.Orbe.t
 (** Dependency-matrix explicit checking; sound under full replication only
     (see {!Baselines.Orbe}). *)
+
+val eunomia :
+  ?registry:Stats.Registry.t ->
+  ?series:Stats.Series.t ->
+  ?faults:Faults.Registry.t ->
+  Sim.Engine.t ->
+  spec ->
+  Metrics.t ->
+  Api.t
+(** Deferred update stabilization via per-DC sequencers. [faults] receives
+    the bulk links ({!Faults.Registry.bind_fabric}) plus one crashable
+    serializer per datacenter ([seq0], [seq1], …) mapping serializer-crash
+    plan events onto sequencer failover. *)
+
+val okapi :
+  ?registry:Stats.Registry.t ->
+  ?series:Stats.Series.t ->
+  ?faults:Faults.Registry.t ->
+  Sim.Engine.t ->
+  spec ->
+  Metrics.t ->
+  Api.t
+(** Hybrid vector/scalar stable time with a universal stability condition
+    (see {!Baselines.Okapi}). *)

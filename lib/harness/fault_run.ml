@@ -16,7 +16,7 @@ type outcome = {
   heal_at_us : int option;
 }
 
-let scenario_names = [ "ser-crash"; "partition"; "latency-spike" ]
+let scenario_names = [ "ser-crash"; "seq-crash"; "partition"; "latency-spike" ]
 
 let n_keys = 24
 let dc_sites = [| 0; 1; 2 |]
@@ -76,8 +76,16 @@ let plan_for ~scenario ~busiest freg system =
     (* head replica of the middle serializer: chain re-keys, the new head
        redelivers unconfirmed labels, dedup keeps commits exactly-once *)
     Plan.make [ { Plan.at = crash_at; action = Plan.Crash_replica { serializer = "ser1"; replica = 0 } } ]
-  | "ser-crash", `Eventual ->
-    (* no serializers to crash: the fault-free control *)
+  | "ser-crash", (`Eventual | `Eunomia | `Okapi) ->
+    (* no serializer tree to crash: the fault-free control *)
+    Plan.make []
+  | "seq-crash", `Eunomia ->
+    (* DC 1's sequencer crashes mid-stream, mirroring the ser-crash row:
+       local updates keep committing (the sequencer is off the client
+       path), remote visibility stalls until failover re-announces *)
+    Plan.make [ { Plan.at = crash_at; action = Plan.Crash_replica { serializer = "seq1"; replica = 0 } } ]
+  | "seq-crash", (`Saturn | `Eventual | `Okapi) ->
+    (* no per-DC sequencer in these systems: the fault-free control *)
     Plan.make []
   | "partition", `Saturn ->
     (* partition the metadata tree away from site 2; bulk data keeps
@@ -94,8 +102,8 @@ let plan_for ~scenario ~busiest freg system =
              { Plan.at = heal_at; action = Plan.Heal name };
            ])
          cut)
-  | "partition", `Eventual ->
-    (* the baseline replicates over the bulk links themselves *)
+  | "partition", (`Eventual | `Eunomia | `Okapi) ->
+    (* the baselines replicate over the bulk links themselves *)
     Plan.make
       [
         { Plan.at = fault_at; action = Plan.Partition [ 2 ] };
@@ -109,7 +117,7 @@ let plan_for ~scenario ~busiest freg system =
         { Plan.at = fault_at; action = Plan.Latency_factor { link; factor = spike_factor } };
         { Plan.at = heal_at; action = Plan.Latency_reset link };
       ]
-  | "latency-spike", `Eventual ->
+  | "latency-spike", (`Eventual | `Eunomia | `Okapi) ->
     (* the bulk link between the datacenters the busiest tree edge joins
        (serializer s serves datacenter s on the chain) *)
     let a, b = busiest in
@@ -158,6 +166,8 @@ let run_one ~seed ~scenario ~system ~busiest =
           match system with
           | `Saturn -> fst (Build.saturn ~registry ~series ~faults:freg engine spec metrics)
           | `Eventual -> Build.eventual ~series ~faults:freg engine spec metrics
+          | `Eunomia -> Build.eunomia ~series ~faults:freg engine spec metrics
+          | `Okapi -> Build.okapi ~series ~faults:freg engine spec metrics
         in
         let plan = plan_for ~scenario ~busiest freg system in
         let (_ : Faults.Injector.t) = Faults.Injector.arm ~registry engine freg plan in
@@ -193,7 +203,12 @@ let run_one ~seed ~scenario ~system ~busiest =
   let vis = Metrics.visibility metrics in
   {
     scenario;
-    system = (match system with `Saturn -> "saturn" | `Eventual -> "eventual");
+    system =
+      (match system with
+      | `Saturn -> "saturn"
+      | `Eventual -> "eventual"
+      | `Eunomia -> "eunomia"
+      | `Okapi -> "okapi");
     ops;
     vis_mean_ms = (if Stats.Sample.is_empty vis then 0. else Stats.Sample.mean vis);
     vis_p99_ms = (if Stats.Sample.is_empty vis then 0. else Stats.Sample.percentile vis 99.);
@@ -278,12 +293,25 @@ let print_timeline o =
     | None -> ()
   end
 
+(* one row per (scenario, system) pair that exercises something: every
+   scenario runs Saturn and the eventual control, the sequencer crash adds
+   the Eunomia row it was built for, and the partition adds an Okapi row
+   (its stabilization rounds must survive a cut bulk fabric) *)
+let matrix_rows =
+  [
+    ("ser-crash", `Saturn);
+    ("ser-crash", `Eventual);
+    ("seq-crash", `Eunomia);
+    ("partition", `Saturn);
+    ("partition", `Eventual);
+    ("partition", `Okapi);
+    ("latency-spike", `Saturn);
+    ("latency-spike", `Eventual);
+  ]
+
 let run_matrix ?(seed = 42) () =
   let busiest = busiest_edge ~seed in
-  List.concat_map
-    (fun scenario ->
-      List.map (fun system -> run_one ~seed ~scenario ~system ~busiest) [ `Saturn; `Eventual ])
-    scenario_names
+  List.map (fun (scenario, system) -> run_one ~seed ~scenario ~system ~busiest) matrix_rows
 
 let matrix_digest outcomes =
   Digest.to_hex (Digest.string (String.concat "," (List.map (fun o -> o.digest) outcomes)))

@@ -42,14 +42,20 @@ type outcome = {
 }
 
 val scenario_names : string list
-(** [["ser-crash"; "partition"; "latency-spike"]]. *)
+(** [["ser-crash"; "seq-crash"; "partition"; "latency-spike"]]. *)
 
 val run_matrix : ?seed:int -> unit -> outcome list
-(** Every scenario × {Saturn, eventual}, in a fixed order (default
-    seed 42). *)
+(** The fixed row set (default seed 42): every scenario for Saturn and the
+    eventual control, plus the rows the newcomers were added for — the
+    sequencer crash for Eunomia (mirroring the serializer-crash row) and
+    the partition for Okapi. *)
 
 val run_scenario :
-  ?seed:int -> scenario:string -> system:[ `Saturn | `Eventual ] -> unit -> outcome
+  ?seed:int ->
+  scenario:string ->
+  system:[ `Saturn | `Eventual | `Eunomia | `Okapi ] ->
+  unit ->
+  outcome
 (** One cell of the matrix (default seed 42). Only the latency-spike
     scenario pays for the fault-free pre-run that locates the busiest edge.
     @raise Invalid_argument on a name outside {!scenario_names}. *)

@@ -1,4 +1,4 @@
-type system = Saturn_sys | Saturn_peer | Eventual | Gentlerain | Cure
+type system = Saturn_sys | Saturn_peer | Eventual | Gentlerain | Cure | Eunomia | Okapi
 
 let system_name = function
   | Saturn_sys -> "Saturn"
@@ -6,8 +6,10 @@ let system_name = function
   | Eventual -> "Eventual"
   | Gentlerain -> "GentleRain"
   | Cure -> "Cure"
+  | Eunomia -> "Eunomia"
+  | Okapi -> "Okapi"
 
-let all_systems = [ Eventual; Saturn_sys; Gentlerain; Cure ]
+let all_systems = [ Eventual; Saturn_sys; Gentlerain; Eunomia; Okapi; Cure ]
 
 type setup = {
   n_dcs : int;
@@ -104,7 +106,7 @@ let run_with ?rmap system setup =
       (* Algorithm 3 is deterministic; memoize for repeated sweeps over the
          same deployment *)
       Some (if rmap_overridden then Build.solve_config spec else solved_config setup)
-    | None, (Saturn_peer | Eventual | Gentlerain | Cure) -> None
+    | None, (Saturn_peer | Eventual | Gentlerain | Cure | Eunomia | Okapi) -> None
   in
   let spec = { spec with Build.saturn_config } in
   let api =
@@ -114,6 +116,8 @@ let run_with ?rmap system setup =
     | Eventual -> Build.eventual engine spec metrics
     | Gentlerain -> Build.gentlerain engine spec metrics
     | Cure -> Build.cure engine spec metrics
+    | Eunomia -> Build.eunomia engine spec metrics
+    | Okapi -> Build.okapi engine spec metrics
   in
   let workload =
     Workload.Synthetic.create
@@ -214,6 +218,8 @@ let run_social system s =
     | Eventual -> Build.eventual engine spec metrics
     | Gentlerain -> Build.gentlerain engine spec metrics
     | Cure -> Build.cure engine spec metrics
+    | Eunomia -> Build.eunomia engine spec metrics
+    | Okapi -> Build.okapi engine spec metrics
   in
   let ops = Workload.Social_ops.create part ~value_size:s.value_size ~seed:(s.s_seed + 2) in
   (* sample active users per datacenter, keyed by master placement *)

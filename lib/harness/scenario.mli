@@ -2,11 +2,12 @@
     and the larger tests. One [setup] describes a deployment + workload;
     {!run} executes it for one system and returns the measurements. *)
 
-type system = Saturn_sys | Saturn_peer | Eventual | Gentlerain | Cure
+type system = Saturn_sys | Saturn_peer | Eventual | Gentlerain | Cure | Eunomia | Okapi
 
 val system_name : system -> string
 val all_systems : system list
-(** Eventual, Saturn, GentleRain, Cure — the lineup of Figures 5, 7, 8. *)
+(** Eventual, Saturn, GentleRain, Eunomia, Okapi, Cure — the Figures 5, 7, 8
+    lineup extended with the two follow-up protocols. *)
 
 type setup = {
   n_dcs : int;

@@ -1,0 +1,60 @@
+(** The stabilization shootout: every system — Saturn and the seven
+    baselines' worth of causal machinery plus the eventual control — on one
+    fixed deployment, measuring what each protocol's stabilization design
+    costs in metadata bytes and buys in visibility.
+
+    All systems share the three-site geography ({!Obs.topo3}), full
+    replication, the same synthetic workload and the same measurement
+    window. Saturn runs its {e star} configuration (one central serializer,
+    no serializer-to-serializer hops): the shootout compares metadata
+    {e volume}, and the star is the configuration where Saturn's per-label
+    cost is not inflated by tree relaying, mirroring the paper's
+    single-sequencer deployment point.
+
+    Every number is a pure function of the seed (simulated time
+    throughout), so the emitted JSON is byte-reproducible and CI both
+    double-runs it and gates it against the checked-in
+    [BENCH_shootout.json] with [saturn-cli bench-check]. *)
+
+type row = {
+  system : string;
+  ops : int;  (** client operations completed in the measurement window *)
+  throughput : float;  (** ops per simulated second *)
+  vis_mean_ms : float;  (** remote-update visibility latency, mean *)
+  vis_p50_ms : float;
+  vis_p99_ms : float;
+  attached_bytes : int;  (** causal metadata shipped with update payloads *)
+  stabilization_bytes : int;
+      (** dedicated stabilization traffic (sequencer announcements, matrix
+          row broadcasts) *)
+  heartbeat_bytes : int;  (** idle-channel heartbeats *)
+  bytes_per_op : float;
+      (** (attached + stabilization + heartbeat) / completed ops — the
+          headline metadata-cost figure *)
+}
+
+val systems : string list
+(** Fixed run order, cheapest metadata family first:
+    [eventual; gentlerain; eunomia; saturn; okapi; cure; orbe; cops]. *)
+
+val run : ?seed:int -> unit -> row list
+(** All systems, default seed 42. *)
+
+val run_system : ?seed:int -> string -> row
+(** One system by name. @raise Invalid_argument outside {!systems}. *)
+
+val ordering_violations : row list -> string list
+(** Checks the family ordering the metadata designs predict —
+    eventual < scalar (GentleRain, Eunomia, Saturn) < hybrid (Okapi)
+    < vector (Cure, Orbe) < dependency-list (COPS) — on [bytes_per_op];
+    every adjacent-family inversion, as a human-readable line. Empty means
+    the shootout reproduces the hierarchy. *)
+
+val print : row list -> unit
+(** The results table plus the ordering verdict, on stdout. *)
+
+val to_json : seed:int -> row list -> string
+(** The [saturn-bench-shootout/1] document: one ["tiers"] entry per
+    system, every field under ["det"] (there is no wall-clock section —
+    the whole run is simulated time), so [saturn-cli bench-check] gates
+    every field and a double run is byte-identical. *)

@@ -107,6 +107,112 @@ let test_eventual_attach_immediate () =
     let ms = Sim.Time.to_ms_float d in
     if ms > 75.0 then Alcotest.failf "eventual attach is just an RTT (74ms), got %.1f" ms
 
+let test_eunomia_visibility_gated_by_furthest () =
+  (* Eunomia's stable time is the min over every remote sequencer's
+     announced floor, so — like GentleRain's GST — visibility is gated by
+     the furthest datacenter, not the origin *)
+  let engine, dc_sites, spec, metrics = fixture ~n_dcs:4 () in
+  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:Sim.Time.infinity;
+  let api = Harness.Build.eunomia engine spec metrics in
+  let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c ~key:1 ~value:(v 1) ~k:(fun () -> ()));
+  Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  let s = Harness.Metrics.pair_visibility metrics ~origin:0 ~dest:1 in
+  Alcotest.(check int) "one observation" 1 (Stats.Sample.count s);
+  let lat = Stats.Sample.mean s in
+  if lat < 70.0 then
+    Alcotest.failf "Eunomia visibility must be gated by the furthest DC (>= ~74ms), got %.1f" lat
+
+let test_eunomia_attach_waits_for_stable_time () =
+  let engine, dc_sites, spec, metrics = fixture ~n_dcs:3 () in
+  let api = Harness.Build.eunomia engine spec metrics in
+  let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  let attached_at = ref None in
+  api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c ~key:1 ~value:(v 1) ~k:(fun () ->
+          let t0 = Sim.Engine.now engine in
+          api.Harness.Api.migrate c ~dest_dc:1 ~k:(fun () ->
+              attached_at := Some (Sim.Time.sub (Sim.Engine.now engine) t0))));
+  Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  match !attached_at with
+  | None -> Alcotest.fail "attach never completed"
+  | Some d ->
+    let ms = Sim.Time.to_ms_float d in
+    (* the destination's stable time must pass the fresh write's timestamp:
+       more than the plain 74ms RTT, like GentleRain *)
+    if ms < 74.0 then Alcotest.failf "Eunomia attach should include a stabilization wait, got %.1f" ms
+
+let test_eunomia_write_cheaper_than_gentlerain_visibility_equal () =
+  (* the point of Eunomia: local update latency stays near the eventual
+     baseline because stabilization happens off the client path *)
+  let run build =
+    let engine, dc_sites, spec, metrics = fixture ~n_dcs:3 () in
+    let api = build engine spec metrics in
+    let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+    let done_at = ref None in
+    api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
+        let t0 = Sim.Engine.now engine in
+        api.Harness.Api.update c ~key:1 ~value:(v 1) ~k:(fun () ->
+            done_at := Some (Sim.Time.sub (Sim.Engine.now engine) t0)));
+    Sim.Engine.run ~until:(Sim.Time.of_sec 1.) engine;
+    api.Harness.Api.stop ();
+    Sim.Engine.run engine;
+    match !done_at with
+    | None -> Alcotest.fail "update never completed"
+    | Some d -> Sim.Time.to_us d
+  in
+  let eunomia = run Harness.Build.eunomia in
+  let gentlerain = run Harness.Build.gentlerain in
+  if eunomia > gentlerain then
+    Alcotest.failf "Eunomia's write path (%dus) should not exceed GentleRain's (%dus)" eunomia
+      gentlerain
+
+let test_okapi_visibility_waits_for_ust () =
+  (* Okapi's universal stable time needs a stabilization round after the
+     payload lands, so visibility exceeds the bulk latency *)
+  let engine, dc_sites, spec, metrics = fixture ~n_dcs:3 () in
+  Harness.Metrics.set_window metrics ~start_at:Sim.Time.zero ~end_at:Sim.Time.infinity;
+  let api = Harness.Build.okapi engine spec metrics in
+  let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c ~key:1 ~value:(v 1) ~k:(fun () -> ()));
+  Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  let s = Harness.Metrics.pair_visibility metrics ~origin:0 ~dest:1 in
+  Alcotest.(check int) "one observation" 1 (Stats.Sample.count s);
+  let lat = Stats.Sample.mean s in
+  (* bulk NV->NC is 37ms; the UST must additionally carry every matrix
+     row's floor across the mesh before the update is exposed *)
+  if lat < 37.0 then
+    Alcotest.failf "Okapi visibility cannot beat the bulk latency, got %.1f" lat;
+  if lat < 40.0 then
+    Alcotest.failf "Okapi visibility should include a stabilization round, got %.1f" lat
+
+let test_okapi_attach_waits_for_ust () =
+  let engine, dc_sites, spec, metrics = fixture ~n_dcs:3 () in
+  let api = Harness.Build.okapi engine spec metrics in
+  let c = Harness.Client.create ~id:0 ~home_site:dc_sites.(0) ~preferred_dc:0 in
+  let attached_at = ref None in
+  api.Harness.Api.attach c ~dc:0 ~k:(fun () ->
+      api.Harness.Api.update c ~key:1 ~value:(v 1) ~k:(fun () ->
+          let t0 = Sim.Engine.now engine in
+          api.Harness.Api.migrate c ~dest_dc:1 ~k:(fun () ->
+              attached_at := Some (Sim.Time.sub (Sim.Engine.now engine) t0))));
+  Sim.Engine.run ~until:(Sim.Time.of_sec 2.) engine;
+  api.Harness.Api.stop ();
+  Sim.Engine.run engine;
+  match !attached_at with
+  | None -> Alcotest.fail "attach never completed"
+  | Some d ->
+    let ms = Sim.Time.to_ms_float d in
+    if ms < 74.0 then Alcotest.failf "Okapi attach should include a UST wait, got %.1f" ms
+
 let test_cops_dependency_growth () =
   (* pruning on: tiny contexts; pruning off (the only sound option under
      partial replication): contexts grow with the read history *)
@@ -218,6 +324,14 @@ let suite =
     Alcotest.test_case "cure: visibility near direct latency" `Quick test_cure_visibility_near_direct;
     Alcotest.test_case "gentlerain: attach waits for GST" `Quick test_gentlerain_attach_waits_for_gst;
     Alcotest.test_case "eventual: attach is immediate" `Quick test_eventual_attach_immediate;
+    Alcotest.test_case "eunomia: visibility gated by furthest DC" `Quick
+      test_eunomia_visibility_gated_by_furthest;
+    Alcotest.test_case "eunomia: attach waits for stable time" `Quick
+      test_eunomia_attach_waits_for_stable_time;
+    Alcotest.test_case "eunomia: write path no slower than GentleRain" `Quick
+      test_eunomia_write_cheaper_than_gentlerain_visibility_equal;
+    Alcotest.test_case "okapi: visibility waits for UST" `Quick test_okapi_visibility_waits_for_ust;
+    Alcotest.test_case "okapi: attach waits for UST" `Quick test_okapi_attach_waits_for_ust;
     Alcotest.test_case "cops: dependency metadata growth" `Quick test_cops_dependency_growth;
     Alcotest.test_case "cops: dependency checking order" `Quick test_cops_checks_dependencies;
     Alcotest.test_case "orbe: dependency-matrix order" `Quick test_orbe_dependency_order;

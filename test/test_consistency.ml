@@ -231,6 +231,8 @@ let suite =
   @ test_sys ~name:"saturn-peer" ~build:peer_build ~check_causality:true ()
   @ test_sys ~name:"gentlerain" ~build:Harness.Build.gentlerain ~check_causality:true ()
   @ test_sys ~name:"cure" ~build:Harness.Build.cure ~check_causality:true ()
+  @ test_sys ~name:"eunomia" ~build:Harness.Build.eunomia ~check_causality:true ()
+  @ test_sys ~name:"okapi" ~build:Harness.Build.okapi ~check_causality:true ()
   @ test_sys ~name:"orbe (full replication)" ~full_replication:true ~build:orbe_build
       ~check_causality:true ()
   @ test_sys ~name:"saturn + replica crashes" ~crash_replicas:true ~build:saturn_replicated_build

@@ -309,7 +309,7 @@ let prop_random_plan_exactly_once_fifo =
    covers recovery-time plumbing end to end *)
 let test_matrix_smoke () =
   let outcomes = Harness.Fault_run.run_matrix ~seed:7 () in
-  Alcotest.(check int) "six runs" 6 (List.length outcomes);
+  Alcotest.(check int) "eight runs" 8 (List.length outcomes);
   Alcotest.(check int) "no violations" 0 (Harness.Fault_run.violations outcomes);
   List.iter
     (fun (o : Harness.Fault_run.outcome) ->

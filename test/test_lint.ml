@@ -232,6 +232,28 @@ let d reg dc = Stats.Registry.counter reg (Printf.sprintf "dc%d.updates_originat
   let f = List.hd r.findings in
   Alcotest.(check int) "at the baseline line" 2 f.Lint.Rules.line
 
+let test_r4_meta_bytes_grammar () =
+  (* the Meta_bytes registration shape: per-system counters built with a
+     sprintf literal must glob to meta.bytes.*.<metric> and cover the
+     smoke baseline's per-system names *)
+  let sources =
+    [
+      ( "lib/a.ml",
+        {|let c reg system = Stats.Registry.counter reg (Printf.sprintf "meta.bytes.%s.attached" system)
+let h reg system =
+  Stats.Registry.histogram reg (Printf.sprintf "meta.bytes.%s.per_op" system) ~lo:0. ~hi:1. ~buckets:2
+|}
+      );
+    ]
+  in
+  let covered = "meta.bytes.saturn.attached 17\nmeta.bytes.okapi.per_op 3\n" in
+  let r = run ~baseline:("ci/smoke-counters.txt", covered) sources in
+  Alcotest.check slist "meta.bytes baseline names covered" [] (rules_of r);
+  let stale = "meta.bytes.saturn.heartbeat 12\n" in
+  let r = run ~baseline:("ci/smoke-counters.txt", stale) sources in
+  Alcotest.check slist "unregistered meta.bytes metric reported" [ Lint.Rules.r_counter ]
+    (rules_of r)
+
 let test_glob () =
   let m p s = Lint.Rules.matches ~pattern:p s in
   Alcotest.(check bool) "star spans" true (m "span.*.us" "span.label_walk.us");
@@ -337,6 +359,7 @@ let suite =
     Alcotest.test_case "R4 name grammar" `Quick test_r4_grammar;
     Alcotest.test_case "R4 series name prefix" `Quick test_r4_series_prefix;
     Alcotest.test_case "R4 baseline coverage" `Quick test_r4_baseline_coverage;
+    Alcotest.test_case "R4 meta.bytes grammar" `Quick test_r4_meta_bytes_grammar;
     Alcotest.test_case "glob matcher" `Quick test_glob;
     Alcotest.test_case "unused waiver reported" `Quick test_unused_waiver;
     Alcotest.test_case "bad waiver reported" `Quick test_bad_waiver;

@@ -89,6 +89,39 @@ let prop_histogram_percentile_in_range =
       let p = Stats.Histogram.percentile h 90. in
       p >= 0. && p <= 10.)
 
+let test_meta_bytes_tiling () =
+  (* the attached counter must tile the per-op histogram's total: every
+     recorded op contributes bytes x fanout to both, so the headline
+     bytes-per-op figure is consistent with the counter breakdown *)
+  let registry = Stats.Registry.create () in
+  let m = Stats.Meta_bytes.create registry ~system:"testsys" in
+  let ops = [ (12, 2); (12, 1); (0, 2); (24, 3); (17, 1) ] in
+  List.iter (fun (bytes, fanout) -> Stats.Meta_bytes.record_op m ~bytes ~fanout) ops;
+  let expected_attached = List.fold_left (fun a (b, f) -> a + (b * f)) 0 ops in
+  Alcotest.(check int) "attached tiles the ops" expected_attached (Stats.Meta_bytes.attached_bytes m);
+  Alcotest.(check int) "every op counted (zero-byte ones too)" (List.length ops)
+    (Stats.Meta_bytes.ops m);
+  let hist_total =
+    Stats.Histogram.mean (Stats.Meta_bytes.per_op_hist m)
+    *. float_of_int (Stats.Histogram.count (Stats.Meta_bytes.per_op_hist m))
+  in
+  Alcotest.(check (float 1e-6)) "histogram sum = attached counter"
+    (float_of_int expected_attached) hist_total;
+  Alcotest.(check (float 1e-6)) "attached per op"
+    (float_of_int expected_attached /. float_of_int (List.length ops))
+    (Stats.Meta_bytes.attached_per_op m);
+  Stats.Meta_bytes.record_stabilization m ~bytes:40;
+  Stats.Meta_bytes.record_heartbeat m ~bytes:12;
+  Stats.Meta_bytes.record_heartbeat m ~bytes:12;
+  Alcotest.(check int) "total = attached + stabilization + heartbeat"
+    (expected_attached + 40 + 24) (Stats.Meta_bytes.total_bytes m);
+  (* the counters land in the registry under the shared grammar *)
+  Alcotest.(check int) "registry counter view" expected_attached
+    (Stats.Registry.counter_value (Stats.Registry.counter registry "meta.bytes.testsys.attached"));
+  Alcotest.check_raises "negative bytes rejected"
+    (Invalid_argument "Meta_bytes.record_op: negative bytes or fanout") (fun () ->
+      Stats.Meta_bytes.record_op m ~bytes:(-1) ~fanout:1)
+
 let test_table_render () =
   let t = Stats.Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
   Stats.Table.add_row t [ "x"; "1" ];
@@ -112,5 +145,6 @@ let suite =
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     qtest prop_histogram_percentile_in_range;
+    Alcotest.test_case "meta-bytes accounting tiles per-op total" `Quick test_meta_bytes_tiling;
     Alcotest.test_case "table rendering" `Quick test_table_render;
   ]
