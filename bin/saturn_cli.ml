@@ -320,7 +320,8 @@ let obs_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.") in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
-           ~doc:"Write trace.jsonl and trace.digest under DIR.")
+           ~doc:"Write the artifact set (trace, decomposition table, series dumps, \
+                 reconfig.timeline.txt) under DIR.")
   in
   let spans =
     Arg.(value & flag & info [ "spans" ]
@@ -406,6 +407,11 @@ let bench_check_cmd =
 
 (* ---- series ------------------------------------------------------------------ *)
 
+(* the accepted scenario names and their help text come from the one list
+   in Harness.Fault_run, so the CLI can never drift from the matrix again *)
+let scenario_enum = List.map (fun s -> (s, s)) (Harness.Fault_run.scenario_names @ [ "smoke" ])
+let scenario_doc = String.concat "|" (List.map fst scenario_enum)
+
 let series_of_run ~scenario ~system ~seed =
   if String.equal scenario "smoke" then
     ((Harness.Obs.smoke ~seed ()).Harness.Obs.series, None)
@@ -436,6 +442,10 @@ let series scenario system seed csv json out check =
   in
   Option.iter (fun p -> write p (Stats.Series.to_csv sr)) csv;
   Option.iter (fun p -> write p (Stats.Series.to_json sr)) json;
+  (match (out, outcome) with
+  | Some dir, Some o ->
+    write (Filename.concat dir "timeline.txt") (Harness.Fault_run.timeline_string o)
+  | _ -> ());
   Printf.printf "series digest: %s (%d series x %d windows)\n" (Stats.Series.digest sr)
     (List.length (Stats.Series.names sr))
     (Stats.Series.n_windows sr);
@@ -453,15 +463,12 @@ let series scenario system seed csv json out check =
 let series_cmd =
   let doc =
     "Windowed telemetry timelines: run one scenario and print per-series sparklines (queue \
-     depths, apply throughput, visibility p99 per 50 sim-ms window), with the series-derived \
-     recovery point cross-checked against the drain-based recovery metric."
+     depths, apply throughput, visibility p99 per 50 sim-ms window) with fault/heal and \
+     epoch-switch marks, the series-derived recovery point cross-checked against the \
+     drain-based recovery metric."
   in
   let scenario =
-    Arg.(value
-         & opt (enum [ ("partition", "partition"); ("ser-crash", "ser-crash");
-                       ("seq-crash", "seq-crash");
-                       ("latency-spike", "latency-spike"); ("smoke", "smoke") ]) "partition"
-         & info [ "scenario" ] ~doc:"partition|ser-crash|seq-crash|latency-spike|smoke")
+    Arg.(value & opt (enum scenario_enum) "partition" & info [ "scenario" ] ~doc:scenario_doc)
   in
   let system =
     Arg.(value & opt (enum [ ("saturn", `Saturn); ("eventual", `Eventual);
@@ -479,7 +486,8 @@ let series_cmd =
   in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
-           ~doc:"Write series.csv and series.json under DIR (created if missing).")
+           ~doc:"Write series.csv, series.json and (for fault scenarios) timeline.txt under DIR \
+                 (created if missing).")
   in
   let check =
     Arg.(value & flag & info [ "check" ]
@@ -518,7 +526,8 @@ let faults seed check digest_out =
 let faults_cmd =
   let doc =
     "Run the fault-injection scenario matrix (serializer crash, transient partition, latency \
-     spike) for Saturn and the eventual baseline, check invariants, print recovery metrics."
+     spike, and the reconfig-* epoch-switch rows) for Saturn and the baselines, check \
+     invariants — including the cross-epoch ones — and print recovery metrics."
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.") in
   let check =

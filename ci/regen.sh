@@ -14,12 +14,31 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-dune build bin bench
+# Each baseline regenerates under step(), so a failure names the baseline
+# left stale instead of dying on an anonymous non-zero exit.
+step() {
+  local baseline=$1
+  shift
+  if ! "$@"; then
+    echo >&2
+    echo "regen.sh: FAILED regenerating $baseline" >&2
+    echo "hint: the checked-in $baseline is now STALE — fix the failure above" >&2
+    echo "      and re-run ci/regen.sh before committing, or CI's gate on" >&2
+    echo "      $baseline will compare against the old numbers." >&2
+    exit 1
+  fi
+}
 
-dune exec bin/saturn_cli.exe -- obs --counters-out ci/smoke-counters.txt > /dev/null
-dune exec bench/main.exe -- smoke --bench-out BENCH_smoke.json > /dev/null
-dune exec bench/main.exe -- engine --out BENCH_engine.json
-dune exec bench/main.exe -- shootout --out BENCH_shootout.json > /dev/null
+step "(build)" dune build bin bench
+
+step ci/smoke-counters.txt \
+  dune exec bin/saturn_cli.exe -- obs --counters-out ci/smoke-counters.txt > /dev/null
+step BENCH_smoke.json \
+  dune exec bench/main.exe -- smoke --bench-out BENCH_smoke.json > /dev/null
+step BENCH_engine.json \
+  dune exec bench/main.exe -- engine --out BENCH_engine.json
+step BENCH_shootout.json \
+  dune exec bench/main.exe -- shootout --out BENCH_shootout.json > /dev/null
 
 echo
 echo "regenerated baselines:"

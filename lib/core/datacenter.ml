@@ -154,7 +154,9 @@ let update t ~key ~value ~client_ts ~k =
           List.iter
             (fun dst ->
               if dst <> t.dc then
-                t.hooks.ship_payload ~dst { Proxy.label; value; origin_time })
+                (* epoch 0 placeholder: the ship hook stamps the system's
+                   current epoch on the way out *)
+                t.hooks.ship_payload ~dst { Proxy.label; value; origin_time; epoch = 0 })
             (Kvstore.Replica_map.replicas t.rmap ~key);
           Sink.offer t.sink label;
           k label))

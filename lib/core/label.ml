@@ -10,7 +10,16 @@ let update ~ts ~src_dc ~src_gear ~key = { ts; src_dc; src_gear; target = Update 
 let migration ~ts ~src_dc ~src_gear ~dest_dc =
   { ts; src_dc; src_gear; target = Migration { dest_dc } }
 
-let epoch_change ~ts ~src_dc ~epoch = { ts; src_dc; src_gear = 0; target = Epoch_change { epoch } }
+(* The epoch-change marker's src_gear: the maximum that fits [key_src]'s
+   20-bit gear field. No real gear index reaches it (gear counts are
+   partition counts, a few bits), so at equal ts the marker sorts after
+   every data label from its own datacenter under [compare_ts_src] — the
+   §6.2 requirement that the marker is the last label through the old
+   tree — and doubles as the marker's identity in the probe stream. *)
+let marker_gear = 0xFFFFF
+
+let epoch_change ~ts ~src_dc ~epoch =
+  { ts; src_dc; src_gear = marker_gear; target = Epoch_change { epoch } }
 
 let compare_target a b =
   let rank = function Update _ -> 0 | Migration _ -> 1 | Epoch_change _ -> 2 in

@@ -1,4 +1,9 @@
-type payload = { label : Label.t; value : Kvstore.Value.t; origin_time : Sim.Time.t }
+type payload = {
+  label : Label.t;
+  value : Kvstore.Value.t;
+  origin_time : Sim.Time.t;
+  epoch : int; (* configuration epoch at the origin when the shipment left *)
+}
 type mode = Stream | Fallback
 type state = Waiting | Applied
 type entry = { label : Label.t; mutable state : state }
@@ -21,6 +26,10 @@ type t = {
   applied_set : (Label.t, unit) Hashtbl.t;
   applied_wm : Sim.Time.t array; (* per-source applied watermark *)
   bulk_floor : Sim.Time.t array; (* per-source promise carried by bulk channel *)
+  bulk_epoch : int array; (* per-source highest epoch tag seen on bulk traffic *)
+  mutable old_pending : int;
+    (* during a forced switch: arrived-but-unapplied payloads shipped under
+       the outgoing epoch; completion waits for this to reach zero *)
   pending_by_src : Label.t Sim.Heap.Keyed.t array;
     (* payloads not yet applied, per source, keyed by (ts, src) *)
   label_waiters : (Label.t, (unit -> unit) list) Hashtbl.t;
@@ -29,6 +38,8 @@ type t = {
   next_buffer : Label.t Queue.t;
   mutable switch : switch_state option;
   mutable switch_done : bool;
+  mutable target_epoch : int; (* epoch being migrated into while a switch runs *)
+  mutable switch_done_hook : (unit -> unit) option;
   applied_counter : Stats.Registry.counter;
   fallback_counter : Stats.Registry.counter;
   apply_series : Stats.Series.counter option;
@@ -53,6 +64,8 @@ let create engine ~dc ~n_dcs ~stage_update ~install_update ?registry ?series ?(m
     applied_set = Hashtbl.create 256;
     applied_wm = Array.make n_dcs Sim.Time.zero;
     bulk_floor = Array.make n_dcs Sim.Time.zero;
+    bulk_epoch = Array.make n_dcs 0;
+    old_pending = 0;
     pending_by_src =
       (let dummy = Label.update ~ts:Sim.Time.zero ~src_dc:0 ~src_gear:0 ~key:0 in
        Array.init n_dcs (fun _ -> Sim.Heap.Keyed.create ~dummy ()));
@@ -62,6 +75,8 @@ let create engine ~dc ~n_dcs ~stage_update ~install_update ?registry ?series ?(m
     next_buffer = Queue.create ();
     switch = None;
     switch_done = false;
+    target_epoch = 0;
+    switch_done_hook = None;
     applied_counter = Stats.Registry.counter registry (Printf.sprintf "proxy.dc%d.applied_updates" dc);
     fallback_counter =
       Stats.Registry.counter registry (Printf.sprintf "proxy.dc%d.fallback_activations" dc);
@@ -179,6 +194,12 @@ let mark_applied t (label : Label.t) =
   if t.mode = Stream && Sim.Probe.active () then
     span_label ~at:(Sim.Engine.now t.engine) `End t label;
   Hashtbl.replace t.applied_set label ();
+  (match t.switch with
+  | Some Forced -> (
+    match Hashtbl.find_opt t.payloads label with
+    | Some p when p.epoch < t.target_epoch -> t.old_pending <- t.old_pending - 1
+    | Some _ | None -> ())
+  | Some (Graceful _) | None -> ());
   Hashtbl.remove t.payloads label;
   Hashtbl.remove t.staged label;
   (* any label from a source advances its watermark: sinks emit per-source
@@ -304,34 +325,32 @@ and check_switch_completion t =
   | Some (Graceful g) when Array.for_all Fun.id g.seen && t.stream.head = t.stream.tail ->
     complete_switch t
   | Some Forced ->
-    (match Queue.peek_opt t.next_buffer with
-    | None ->
-      (* nothing arrived through C2 yet; adopt once no in-flight C1-era
-         payload remains to be ordered by the fallback *)
-      if Hashtbl.length t.payloads = 0 then begin
-        if t.mode <> Stream then probe_mode t Stream;
-        t.mode <- Stream;
-        complete_switch t
-      end
-    | Some first ->
-      (* adopt C2 once its first label is stable in timestamp order *)
-      let stable = ref Sim.Time.infinity in
-      for src = 0 to t.n_dcs - 1 do
-        if src <> t.dc then stable := Sim.Time.min !stable (effective_watermark t ~src)
-      done;
-      let first_ready =
-        Hashtbl.mem t.applied_set first || Sim.Time.compare first.Label.ts !stable <= 0
-      in
-      if first_ready then begin
-        if t.mode <> Stream then probe_mode t Stream;
-        t.mode <- Stream;
-        complete_switch t
-      end)
+    (* C1-era traffic has drained when (a) every peer's bulk channel has
+       delivered a post-switch epoch tag — the channel is FIFO, so nothing
+       shipped before the switch is still in flight behind it — and (b)
+       every old-era payload that did arrive was applied by the
+       timestamp-order sweep.  Only then is adopting C2 safe: any label
+       the old tree can still deliver is already in [applied_set], and
+       each source's C2 timestamps lie above all its C1-era ones, so the
+       stream stays FIFO per origin across the epoch boundary. *)
+    let drained = ref (t.old_pending = 0) in
+    for src = 0 to t.n_dcs - 1 do
+      if src <> t.dc && t.bulk_epoch.(src) < t.target_epoch then drained := false
+    done;
+    if !drained then begin
+      if t.mode <> Stream then probe_mode t Stream;
+      t.mode <- Stream;
+      complete_switch t
+    end
   | Some (Graceful _) | None -> ()
 
 and complete_switch t =
   t.switch <- None;
   t.switch_done <- true;
+  if Sim.Probe.active () then
+    Sim.Probe.emit ~at:(Sim.Engine.now t.engine)
+      (Sim.Probe.Switch_done { dc = t.dc; epoch = t.target_epoch });
+  (match t.switch_done_hook with Some f -> f () | None -> ());
   let drained = ref [] in
   Queue.iter (fun l -> drained := l :: !drained) t.next_buffer;
   Queue.clear t.next_buffer;
@@ -410,7 +429,12 @@ let rec try_fallback t =
 let on_payload t (p : payload) =
   let src = p.label.Label.src_dc in
   t.bulk_floor.(src) <- Sim.Time.max t.bulk_floor.(src) p.label.Label.ts;
+  if p.epoch > t.bulk_epoch.(src) then t.bulk_epoch.(src) <- p.epoch;
   if not (Hashtbl.mem t.applied_set p.label) then begin
+    (match t.switch with
+    | Some Forced when p.epoch < t.target_epoch && not (Hashtbl.mem t.payloads p.label) ->
+      t.old_pending <- t.old_pending + 1
+    | Some Forced | Some (Graceful _) | None -> ());
     Hashtbl.replace t.payloads p.label p;
     Sim.Heap.Keyed.push t.pending_by_src.(src) ~k1:(Label.key_ts p.label)
       ~k2:(Label.key_src p.label) p.label;
@@ -433,8 +457,9 @@ let on_payload t (p : payload) =
   try_fallback t;
   check_switch_completion t
 
-let on_heartbeat t ~src ts =
+let on_heartbeat t ~src ?(epoch = 0) ts =
   t.bulk_floor.(src) <- Sim.Time.max t.bulk_floor.(src) ts;
+  if epoch > t.bulk_epoch.(src) then t.bulk_epoch.(src) <- epoch;
   check_ts_waiters t;
   try_fallback t;
   check_switch_completion t
@@ -476,13 +501,21 @@ let wait_for_ts t ts k = if ts_satisfied t ts then k () else t.ts_waiters <- (ts
 
 let on_label_next t label = if t.switch_done then on_label t label else Queue.push label t.next_buffer
 
+let on_switch_done t f = t.switch_done_hook <- Some f
+
 let start_graceful_switch t ~epoch =
   let seen = Array.make t.n_dcs false in
   seen.(t.dc) <- true;
+  t.target_epoch <- epoch;
   t.switch <- Some (Graceful { epoch; seen });
   check_switch_completion t
 
-let start_forced_switch t =
+let start_forced_switch t ~epoch =
+  t.target_epoch <- epoch;
+  t.old_pending <-
+    (* lint: allow unordered-iteration — counting commutes, the total is
+       order-independent *)
+    Hashtbl.fold (fun _ (p : payload) acc -> if p.epoch < epoch then acc + 1 else acc) t.payloads 0;
   t.switch <- Some Forced;
   if t.mode <> Fallback then probe_mode t Fallback;
   t.mode <- Fallback;

@@ -24,7 +24,16 @@
     The proxy also implements the attach stabilization conditions of
     Algorithm 1 and both online reconfiguration protocols of §6.2. *)
 
-type payload = { label : Label.t; value : Kvstore.Value.t; origin_time : Sim.Time.t }
+type payload = {
+  label : Label.t;
+  value : Kvstore.Value.t;
+  origin_time : Sim.Time.t;
+  epoch : int;
+      (** configuration epoch at the origin when the shipment left; stamped
+          by {!System}'s ship hook and used by the forced-switch drain
+          barrier (bulk channels are FIFO, so a post-switch tag from a
+          source proves all its pre-switch shipments have arrived) *)
+}
 
 type mode = Stream  (** follow Saturn's serialization *) | Fallback  (** timestamp order *)
 
@@ -65,9 +74,10 @@ val on_label : t -> Label.t -> unit
 val on_payload : t -> payload -> unit
 (** An update payload delivered by the bulk-data transfer service. *)
 
-val on_heartbeat : t -> src:int -> Sim.Time.t -> unit
+val on_heartbeat : t -> src:int -> ?epoch:int -> Sim.Time.t -> unit
 (** Bulk-channel heartbeat: origin [src] promises to never issue smaller
-    timestamps. *)
+    timestamps. [epoch] (default 0) is the origin's configuration epoch at
+    send time, feeding the same drain barrier as payload tags. *)
 
 val wait_for_label : t -> Label.t -> (unit -> unit) -> unit
 (** Attach with a migration label: fires once that label has been applied
@@ -94,11 +104,18 @@ val start_graceful_switch : t -> epoch:int -> unit
     epoch-change label must also be injected through the sink by the
     caller. *)
 
-val start_forced_switch : t -> unit
+val start_forced_switch : t -> epoch:int -> unit
 (** Slow protocol for a broken C1: apply updates in timestamp order and
-    adopt C2 once its first label is stable in timestamp order. *)
+    adopt C2 once the old epoch's traffic has drained — every peer's bulk
+    channel has carried a post-switch epoch tag and every old-era payload
+    that arrived has been applied by the timestamp-order sweep. *)
 
 val switch_complete : t -> bool
+
+val on_switch_done : t -> (unit -> unit) -> unit
+(** Optional hook fired the instant this proxy's migration completes — just
+    after the [Switch_done] probe event, before the buffered C2 labels are
+    replayed. {!System} uses it to close the dual-tree overlap window. *)
 
 val compact : t -> unit
 (** Prunes bookkeeping that can no longer matter: applied-label records

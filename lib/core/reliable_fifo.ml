@@ -27,8 +27,6 @@ type 'msg sender = {
 
 and 'msg route = { data : Sim.Link.t; ack : Sim.Link.t; dest : 'msg receiver }
 
-let sender_ids = ref 0
-
 let make_receiver r_engine ~deferred ~deliver =
   { r_engine; r_deliver = deliver; r_expected = Hashtbl.create 8; r_buffer = Hashtbl.create 8;
     r_confirmed = Hashtbl.create 8; r_unconfirmed = Hashtbl.create 8;
@@ -94,9 +92,11 @@ let receive recv ~sender_id ~seq msg ~send_ack =
     send_ack (expected' - 1)
 
 let sender s_engine ~resend_period =
-  incr sender_ids;
-  { s_engine; s_id = !sender_ids; resend_period; next_seq = 0; unacked = Queue.create ();
-    route = None; stopped = false; timer_running = false }
+  (* engine-scoped, not process-global: the id reaches the probe stream
+     via [Fifo_resend], and a global counter would make a second
+     same-seed run in the same process digest differently *)
+  { s_engine; s_id = Sim.Engine.fresh_id s_engine; resend_period; next_seq = 0;
+    unacked = Queue.create (); route = None; stopped = false; timer_running = false }
 
 let unacked s = Queue.length s.unacked
 

@@ -43,8 +43,9 @@ let route t s msg =
   let origin, oseq = msg.uid in
   if Sim.Probe.active () then begin
     let at = Sim.Engine.now t.engine in
-    Sim.Probe.emit ~at (Sim.Probe.Ser_commit { ser = s; origin; oseq });
+    Sim.Probe.emit ~at (Sim.Probe.Ser_commit { ser = s; origin; oseq; epoch = t.instance });
     Sim.Span.end_ ~at Sim.Span.Sk_chain ~origin ~seq:oseq ~aux:t.instance ~site:s
+      ~epoch:t.instance
   end;
   let tree = Config.tree t.config in
   let local = List.filter (fun dc -> List.mem dc (Tree.dcs_at tree s)) msg.targets in
@@ -57,7 +58,7 @@ let route t s msg =
         probe_delay t s delta;
         if positive delta then
           Sim.Span.begin_ ~at Sim.Span.Sk_delay_egress ~origin ~seq:oseq ~aux:t.instance ~site:s
-            ~peer:dc
+            ~peer:dc ~epoch:t.instance
       end;
       let sender =
         match t.dc_out_senders.(dc) with Some snd -> snd | None -> assert false
@@ -67,10 +68,11 @@ let route t s msg =
             let at = Sim.Engine.now t.engine in
             if positive delta then
               Sim.Span.end_ ~at Sim.Span.Sk_delay_egress ~origin ~seq:oseq ~aux:t.instance ~site:s
-                ~peer:dc;
+                ~peer:dc ~epoch:t.instance;
             let l = msg.label in
             Sim.Span.begin_ ~at Sim.Span.Sk_egress ~origin:l.Label.src_dc
               ~seq:(Sim.Time.to_us l.Label.ts) ~aux:l.Label.src_gear ~site:s ~peer:dc
+              ~epoch:t.instance
           end;
           Reliable_fifo.send sender ~size_bytes:Label.size_bytes msg.label))
     local;
@@ -86,7 +88,7 @@ let route t s msg =
           probe_delay t s delta;
           if positive delta then
             Sim.Span.begin_ ~at Sim.Span.Sk_delay_hop ~origin ~seq:oseq ~aux:t.instance ~site:s
-              ~peer:b
+              ~peer:b ~epoch:t.instance
         end;
         let sender =
           match t.edge_senders.(s).(b) with Some snd -> snd | None -> assert false
@@ -97,8 +99,9 @@ let route t s msg =
               let at = Sim.Engine.now t.engine in
               if positive delta then
                 Sim.Span.end_ ~at Sim.Span.Sk_delay_hop ~origin ~seq:oseq ~aux:t.instance ~site:s
-                  ~peer:b;
+                  ~peer:b ~epoch:t.instance;
               Sim.Span.begin_ ~at Sim.Span.Sk_hop ~origin ~seq:oseq ~aux:t.instance ~site:s ~peer:b
+                ~epoch:t.instance
             end;
             Reliable_fifo.send sender ~size_bytes:Label.size_bytes forwarded)
       end)
@@ -161,9 +164,14 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
         let origin, oseq = msg.uid in
         let at = Sim.Engine.now engine in
         (match from with
-        | `Dc dc -> Sim.Span.end_ ~at Sim.Span.Sk_attach ~origin ~seq:oseq ~aux:instance ~site:dc ~peer:s
-        | `Ser x -> Sim.Span.end_ ~at Sim.Span.Sk_hop ~origin ~seq:oseq ~aux:instance ~site:x ~peer:s);
+        | `Dc dc ->
+          Sim.Span.end_ ~at Sim.Span.Sk_attach ~origin ~seq:oseq ~aux:instance ~site:dc ~peer:s
+            ~epoch:instance
+        | `Ser x ->
+          Sim.Span.end_ ~at Sim.Span.Sk_hop ~origin ~seq:oseq ~aux:instance ~site:x ~peer:s
+            ~epoch:instance);
         Sim.Span.begin_ ~at Sim.Span.Sk_chain ~origin ~seq:oseq ~aux:instance ~site:s
+          ~epoch:instance
       end;
       (match ser_ingress.(s) with
       | Some c -> Stats.Series.incr c ~now:(Sim.Engine.now engine)
@@ -222,7 +230,7 @@ let create engine ~topo ~config ~interest ~deliver ?(serializer_replicas = 1)
               if Sim.Probe.active () then
                 Sim.Span.end_ ~at:(Sim.Engine.now engine) Sim.Span.Sk_egress
                   ~origin:label.Label.src_dc ~seq:(Sim.Time.to_us label.Label.ts)
-                  ~aux:label.Label.src_gear ~site:s ~peer:dc;
+                  ~aux:label.Label.src_gear ~site:s ~peer:dc ~epoch:instance;
               deliver ~dc label)
         in
         Reliable_fifo.connect out_sender ~data:out_data ~ack:out_ack out_recv;
@@ -279,9 +287,10 @@ let input t ~dc label =
     Sim.Probe.emit ~at
       (Sim.Probe.Label_forward
          { dc; gear = label.Label.src_gear; ts = Sim.Time.to_us label.Label.ts; oseq;
-           inst = t.instance });
+           inst = t.instance; epoch = t.instance });
     if oseq >= 0 then
       Sim.Span.begin_ ~at Sim.Span.Sk_attach ~origin:dc ~seq:oseq ~aux:t.instance ~site:dc
+        ~epoch:t.instance
         ~peer:(Tree.serializer_of (Config.tree t.config) ~dc)
   end;
   if targets <> [] then begin

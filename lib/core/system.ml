@@ -48,12 +48,21 @@ type t = {
   routes : route array; (* per-dc: which tree the sink currently feeds *)
   mutable epoch : int;
   mutable stopped : bool;
+  (* reconfiguration observability: the dual-tree overlap window is open
+     from [switch_config] until the last proxy completes its migration *)
+  mutable switch_at : Sim.Time.t option;
+  mutable switch_pending_dcs : int;
+  switches_counter : Stats.Registry.counter;
+  labels_old_counter : Stats.Registry.counter;
+  labels_new_counter : Stats.Registry.counter;
+  dual_window_counter : Stats.Registry.counter;
 }
 
 let n_dcs t = Array.length t.dcs
 let engine t = t.engine
 let datacenter t i = t.dcs.(i)
 let service t = t.service
+let next_service t = t.next_service
 let params t = t.p
 
 let bulk_link t ~src ~dst =
@@ -72,14 +81,21 @@ let deliver_next t ~dc label = Proxy.on_label_next (Datacenter.proxy t.dcs.(dc))
 let route_label t dc label =
   let route = t.routes.(dc) in
   let input service = Service.input service ~dc label in
-  (if route.to_next then Option.iter input t.next_service
-   else Option.iter input t.service);
+  let in_dual_window = t.switch_at <> None && t.switch_pending_dcs > 0 in
+  (if route.to_next then begin
+     if in_dual_window then Stats.Registry.incr t.labels_new_counter;
+     Option.iter input t.next_service
+   end
+   else begin
+     if in_dual_window then Stats.Registry.incr t.labels_old_counter;
+     Option.iter input t.service
+   end);
   (* the epoch-change marker is the last label through the old tree *)
   match route.marker with
   | Some m when Label.equal m label -> route.to_next <- true
   | Some _ | None -> ()
 
-let heartbeat_wire_bytes = 12 (* floor ts (8) + src dc (4) *)
+let heartbeat_wire_bytes = 12 (* floor ts (8) + src dc (2) + epoch tag (2) *)
 
 let create ?registry ?series engine p hooks =
   let registry = match registry with Some r -> r | None -> Stats.Registry.create () in
@@ -112,6 +128,12 @@ let create ?registry ?series engine p hooks =
       routes = Array.init n (fun _ -> { to_next = false; marker = None });
       epoch = 0;
       stopped = false;
+      switch_at = None;
+      switch_pending_dcs = 0;
+      switches_counter = Stats.Registry.counter registry "reconfig.switches";
+      labels_old_counter = Stats.Registry.counter registry "reconfig.labels_old_tree";
+      labels_new_counter = Stats.Registry.counter registry "reconfig.labels_new_tree";
+      dual_window_counter = Stats.Registry.counter registry "reconfig.dual_window_us";
     }
   in
   t.dcs <-
@@ -120,6 +142,10 @@ let create ?registry ?series engine p hooks =
           {
             Datacenter.ship_payload =
               (fun ~dst payload ->
+                (* stamp the sender's epoch at SEND time: the drain barrier
+                   relies on per-channel FIFO, so a tag read at delivery
+                   time would claim too much *)
+                let payload = { payload with Proxy.epoch = t.epoch } in
                 let size = payload.Proxy.value.Kvstore.Value.size_bytes + Label.size_bytes in
                 Stats.Meta_bytes.record_op meta ~bytes:Label.size_bytes ~fanout:1;
                 if Sim.Probe.active () then begin
@@ -165,6 +191,10 @@ let create ?registry ?series engine p hooks =
     Stats.Series.sample sr "series.link.bulk.in_flight" (fun () ->
         float_of_int
           (List.fold_left (fun acc l -> acc + Sim.Link.in_flight_count l) 0 bulk_links));
+    (* dual-tree overlap: 1 while a reconfiguration is migrating (both trees
+       carry traffic), 0 at steady state *)
+    Stats.Series.sample sr "series.reconfig.dual_tree" (fun () ->
+        if t.switch_at <> None && t.switch_pending_dcs > 0 then 1.0 else 0.0);
     (* drive the sampling clock: ticks only read state and emit no probe
        events, so the trace digest is unchanged by instrumentation *)
     Sim.Engine.periodic engine ~every:(Stats.Series.tick_period sr)
@@ -178,11 +208,13 @@ let create ?registry ?series engine p hooks =
     Sim.Engine.periodic engine ~every:p.cost.Cost_model.heartbeat_period
       (fun () ->
         let floor = Datacenter.gear_floor t.dcs.(dc) in
+        let epoch = t.epoch in
+        (* captured at send time, like payload tags *)
         for dst = 0 to n - 1 do
           if dst <> dc then begin
             Stats.Meta_bytes.record_heartbeat meta ~bytes:heartbeat_wire_bytes;
             Sim.Link.send t.bulk.(dc).(dst) ~size_bytes:heartbeat_wire_bytes (fun () ->
-                Proxy.on_heartbeat (Datacenter.proxy t.dcs.(dst)) ~src:dc floor)
+                Proxy.on_heartbeat (Datacenter.proxy t.dcs.(dst)) ~src:dc ~epoch floor)
           end
         done)
       ~stop:(fun () -> t.stopped)
@@ -256,6 +288,11 @@ let migrate t client ~dest_dc ~k =
 let switch_config t config2 ~graceful =
   t.epoch <- t.epoch + 1;
   let epoch = t.epoch in
+  let now = Sim.Engine.now t.engine in
+  Stats.Registry.incr t.switches_counter;
+  t.switch_at <- Some now;
+  t.switch_pending_dcs <- Array.length t.dcs;
+  if Sim.Probe.active () then Sim.Probe.emit ~at:now (Sim.Probe.Switch_begin { epoch; graceful });
   let service2 =
     Service.create t.engine ~topo:t.p.topo ~config:config2 ~interest:(interest_of t.p)
       ~deliver:(fun ~dc label -> deliver_next t ~dc label)
@@ -266,6 +303,15 @@ let switch_config t config2 ~graceful =
   Array.iteri
     (fun dc dcx ->
       let proxy = Datacenter.proxy dcx in
+      (* close the dual-tree window when the last proxy finishes migrating *)
+      Proxy.on_switch_done proxy (fun () ->
+          t.switch_pending_dcs <- t.switch_pending_dcs - 1;
+          if t.switch_pending_dcs = 0 then
+            match t.switch_at with
+            | Some t0 ->
+              let dual_us = Sim.Time.to_us (Sim.Engine.now t.engine) - Sim.Time.to_us t0 in
+              Stats.Registry.incr ~by:dual_us t.dual_window_counter
+            | None -> ());
       if graceful then begin
         Proxy.start_graceful_switch proxy ~epoch;
         (* inject the epoch-change marker through the old tree; labels the
@@ -274,7 +320,7 @@ let switch_config t config2 ~graceful =
         t.routes.(dc).marker <- Some marker
       end
       else begin
-        Proxy.start_forced_switch proxy;
+        Proxy.start_forced_switch proxy ~epoch;
         t.routes.(dc).to_next <- true
       end)
     t.dcs

@@ -61,6 +61,11 @@ val datacenter : t -> int -> Datacenter.t
 val service : t -> Service.t option
 (** [None] in peer mode. *)
 
+val next_service : t -> Service.t option
+(** The epoch-2 tree installed by {!switch_config}; [None] before a switch.
+    Fault registries bind its serializers and links so faults compose with
+    the migration window. *)
+
 val bulk_link : t -> src:int -> dst:int -> Sim.Link.t
 (** The directed bulk-data link between two datacenters — the handle a
     fault registry cuts, heals and degrades.
@@ -94,7 +99,14 @@ val switch_config : t -> Config.t -> graceful:bool -> unit
     through the old tree; [graceful = false] runs the fallback protocol for
     a broken old tree (timestamp order during the transition). One switch
     per system lifetime is supported — the paper's reconfigurations are
-    rare, operator-triggered events; chain further switches by rebuilding. *)
+    rare, operator-triggered events; chain further switches by rebuilding.
+
+    Observability: emits a [Switch_begin] probe event (each proxy emits
+    [Switch_done] as it finishes), bumps [reconfig.switches], counts labels
+    routed into either tree during the migration window under
+    [reconfig.labels_old_tree] / [reconfig.labels_new_tree], accumulates the
+    window's length in [reconfig.dual_window_us], and (with a series) holds
+    the [series.reconfig.dual_tree] gauge at 1 for the window's duration. *)
 
 val switch_complete : t -> bool
 

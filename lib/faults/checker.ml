@@ -8,6 +8,7 @@ type report = {
   drops_down : int;
   head_changes : int;
   fallback_activations : int;
+  switches : int;
 }
 
 let analyze probe =
@@ -16,24 +17,47 @@ let analyze probe =
     invalid_arg "Faults.Checker.analyze: probe was created with ~keep:false";
   let violations = ref [] in
   let flag at what = violations := { at; what } :: !violations in
-  (* (serializer, origin) -> last committed per-origin seq *)
-  let commit_seq : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* (epoch, serializer, origin) -> last committed per-origin seq; epoch-2
+     serializer ids and per-origin uid counters both restart at 0, so the
+     exactly-once/FIFO key must carry the epoch to stay collision-free
+     across the migration window *)
+  let commit_seq : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
   (* dc -> last sink-emitted ts *)
   let sink_ts : (int, int) Hashtbl.t = Hashtbl.create 8 in
   (* (dc, src_dc) -> last applied ts *)
   let apply_ts : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* (dc, src_dc, ts, gear) -> () — old/new tree races must not install one
+     label twice *)
+  let applied : (int * int * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* origin dc -> highest tree epoch its labels have entered: a sink never
+     routes back into an older tree *)
+  let route_epoch : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* origin dc -> (epoch the marker closed, marker oseq): the epoch-change
+     marker must be the last label the origin pushed through the old tree *)
+  let marker_oseq : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let check_marker_last at ~what ~origin ~oseq ~epoch =
+    match Hashtbl.find_opt marker_oseq origin with
+    | Some (closed_epoch, mseq) when epoch = closed_epoch && oseq > mseq ->
+      flag at
+        (Printf.sprintf
+           "epoch-%d %s after marker: origin dc%d seq %d follows epoch-change marker seq %d"
+           epoch what origin oseq mseq)
+    | _ -> ()
+  in
   let commits = ref 0
   and resends = ref 0
   and drops_cut = ref 0
   and drops_down = ref 0
   and head_changes = ref 0
-  and fallbacks = ref 0 in
+  and fallbacks = ref 0
+  and switches = ref 0 in
   List.iter
     (fun (at, ev) ->
       match (ev : Sim.Probe.event) with
-      | Sim.Probe.Ser_commit { ser; origin; oseq } ->
+      | Sim.Probe.Ser_commit { ser; origin; oseq; epoch } ->
         incr commits;
-        (match Hashtbl.find_opt commit_seq (ser, origin) with
+        check_marker_last at ~what:"commit" ~origin ~oseq ~epoch;
+        (match Hashtbl.find_opt commit_seq (epoch, ser, origin) with
         | Some prev when oseq = prev ->
           flag at
             (Printf.sprintf "duplicate commit at ser%d: origin dc%d seq %d committed twice" ser
@@ -42,15 +66,35 @@ let analyze probe =
           flag at
             (Printf.sprintf "FIFO violation at ser%d: origin dc%d seq %d after seq %d" ser origin
                oseq prev)
-        | _ -> Hashtbl.replace commit_seq (ser, origin) oseq)
+        | _ -> Hashtbl.replace commit_seq (epoch, ser, origin) oseq)
+      | Sim.Probe.Label_forward { dc; gear; ts = _; oseq; inst = _; epoch } ->
+        (match Hashtbl.find_opt route_epoch dc with
+        | Some max_e when epoch < max_e ->
+          flag at
+            (Printf.sprintf "route regression at dc%d: label entered epoch-%d tree after epoch-%d"
+               dc epoch max_e)
+        | Some max_e when epoch > max_e -> Hashtbl.replace route_epoch dc epoch
+        | Some _ -> ()
+        | None -> Hashtbl.replace route_epoch dc epoch);
+        if gear = Saturn.Label.marker_gear then begin
+          if Hashtbl.mem marker_oseq dc then
+            flag at (Printf.sprintf "duplicate epoch-change marker from origin dc%d" dc)
+          else Hashtbl.replace marker_oseq dc (epoch, oseq)
+        end
+        else if oseq >= 0 then check_marker_last at ~what:"forward" ~origin:dc ~oseq ~epoch
       | Sim.Probe.Sink_emit { dc; ts } ->
         (match Hashtbl.find_opt sink_ts dc with
         | Some prev when ts < prev ->
           flag at (Printf.sprintf "sink order violation at dc%d: ts %d after ts %d" dc ts prev)
         | _ -> ());
         Hashtbl.replace sink_ts dc ts
-      | Sim.Probe.Proxy_apply { dc; src_dc; ts; gear = _; fallback = _ } -> (
-        match Hashtbl.find_opt apply_ts (dc, src_dc) with
+      | Sim.Probe.Proxy_apply { dc; src_dc; ts; gear; fallback = _ } ->
+        if Hashtbl.mem applied (dc, src_dc, ts, gear) then
+          flag at
+            (Printf.sprintf "duplicate apply at dc%d: label (src dc%d, ts %d, gear %d) installed twice"
+               dc src_dc ts gear)
+        else Hashtbl.replace applied (dc, src_dc, ts, gear) ();
+        (match Hashtbl.find_opt apply_ts (dc, src_dc) with
         | Some prev when ts <= prev ->
           flag at
             (Printf.sprintf "proxy order violation at dc%d: src dc%d ts %d after ts %d" dc src_dc
@@ -60,6 +104,7 @@ let analyze probe =
       | Sim.Probe.Link_drop { in_flight } -> if in_flight then incr drops_cut else incr drops_down
       | Sim.Probe.Head_change _ -> incr head_changes
       | Sim.Probe.Proxy_mode { mode = Sim.Probe.Fallback; _ } -> incr fallbacks
+      | Sim.Probe.Switch_begin _ -> incr switches
       | _ -> ())
     events;
   {
@@ -70,14 +115,15 @@ let analyze probe =
     drops_down = !drops_down;
     head_changes = !head_changes;
     fallback_activations = !fallbacks;
+    switches = !switches;
   }
 
 let ok r = r.violations = []
 
 let pp fmt r =
   Format.fprintf fmt
-    "@[<v>commits=%d resends=%d drops(cut)=%d drops(down)=%d head-changes=%d fallbacks=%d@," r.commits
-    r.resends r.drops_cut r.drops_down r.head_changes r.fallback_activations;
+    "@[<v>commits=%d resends=%d drops(cut)=%d drops(down)=%d head-changes=%d fallbacks=%d switches=%d@,"
+    r.commits r.resends r.drops_cut r.drops_down r.head_changes r.fallback_activations r.switches;
   (match r.violations with
   | [] -> Format.fprintf fmt "invariants: OK"
   | vs ->

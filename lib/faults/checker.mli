@@ -16,10 +16,25 @@
       datacenter in strictly increasing timestamp order ([Proxy_apply]),
       whichever path (stream or fallback) ordered them.
 
+    The invariants hold {e across} an online reconfiguration (§6.2):
+    exactly-once/FIFO is keyed per tree epoch (epoch-2 serializer ids and
+    per-origin uid counters restart at 0), and the migration window adds
+    its own checks —
+
+    - {b Route monotonicity}: once an origin's sink routes into the new
+      tree, none of its labels re-enter an older one ([Label_forward]
+      epochs are non-decreasing per origin).
+    - {b Marker last}: the epoch-change marker (identified by
+      [Saturn.Label.marker_gear]) is the last label its origin pushed
+      through the old tree — no old-epoch forward or commit carries a
+      per-origin seq above the marker's, and no origin emits two markers.
+    - {b No duplicate apply}: a label is installed at most once per
+      datacenter, whichever tree (or the fallback) raced to order it.
+
     Violations carry the event's time and a description; a clean faulted
     run reports none. The report also folds the stream into the fault
     counters the bench prints (retransmissions, drops by reason, head
-    changes, fallback activations). *)
+    changes, fallback activations, reconfiguration switches). *)
 
 type violation = { at : Sim.Time.t; what : string }
 
@@ -31,6 +46,7 @@ type report = {
   drops_down : int;  (** messages sent into a down link *)
   head_changes : int;
   fallback_activations : int;  (** proxy switches into fallback mode *)
+  switches : int;  (** [Switch_begin] events — online reconfigurations *)
 }
 
 val analyze : Sim.Probe.t -> report

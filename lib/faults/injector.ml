@@ -1,8 +1,14 @@
 type t = { plan : Plan.t; mutable applied : int }
 
 let validate reg plan =
-  let check_link l = ignore (Registry.link reg l) in
-  let check_ser s = ignore (Registry.serializer_down reg s) in
+  (* epoch-2 names ("e2.…") only come into existence when the plan's
+     Switch_config fires mid-run, so their validation is deferred to fire
+     time (the Registry lookups still fail loudly there); everything else
+     is validated eagerly, before the run spends any simulated time *)
+  let switch_seen = ref false in
+  let deferred name = !switch_seen && String.length name > 3 && String.sub name 0 3 = "e2." in
+  let check_link l = if not (deferred l) then ignore (Registry.link reg l) in
+  let check_ser s = if not (deferred s) then ignore (Registry.serializer_down reg s) in
   List.iter
     (fun (e : Plan.event) ->
       match e.action with
@@ -15,6 +21,12 @@ let validate reg plan =
       | Plan.Clock_bump { clock; skew_us = _ } ->
         if not (List.mem clock (Registry.clock_names reg)) then
           invalid_arg (Printf.sprintf "Faults.Injector: unknown clock %S" clock)
+      | Plan.Switch_config _ ->
+        if not (Registry.can_switch reg) then
+          invalid_arg "Faults.Injector: switch-config needs a reconfigurable (Saturn) system";
+        if !switch_seen then
+          invalid_arg "Faults.Injector: at most one switch-config per plan (one switch per system)";
+        switch_seen := true
       | Plan.Partition _ | Plan.Heal_partition _ -> ())
     (Plan.events plan)
 
@@ -32,7 +44,8 @@ let arm ?registry engine reg plan =
   and heals = counter "heals"
   and crashes = counter "crashes"
   and spikes = counter "latency_spikes"
-  and bumps = counter "clock_bumps" in
+  and bumps = counter "clock_bumps"
+  and switches = counter "switches" in
   let bump = function Some c -> Stats.Registry.incr c | None -> () in
   let t = { plan; applied = 0 } in
   let apply (action : Plan.action) =
@@ -69,7 +82,10 @@ let arm ?registry engine reg plan =
       Sim.Link.set_latency (Registry.link reg link) (Registry.base_latency reg link)
     | Plan.Clock_bump { clock; skew_us } ->
       Registry.bump_clock reg clock (Sim.Time.of_us skew_us);
-      bump bumps);
+      bump bumps
+    | Plan.Switch_config { graceful; config } ->
+      Registry.switch_config reg ~graceful config;
+      bump switches);
     t.applied <- t.applied + 1
   in
   List.iter

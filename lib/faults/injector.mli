@@ -10,7 +10,11 @@ type t
 
 val arm : ?registry:Stats.Registry.t -> Sim.Engine.t -> Registry.t -> Plan.t -> t
 (** Validates eagerly: every name the plan mentions must already be
-    registered, so a typo fails at arm time, not mid-run.
+    registered, so a typo fails at arm time, not mid-run. Exception:
+    [e2.]-prefixed names appearing after a [Switch_config] event refer to
+    the epoch-2 tree that only exists once the switch fires, so they are
+    validated at fire time instead. A [Switch_config] itself requires a
+    reconfigurable (Saturn, non-peer) system, at most once per plan.
     @raise Invalid_argument on an unknown name. *)
 
 val last_heal_time : t -> Sim.Time.t option

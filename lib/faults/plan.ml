@@ -8,6 +8,7 @@ type action =
   | Latency_factor of { link : string; factor : float }
   | Latency_reset of string
   | Clock_bump of { clock : string; skew_us : int }
+  | Switch_config of { graceful : bool; config : Saturn.Config.t }
 
 type event = { at : Sim.Time.t; action : action }
 type t = { events : event list }
@@ -20,7 +21,8 @@ let is_empty t = t.events = []
 
 let restorative = function
   | Heal _ | Heal_partition _ | Latency_reset _ -> true
-  | Cut _ | Partition _ | Crash_serializer _ | Crash_replica _ | Latency_factor _ | Clock_bump _ ->
+  | Cut _ | Partition _ | Crash_serializer _ | Crash_replica _ | Latency_factor _ | Clock_bump _
+  | Switch_config _ ->
     false
 
 let last_heal_time t =
@@ -30,7 +32,8 @@ let last_heal_time t =
 
 (* ---- seeded random plans ------------------------------------------------- *)
 
-let random ~seed ~link_names ~serializer_names ~clock_names ~max_replica_crashes ~horizon =
+let random ~seed ~link_names ~serializer_names ~clock_names ~max_replica_crashes ?switch ~horizon
+    () =
   let rng = Sim.Rng.create ~seed in
   let h = Sim.Time.to_us horizon in
   let pick l = List.nth l (Sim.Rng.int rng (List.length l)) in
@@ -72,6 +75,13 @@ let random ~seed ~link_names ~serializer_names ~clock_names ~max_replica_crashes
       if Sim.Rng.int rng 2 = 1 then
         push (at_before h) (Clock_bump { clock = c; skew_us = Sim.Rng.int rng 5_000 - 2_500 }))
     clock_names;
+  (* at most one online reconfiguration, early enough to complete: graceful
+     half the time, forced otherwise *)
+  (match switch with
+  | Some config ->
+    if Sim.Rng.int rng 2 = 1 then
+      push (at_before (h / 2)) (Switch_config { graceful = Sim.Rng.int rng 2 = 1; config })
+  | None -> ());
   make !evs
 
 (* ---- printing ------------------------------------------------------------ *)
@@ -90,6 +100,8 @@ let pp_action fmt = function
   | Latency_factor { link; factor } -> Format.fprintf fmt "latency %s x%.1f" link factor
   | Latency_reset l -> Format.fprintf fmt "latency %s reset" l
   | Clock_bump { clock; skew_us } -> Format.fprintf fmt "clock-bump %s %+dus" clock skew_us
+  | Switch_config { graceful; config = _ } ->
+    Format.fprintf fmt "switch-config %s" (if graceful then "graceful" else "forced")
 
 let pp fmt t =
   List.iter

@@ -27,6 +27,12 @@ type action =
   | Clock_bump of { clock : string; skew_us : int }
       (** shift a datacenter's physical clock; the gear's monotonic
           discipline absorbs negative skew *)
+  | Switch_config of { graceful : bool; config : Saturn.Config.t }
+      (** online reconfiguration (§6.2): install [config] as the epoch-2
+          tree mid-run, via the graceful epoch-change protocol or the
+          forced timestamp-order fallback. Not restorative — a switch is a
+          migration, not a heal. Saturn-only: registries bound with
+          {!Registry.bind_fabric} reject it *)
 
 type event = { at : Sim.Time.t; action : action }
 
@@ -51,14 +57,18 @@ val random :
   serializer_names:string list ->
   clock_names:string list ->
   max_replica_crashes:int ->
+  ?switch:Saturn.Config.t ->
   horizon:Sim.Time.t ->
+  unit ->
   t
 (** A seeded random plan that is always survivable: every [Cut] is paired
     with a later [Heal] and every [Latency_factor] with a later
     [Latency_reset] (both before [horizon]), serializers only lose
     replicas — at most [max_replica_crashes] each, never the whole chain —
-    and clock bumps are bounded. Deterministic in [seed] and the
-    (name-sorted) input lists. *)
+    and clock bumps are bounded. With [switch], the plan may (seed's coin
+    flip) include one {!Switch_config} to that configuration in the first
+    half of the horizon, graceful or forced. Deterministic in [seed] and
+    the (name-sorted) input lists. *)
 
 val pp_action : Format.formatter -> action -> unit
 val pp : Format.formatter -> t -> unit

@@ -15,10 +15,14 @@ type t = {
   links : (string, link_entry) Hashtbl.t;
   serializers : (string, serializer_entry) Hashtbl.t;
   clocks : (string, Sim.Time.t -> unit) Hashtbl.t;
+  mutable switch : (graceful:bool -> Saturn.Config.t -> unit) option;
+      (* installed by [bind_system]: drives the live system's reconfiguration
+         and registers the epoch-2 tree's pieces under the [e2.] prefix *)
 }
 
 let create () =
-  { links = Hashtbl.create 64; serializers = Hashtbl.create 8; clocks = Hashtbl.create 8 }
+  { links = Hashtbl.create 64; serializers = Hashtbl.create 8; clocks = Hashtbl.create 8;
+    switch = None }
 
 let fresh table ~kind name =
   if Hashtbl.mem table name then
@@ -82,6 +86,44 @@ let register_bulk t ~dc_sites ~bulk_link =
     done
   done
 
+(* One service instance's breakable pieces. [prefix] is "" for the original
+   tree; the epoch-2 tree installed by a [Switch_config] registers under
+   "e2." so its serializers and links are addressable alongside (not in
+   place of) the old tree's during the migration window. *)
+let register_service t ~prefix ~dc_sites service =
+  let config = Saturn.Service.config service in
+  for s = 0 to Saturn.Service.n_serializers service - 1 do
+    register_serializer t ~name:(Printf.sprintf "%sser%d" prefix s)
+      ~site:(Saturn.Config.site_of_serializer config s)
+      ~crash_all:(fun () -> Saturn.Service.crash_serializer service s)
+      ~crash_replica:(fun replica -> Saturn.Service.crash_replica service ~serializer:s ~replica)
+      ~down:(fun () -> Saturn.Service.serializer_down service s)
+  done;
+  List.iter
+    (fun ((a, b), (data, ack)) ->
+      let sa = Saturn.Config.site_of_serializer config a in
+      let sb = Saturn.Config.site_of_serializer config b in
+      register_link t ~name:(Printf.sprintf "%stree.s%d->s%d.data" prefix a b) ~site_a:sa
+        ~site_b:sb data;
+      register_link t ~name:(Printf.sprintf "%stree.s%d->s%d.ack" prefix a b) ~site_a:sa ~site_b:sb
+        ack)
+    (Saturn.Service.edge_link_list service);
+  Array.iteri
+    (fun dc _ ->
+      let s = Saturn.Tree.serializer_of (Saturn.Config.tree config) ~dc in
+      let dc_site = Saturn.Config.site_of_dc config dc in
+      let ser_site = Saturn.Config.site_of_serializer config s in
+      let al = Saturn.Service.attach_links service ~dc in
+      let reg name ~flip l =
+        let site_a, site_b = if flip then (ser_site, dc_site) else (dc_site, ser_site) in
+        register_link t ~name:(Printf.sprintf "%sattach.dc%d.%s" prefix dc name) ~site_a ~site_b l
+      in
+      reg "in.data" ~flip:false al.Saturn.Service.in_data;
+      reg "in.ack" ~flip:true al.Saturn.Service.in_ack;
+      reg "out.data" ~flip:true al.Saturn.Service.out_data;
+      reg "out.ack" ~flip:false al.Saturn.Service.out_ack)
+    dc_sites
+
 let bind_system t system =
   let p = Saturn.System.params system in
   register_bulk t ~dc_sites:p.Saturn.System.dc_sites
@@ -95,36 +137,21 @@ let bind_system t system =
   match Saturn.System.service system with
   | None -> ()
   | Some service ->
-    let config = Saturn.Service.config service in
-    for s = 0 to Saturn.Service.n_serializers service - 1 do
-      register_serializer t ~name:(Printf.sprintf "ser%d" s)
-        ~site:(Saturn.Config.site_of_serializer config s)
-        ~crash_all:(fun () -> Saturn.Service.crash_serializer service s)
-        ~crash_replica:(fun replica -> Saturn.Service.crash_replica service ~serializer:s ~replica)
-        ~down:(fun () -> Saturn.Service.serializer_down service s)
-    done;
-    List.iter
-      (fun ((a, b), (data, ack)) ->
-        let sa = Saturn.Config.site_of_serializer config a in
-        let sb = Saturn.Config.site_of_serializer config b in
-        register_link t ~name:(Printf.sprintf "tree.s%d->s%d.data" a b) ~site_a:sa ~site_b:sb data;
-        register_link t ~name:(Printf.sprintf "tree.s%d->s%d.ack" a b) ~site_a:sa ~site_b:sb ack)
-      (Saturn.Service.edge_link_list service);
-    Array.iteri
-      (fun dc _ ->
-        let s = Saturn.Tree.serializer_of (Saturn.Config.tree config) ~dc in
-        let dc_site = Saturn.Config.site_of_dc config dc in
-        let ser_site = Saturn.Config.site_of_serializer config s in
-        let al = Saturn.Service.attach_links service ~dc in
-        let reg name ~flip l =
-          let site_a, site_b = if flip then (ser_site, dc_site) else (dc_site, ser_site) in
-          register_link t ~name:(Printf.sprintf "attach.dc%d.%s" dc name) ~site_a ~site_b l
-        in
-        reg "in.data" ~flip:false al.Saturn.Service.in_data;
-        reg "in.ack" ~flip:true al.Saturn.Service.in_ack;
-        reg "out.data" ~flip:true al.Saturn.Service.out_data;
-        reg "out.ack" ~flip:false al.Saturn.Service.out_ack)
-      p.Saturn.System.dc_sites
+    register_service t ~prefix:"" ~dc_sites:p.Saturn.System.dc_sites service;
+    t.switch <-
+      Some
+        (fun ~graceful config ->
+          Saturn.System.switch_config system config ~graceful;
+          match Saturn.System.next_service system with
+          | Some s2 -> register_service t ~prefix:"e2." ~dc_sites:p.Saturn.System.dc_sites s2
+          | None -> ())
+
+let can_switch t = t.switch <> None
+
+let switch_config t ~graceful config =
+  match t.switch with
+  | Some f -> f ~graceful config
+  | None -> invalid_arg "Faults.Registry: no reconfigurable system bound (switch-config)"
 
 let bind_fabric t fabric =
   let p = Baselines.Common.params fabric in

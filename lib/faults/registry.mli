@@ -69,7 +69,18 @@ val bind_system : t -> Saturn.System.t -> unit
     bulk link, [clock.dc<i>] per datacenter, and — unless the system runs
     in peer mode — [ser<s>] per serializer, [tree.s<a>->s<b>.data]/[.ack]
     per directed tree edge, and [attach.dc<i>.{in,out}.{data,ack}] for the
-    datacenter↔serializer channels. *)
+    datacenter↔serializer channels. Also arms {!switch_config}: driving a
+    reconfiguration registers the epoch-2 tree's serializers and links
+    under the same names with an [e2.] prefix, so later plan events can cut
+    or crash the new tree during the migration window. *)
+
+val can_switch : t -> bool
+(** Whether a reconfigurable (Saturn, non-peer) system is bound. *)
+
+val switch_config : t -> graceful:bool -> Saturn.Config.t -> unit
+(** Drives {!Saturn.System.switch_config} on the bound system, then
+    registers the epoch-2 pieces under the [e2.] prefix.
+    @raise Invalid_argument when no reconfigurable system is bound. *)
 
 val bind_fabric : t -> Baselines.Common.t -> unit
 (** Registers a baseline's shared data plane: its [bulk.dc<i>->dc<j>]

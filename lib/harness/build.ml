@@ -23,6 +23,33 @@ let default_spec ~topo ~dc_sites ~rmap =
     bulk_factor = 1.0;
   }
 
+(* three sites with unequal latencies, so the solver-independent chain tree
+   below has a genuinely asymmetric geography to work against *)
+let topo3 () =
+  Sim.Topology.create
+    ~names:[| "west"; "central"; "east" |]
+    ~latency_ms:[| [| 0; 40; 90 |]; [| 40; 0; 50 |]; [| 90; 50; 0 |] |]
+
+(* an explicit chain of three serializers (one per datacenter). The smoke
+   scenario must exercise serializer-to-serializer forwarding; the solved
+   configuration for three sites can collapse to a star, which never hops. *)
+let chain_config ~dc_sites =
+  let tree = Saturn.Tree.create ~n_serializers:3 ~edges:[ (0, 1); (1, 2) ] ~attach:[| 0; 1; 2 |] in
+  let config = Saturn.Config.create ~tree ~placement:(Array.copy dc_sites) ~dc_sites () in
+  (* small artificial delays so the δ-wait path is traced too *)
+  Saturn.Config.set_delay config ~from:1 ~hop:(Saturn.Config.To_dc 1) (Sim.Time.of_ms 2);
+  Saturn.Config.set_delay config ~from:0 ~hop:(Saturn.Config.To_serializer 1) (Sim.Time.of_ms 1);
+  config
+
+(* a pre-computed backup tree for the same three datacenters (§6.2): two
+   serializers at the chain's endpoints, so the epoch-2 topology is
+   genuinely different from the 0–1–2 chain it replaces *)
+let backup_config ~dc_sites =
+  let tree = Saturn.Tree.create ~n_serializers:2 ~edges:[ (0, 1) ] ~attach:[| 0; 0; 1 |] in
+  Saturn.Config.create ~tree
+    ~placement:[| dc_sites.(0); dc_sites.(2) |]
+    ~dc_sites:(Array.copy dc_sites) ()
+
 let solve_config spec =
   let bulk i j =
     let lat = Sim.Topology.latency spec.topo spec.dc_sites.(i) spec.dc_sites.(j) in

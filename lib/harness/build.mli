@@ -20,6 +20,20 @@ val default_spec :
   rmap:Kvstore.Replica_map.t ->
   spec
 
+val topo3 : unit -> Sim.Topology.t
+(** The three-site (west/central/east) geography the smoke and fault
+    scenarios share: unequal latencies, so tree placement matters. *)
+
+val chain_config : dc_sites:Sim.Topology.site array -> Saturn.Config.t
+(** An explicit three-serializer chain (0–1–2, one per datacenter) with
+    small artificial delays — guarantees serializer-to-serializer hops,
+    which a solved three-site configuration may optimize away. *)
+
+val backup_config : dc_sites:Sim.Topology.site array -> Saturn.Config.t
+(** A pre-computed backup tree for the same three datacenters (§6.2): two
+    serializers at the outer sites, datacenters 0 and 1 attached to the
+    first. The reconfiguration scenarios switch to it mid-run. *)
+
 val solve_config : spec -> Saturn.Config.t
 (** Runs the configuration generator (Algorithm 3) for the spec's
     datacenters, weighting pairs by shared keys. *)

@@ -38,7 +38,7 @@ let instant_event at ev =
   in
   match ev with
   | Sim.Probe.Sink_emit { dc; ts } -> mk "sink_emit" sites_pid dc (Printf.sprintf {|"ts":%d|} ts)
-  | Sim.Probe.Ser_commit { ser; origin; oseq } ->
+  | Sim.Probe.Ser_commit { ser; origin; oseq; epoch = _ } ->
     mk "ser_commit" serializers_pid ser (Printf.sprintf {|"origin":%d,"oseq":%d|} origin oseq)
   | Sim.Probe.Head_change { ser } -> mk "head_change" serializers_pid ser ""
   | Sim.Probe.Proxy_apply { dc; src_dc; ts; fallback; gear = _ } ->

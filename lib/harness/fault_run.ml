@@ -16,7 +16,11 @@ type outcome = {
   heal_at_us : int option;
 }
 
-let scenario_names = [ "ser-crash"; "seq-crash"; "partition"; "latency-spike" ]
+let scenario_names =
+  [
+    "ser-crash"; "seq-crash"; "partition"; "latency-spike"; "reconfig-graceful"; "reconfig-cut";
+    "reconfig-forced"; "reconfig-backup";
+  ]
 
 let n_keys = 24
 let dc_sites = [| 0; 1; 2 |]
@@ -25,11 +29,11 @@ let measure = Sim.Time.of_sec 1.
 let cooldown = Sim.Time.of_ms 400
 
 let spec () =
-  let topo = Obs.topo3 () in
+  let topo = Build.topo3 () in
   let rmap = Kvstore.Replica_map.full ~n_dcs:3 ~n_keys in
   {
     (Build.default_spec ~topo ~dc_sites ~rmap) with
-    Build.saturn_config = Some (Obs.chain_config ~dc_sites);
+    Build.saturn_config = Some (Build.chain_config ~dc_sites);
     (* three chain replicas per serializer, so a head crash heals (§6.1)
        instead of stalling the subtree *)
     serializer_replicas = 3;
@@ -69,8 +73,17 @@ let fault_at = Sim.Time.of_ms 400
 let heal_at = Sim.Time.of_ms 700
 let spike_factor = 8.
 
+(* reconfiguration timings: the switch fires mid-window; the forced
+   scenario's serializer crash lands shortly before it, so the old tree is
+   already broken when the fallback engages *)
+let switch_at = Sim.Time.of_ms 500
+let pre_switch_crash_at = Sim.Time.of_ms 450
+
 let plan_for ~scenario ~busiest freg system =
   let open Faults in
+  let switch graceful =
+    Plan.Switch_config { graceful; config = Build.backup_config ~dc_sites }
+  in
   match (scenario, system) with
   | "ser-crash", `Saturn ->
     (* head replica of the middle serializer: chain re-keys, the new head
@@ -127,6 +140,44 @@ let plan_for ~scenario ~busiest freg system =
         { Plan.at = fault_at; action = Plan.Latency_factor { link; factor = spike_factor } };
         { Plan.at = heal_at; action = Plan.Latency_reset link };
       ]
+  | "reconfig-graceful", `Saturn ->
+    (* clean graceful epoch change: the marker flushes the old chain and
+       the dual-tree window closes on its own *)
+    Plan.make [ { Plan.at = switch_at; action = switch true } ]
+  | "reconfig-cut", `Saturn ->
+    (* graceful switch under fire: the old tree's middle data edge is down
+       across the switch, so the epoch-change marker is itself delayed by
+       retransmission and the dual-tree window stretches toward the heal *)
+    Plan.make
+      [
+        { Plan.at = fault_at; action = Plan.Cut "tree.s1->s2.data" };
+        { Plan.at = switch_at; action = switch true };
+        { Plan.at = heal_at; action = Plan.Heal "tree.s1->s2.data" };
+      ]
+  | "reconfig-forced", `Saturn ->
+    (* the old tree loses a whole serializer chain just before the switch;
+       the forced path abandons the marker protocol for timestamp order on
+       the new tree (§6.2's fallback) *)
+    Plan.make
+      [
+        { Plan.at = pre_switch_crash_at; action = Plan.Crash_serializer "ser1" };
+        { Plan.at = switch_at; action = switch false };
+      ]
+  | "reconfig-backup", `Saturn ->
+    (* failover to the pre-computed backup tree while the old tree's
+       busiest edge is degraded — §6.2's motivation for keeping backups *)
+    let a, b = busiest in
+    let link = Printf.sprintf "tree.s%d->s%d.data" a b in
+    Plan.make
+      [
+        { Plan.at = fault_at; action = Plan.Latency_factor { link; factor = spike_factor } };
+        { Plan.at = switch_at; action = switch true };
+        { Plan.at = heal_at; action = Plan.Latency_reset link };
+      ]
+  | ( ("reconfig-graceful" | "reconfig-cut" | "reconfig-forced" | "reconfig-backup"),
+      (`Eventual | `Eunomia | `Okapi) ) ->
+    (* no serializer tree to migrate: the fault-free control *)
+    Plan.make []
   | s, _ -> invalid_arg ("Fault_run: unknown scenario " ^ s)
 
 let fault_ref plan =
@@ -173,6 +224,22 @@ let run_one ~seed ~scenario ~system ~busiest =
         let (_ : Faults.Injector.t) = Faults.Injector.arm ~registry engine freg plan in
         fault_at_us := Option.map Sim.Time.to_us (fault_onset plan);
         heal_at_us := Option.map Sim.Time.to_us (fault_ref plan);
+        (* annotate the series with the plan's marks, deduplicated (a
+           partition cuts several links at one instant): the timeline and
+           the digest-covered CSV/JSON dumps render them *)
+        List.iter
+          (fun (us, name) -> Stats.Series.annotate series ~us name)
+          (List.sort_uniq compare
+             (List.map
+                (fun (e : Faults.Plan.event) ->
+                  ( Sim.Time.to_us e.at,
+                    match e.action with
+                    | Faults.Plan.Switch_config { graceful = true; _ } -> "switch.graceful"
+                    | Faults.Plan.Switch_config { graceful = false; _ } -> "switch.forced"
+                    | Faults.Plan.Heal _ | Faults.Plan.Heal_partition _
+                    | Faults.Plan.Latency_reset _ -> "heal"
+                    | _ -> "fault" ))
+                (Faults.Plan.events plan)));
         Metrics.subscribe metrics (fun ~dc:_ ~key:_ ~origin_dc:_ ~origin_time ~value:_ ->
             let now = Sim.Engine.now engine in
             Stats.Series.observe vis_series ~now
@@ -227,9 +294,12 @@ let run_one ~seed ~scenario ~system ~busiest =
 let run_scenario ?(seed = 42) ~scenario ~system () =
   if not (List.mem scenario scenario_names) then
     invalid_arg ("Fault_run.run_scenario: unknown scenario " ^ scenario);
-  (* only the latency-spike plan needs the busiest edge; skip the dry
-     pre-run otherwise *)
-  let busiest = if scenario = "latency-spike" then busiest_edge ~seed else (0, 1) in
+  (* only the latency-spike and backup-failover plans need the busiest
+     edge; skip the dry pre-run otherwise *)
+  let busiest =
+    if List.mem scenario [ "latency-spike"; "reconfig-backup" ] then busiest_edge ~seed
+    else (0, 1)
+  in
   run_one ~seed ~scenario ~system ~busiest
 
 let series_recovery_ms o =
@@ -257,41 +327,61 @@ let recovery_agrees o =
     Some (abs (s_win - d_win) <= 1)
   | _ -> None
 
-let print_timeline o =
+let timeline_string o =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let sr = o.series in
   let n = Stats.Series.n_windows sr in
-  if n = 0 then Printf.printf "%s/%s: no closed windows\n" o.scenario o.system
+  if n = 0 then pf "%s/%s: no closed windows\n" o.scenario o.system
   else begin
     let window_us = Sim.Time.to_us (Stats.Series.window sr) in
-    Printf.printf "%s/%s timeline: %d windows x %d ms\n" o.scenario o.system n (window_us / 1000);
+    pf "%s/%s timeline: %d windows x %d ms\n" o.scenario o.system n (window_us / 1000);
     let names = Stats.Series.names sr in
     let name_w = List.fold_left (fun a s -> max a (String.length s)) 0 names in
     List.iter
       (fun name ->
         let v = Stats.Series.primary sr name in
         let peak = Array.fold_left max 0. v in
-        Printf.printf "  %-*s |%s| peak %.1f\n" name_w name (Stats.Series.sparkline v) peak)
+        pf "  %-*s |%s| peak %.1f\n" name_w name (Stats.Series.sparkline v) peak)
       names;
-    (match o.fault_at_us with
-    | None -> ()
-    | Some f ->
-      let marks = Bytes.make n ' ' in
-      let mark us c =
-        let i = us / window_us in
-        if i >= 0 && i < n then Bytes.set marks i c
-      in
-      mark f '^';
-      (match o.heal_at_us with Some h when h <> f -> mark h '^' | _ -> ());
-      Printf.printf "  %-*s |%s| ^ = fault / heal\n" name_w "" (Bytes.to_string marks));
+    let switches =
+      List.filter
+        (fun (_, name) -> String.length name >= 7 && String.sub name 0 7 = "switch.")
+        (Stats.Series.annotations sr)
+    in
+    (if o.fault_at_us <> None || switches <> [] then begin
+       let marks = Bytes.make n ' ' in
+       let mark us c =
+         let i = us / window_us in
+         if i >= 0 && i < n then Bytes.set marks i c
+       in
+       Option.iter (fun f -> mark f '^') o.fault_at_us;
+       Option.iter (fun h -> mark h '^') o.heal_at_us;
+       (* switch marks win a shared window: the epoch boundary is the rarer
+          and more interesting event *)
+       List.iter
+         (fun (us, name) -> mark us (if String.equal name "switch.forced" then 'F' else 'S'))
+         switches;
+       let legend =
+         match (o.fault_at_us <> None, switches <> []) with
+         | true, true -> "^ = fault / heal, S/F = switch (graceful/forced)"
+         | false, true -> "S/F = switch (graceful/forced)"
+         | _ -> "^ = fault / heal"
+       in
+       pf "  %-*s |%s| %s\n" name_w "" (Bytes.to_string marks) legend
+     end);
     match series_recovery_ms o with
     | Some ms ->
-      Printf.printf
+      pf
         "  series recovery (vis p99 back to steady state): %.1f ms after heal; drain-based \
          faults.recovery_ms: %.1f; same window +/-1: %s\n"
         ms o.recovery_ms
         (match recovery_agrees o with Some true -> "yes" | Some false -> "NO" | None -> "n/a")
     | None -> ()
-  end
+  end;
+  Buffer.contents buf
+
+let print_timeline o = print_string (timeline_string o)
 
 (* one row per (scenario, system) pair that exercises something: every
    scenario runs Saturn and the eventual control, the sequencer crash adds
@@ -307,6 +397,12 @@ let matrix_rows =
     ("partition", `Okapi);
     ("latency-spike", `Saturn);
     ("latency-spike", `Eventual);
+    (* reconfiguration is Saturn-only: the baselines have no tree to
+       migrate, so a control row would be a plain fault-free run *)
+    ("reconfig-graceful", `Saturn);
+    ("reconfig-cut", `Saturn);
+    ("reconfig-forced", `Saturn);
+    ("reconfig-backup", `Saturn);
   ]
 
 let run_matrix ?(seed = 42) () =
@@ -325,7 +421,7 @@ let print outcomes =
       ~columns:
         [
           "scenario"; "system"; "ops"; "vis ms"; "p99 ms"; "recovery ms"; "resends"; "drops";
-          "head-chg"; "violations";
+          "head-chg"; "switch"; "violations";
         ]
   in
   List.iter
@@ -342,6 +438,7 @@ let print outcomes =
           string_of_int r.Faults.Checker.resends;
           string_of_int (r.Faults.Checker.drops_cut + r.Faults.Checker.drops_down);
           string_of_int r.Faults.Checker.head_changes;
+          string_of_int r.Faults.Checker.switches;
           string_of_int (List.length r.Faults.Checker.violations);
         ])
     outcomes;

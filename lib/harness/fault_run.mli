@@ -1,10 +1,17 @@
 (** Fixed-seed fault-injection scenario matrix.
 
-    Runs the shared three-datacenter chain deployment (see {!Obs}) under
-    three faults from the paper's §6 failure model — a serializer head
-    crash mid-stream, a transient partition, and a latency spike on the
-    tree's busiest edge — for Saturn and for the eventual baseline, with a
-    probe installed and a {!Faults.Checker} pass over every trace.
+    Runs the shared three-datacenter chain deployment (see {!Build}) under
+    the paper's §6 failure model — a serializer head crash mid-stream, a
+    transient partition, and a latency spike on the tree's busiest edge —
+    for Saturn and for the eventual baseline, with a probe installed and a
+    {!Faults.Checker} pass over every trace. Four Saturn-only
+    reconfiguration rows (§6.2) drive a mid-run epoch switch to
+    {!Build.backup_config}: a clean graceful switch, a graceful switch
+    composed with a metadata-tree cut, a forced switch after a whole
+    serializer chain crashes, and a backup-tree failover while the busiest
+    edge is degraded — the cross-epoch checker invariants (marker last
+    through the old tree, no duplicate applies across trees, route
+    monotonicity) run over all of them.
 
     Saturn's partition cuts the metadata tree (its failure domain; the
     paper's bulk-data transfer service is the datastore's own, reliable
@@ -42,13 +49,17 @@ type outcome = {
 }
 
 val scenario_names : string list
-(** [["ser-crash"; "seq-crash"; "partition"; "latency-spike"]]. *)
+(** [["ser-crash"; "seq-crash"; "partition"; "latency-spike";
+    "reconfig-graceful"; "reconfig-cut"; "reconfig-forced";
+    "reconfig-backup"]] — the single source the CLI builds its
+    [--scenario] enum and help text from. *)
 
 val run_matrix : ?seed:int -> unit -> outcome list
-(** The fixed row set (default seed 42): every scenario for Saturn and the
-    eventual control, plus the rows the newcomers were added for — the
+(** The fixed row set (default seed 42): every fault scenario for Saturn
+    and the eventual control, the rows the newcomers were added for — the
     sequencer crash for Eunomia (mirroring the serializer-crash row) and
-    the partition for Okapi. *)
+    the partition for Okapi — and the four Saturn-only reconfiguration
+    rows (the baselines have no tree to migrate). *)
 
 val run_scenario :
   ?seed:int ->
@@ -56,8 +67,9 @@ val run_scenario :
   system:[ `Saturn | `Eventual | `Eunomia | `Okapi ] ->
   unit ->
   outcome
-(** One cell of the matrix (default seed 42). Only the latency-spike
-    scenario pays for the fault-free pre-run that locates the busiest edge.
+(** One cell of the matrix (default seed 42). Only the latency-spike and
+    reconfig-backup scenarios pay for the fault-free pre-run that locates
+    the busiest edge.
     @raise Invalid_argument on a name outside {!scenario_names}. *)
 
 val series_recovery_ms : outcome -> float option
@@ -74,11 +86,16 @@ val recovery_agrees : outcome -> bool option
     the finest agreement a window-quantized series can certify. [None]
     when {!series_recovery_ms} is [None]. *)
 
-val print_timeline : outcome -> unit
+val timeline_string : outcome -> string
 (** The recovery-timeline view: one sparkline per series (queue depths,
-    apply throughput, visibility p99) over the common window axis, a marker
-    row locating the fault and heal windows, and the
-    {!series_recovery_ms} / [recovery_ms] cross-check, on stdout. *)
+    apply throughput, visibility p99, the [series.reconfig.dual_tree]
+    migration-window gauge) over the common window axis, a marker row
+    locating the fault/heal windows ([^]) and any epoch switch ([S]
+    graceful, [F] forced — from the series' annotations), and the
+    {!series_recovery_ms} / [recovery_ms] cross-check. *)
+
+val print_timeline : outcome -> unit
+(** {!timeline_string} on stdout. *)
 
 val matrix_digest : outcome list -> string
 (** Digest over every run's probe digest — one string for the CI

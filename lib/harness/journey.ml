@@ -104,7 +104,7 @@ let analyze probe =
           Hashtbl.remove opens s;
           record s (Sim.Time.to_us t0, Sim.Time.to_us at)
         | None -> ())
-      | Sim.Probe.Label_forward { dc; gear; ts; oseq; inst } ->
+      | Sim.Probe.Label_forward { dc; gear; ts; oseq; inst; epoch = _ } ->
         if oseq >= 0 then forwards := (inst, dc, oseq, gear, ts) :: !forwards
       | Sim.Probe.Proxy_apply { dc; src_dc; gear; ts; fallback } ->
         if not (Hashtbl.mem applied (src_dc, ts, gear, dc)) then

@@ -7,23 +7,10 @@ type result = {
   probe : Sim.Probe.t;
 }
 
-(* three sites with unequal latencies, so the solver-independent chain tree
-   below has a genuinely asymmetric geography to work against *)
-let topo3 () =
-  Sim.Topology.create
-    ~names:[| "west"; "central"; "east" |]
-    ~latency_ms:[| [| 0; 40; 90 |]; [| 40; 0; 50 |]; [| 90; 50; 0 |] |]
-
-(* an explicit chain of three serializers (one per datacenter). The smoke
-   scenario must exercise serializer-to-serializer forwarding; the solved
-   configuration for three sites can collapse to a star, which never hops. *)
-let chain_config ~dc_sites =
-  let tree = Saturn.Tree.create ~n_serializers:3 ~edges:[ (0, 1); (1, 2) ] ~attach:[| 0; 1; 2 |] in
-  let config = Saturn.Config.create ~tree ~placement:(Array.copy dc_sites) ~dc_sites () in
-  (* small artificial delays so the δ-wait path is traced too *)
-  Saturn.Config.set_delay config ~from:1 ~hop:(Saturn.Config.To_dc 1) (Sim.Time.of_ms 2);
-  Saturn.Config.set_delay config ~from:0 ~hop:(Saturn.Config.To_serializer 1) (Sim.Time.of_ms 1);
-  config
+(* the shared deployment shapes live in Build so the fault matrix can use
+   them without depending on this module; re-exported here for callers *)
+let topo3 = Build.topo3
+let chain_config = Build.chain_config
 
 let smoke ?(seed = 42) () =
   let topo = topo3 () in
@@ -111,6 +98,13 @@ let write_artifacts r ~out_dir =
         output_char oc '\n');
     file "series.csv" (fun oc -> output_string oc (Stats.Series.to_csv r.series));
     file "series.json" (fun oc -> output_string oc (Stats.Series.to_json r.series));
+    file "reconfig.timeline.txt" (fun oc ->
+        (* the migration view rides along with the smoke artifacts: a fresh
+           fixed-seed reconfig-cut run (graceful epoch switch composed with
+           a metadata-tree cut), rendered as the same timeline
+           `saturn-cli series --scenario reconfig-cut` prints *)
+        let o = Fault_run.run_scenario ~scenario:"reconfig-cut" ~system:`Saturn () in
+        output_string oc (Fault_run.timeline_string o));
   ]
 
 (* ---- probe-counter regression gate ------------------------------------- *)

@@ -10,10 +10,16 @@ type t = {
   mutable now : Time.t;
   mutable seq : int;
   mutable processed : int;
+  mutable ids : int;
 }
 
 let create () =
-  { queue = Heap.Keyed.create ~capacity:64 ~dummy:nop (); now = Time.zero; seq = 0; processed = 0 }
+  { queue = Heap.Keyed.create ~capacity:64 ~dummy:nop ();
+    now = Time.zero; seq = 0; processed = 0; ids = 0 }
+
+let fresh_id t =
+  t.ids <- t.ids + 1;
+  t.ids
 
 let now t = t.now
 

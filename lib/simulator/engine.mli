@@ -9,6 +9,13 @@ type t
 
 val create : unit -> t
 
+val fresh_id : t -> int
+(** Engine-scoped unique id (1, 2, …). Ids that may reach the probe
+    stream (e.g. reliable-FIFO sender ids in [fifo_resend] events) must
+    come from here, not from a process-global counter: engine-scoped ids
+    make a second same-seed run inside one process replay bit-for-bit,
+    which the [--check] determinism self-checks rely on. *)
+
 val now : t -> Time.t
 (** Current simulated time. *)
 

@@ -43,7 +43,15 @@ let span_kind_id = function
   | Sk_bulk -> 8
   | Sk_stab -> 9
 
-type span = { sk : span_kind; origin : int; seq : int; aux : int; site : int; peer : int }
+type span = {
+  sk : span_kind;
+  origin : int;
+  seq : int;
+  aux : int;
+  site : int;
+  peer : int;
+  epoch : int;
+}
 
 type event =
   | Engine_step of { seq : int }
@@ -51,18 +59,20 @@ type event =
   | Link_deliver
   | Link_drop of { in_flight : bool }
   | Fifo_resend of { sender : int; seq : int }
-  | Label_forward of { dc : int; gear : int; ts : int; oseq : int; inst : int }
+  | Label_forward of { dc : int; gear : int; ts : int; oseq : int; inst : int; epoch : int }
   | Serializer_hop of { from_ser : int; to_ser : int }
   | Serializer_deliver of { dc : int }
   | Delay_wait of { serializer : int; us : int }
   | Chain_ack of { seq : int }
-  | Ser_commit of { ser : int; origin : int; oseq : int }
+  | Ser_commit of { ser : int; origin : int; oseq : int; epoch : int }
   | Head_change of { ser : int }
   | Sink_emit of { dc : int; ts : int }
   | Proxy_apply of { dc : int; src_dc : int; gear : int; ts : int; fallback : bool }
   | Proxy_mode of { dc : int; mode : mode }
   | Stab_round of { dc : int; gst : int }
   | Vec_advance of { dc : int; src : int; ts : int }
+  | Switch_begin of { epoch : int; graceful : bool }
+  | Switch_done of { dc : int; epoch : int }
   | Span_begin of span
   | Span_end of span
 
@@ -84,12 +94,14 @@ let kind = function
   | Proxy_mode _ -> "proxy_mode"
   | Stab_round _ -> "stab_round"
   | Vec_advance _ -> "vec_advance"
+  | Switch_begin _ -> "switch_begin"
+  | Switch_done _ -> "switch_done"
   | Span_begin s | Span_end s -> "span." ^ span_kind_name s.sk
 
 (* Interned kind ids: per-event counting bumps a dense [int array] slot
    instead of hashing the kind string. Span begins and ends share one
    "span.<kind>" bucket, matching [kind]. *)
-let n_point_kinds = 17
+let n_point_kinds = 19
 let n_kinds = n_point_kinds + n_span_kinds
 
 let kind_id = function
@@ -110,21 +122,24 @@ let kind_id = function
   | Proxy_mode _ -> 14
   | Stab_round _ -> 15
   | Vec_advance _ -> 16
+  | Switch_begin _ -> 17
+  | Switch_done _ -> 18
   | Span_begin s | Span_end s -> n_point_kinds + span_kind_id s.sk
 
 let kind_names =
   Array.append
     [| "engine_step"; "link_send"; "link_deliver"; "link_drop"; "fifo_resend"; "label_forward";
        "serializer_hop"; "serializer_deliver"; "delay_wait"; "chain_ack"; "ser_commit";
-       "head_change"; "sink_emit"; "proxy_apply"; "proxy_mode"; "stab_round"; "vec_advance" |]
+       "head_change"; "sink_emit"; "proxy_apply"; "proxy_mode"; "stab_round"; "vec_advance";
+       "switch_begin"; "switch_done" |]
     (Array.of_list (List.map (fun sk -> "span." ^ span_kind_name sk) span_kinds))
 
 let mode_string = function Stream -> "stream" | Fallback -> "fallback"
 
-let span_json t ph { sk; origin; seq; aux; site; peer } =
+let span_json t ph { sk; origin; seq; aux; site; peer; epoch } =
   Printf.sprintf
-    {|{"t":%d,"ev":"span_%s","kind":"%s","origin":%d,"seq":%d,"aux":%d,"site":%d,"peer":%d}|} t ph
-    (span_kind_name sk) origin seq aux site peer
+    {|{"t":%d,"ev":"span_%s","kind":"%s","origin":%d,"seq":%d,"aux":%d,"site":%d,"peer":%d,"epoch":%d}|}
+    t ph (span_kind_name sk) origin seq aux site peer epoch
 
 let to_json at ev =
   let t = Time.to_us at in
@@ -136,17 +151,19 @@ let to_json at ev =
     Printf.sprintf {|{"t":%d,"ev":"link_drop","why":"%s"}|} t (if in_flight then "cut" else "down")
   | Fifo_resend { sender; seq } ->
     Printf.sprintf {|{"t":%d,"ev":"fifo_resend","sender":%d,"seq":%d}|} t sender seq
-  | Label_forward { dc; gear; ts; oseq; inst } ->
-    Printf.sprintf {|{"t":%d,"ev":"label_forward","dc":%d,"gear":%d,"ts":%d,"oseq":%d,"inst":%d}|} t
-      dc gear ts oseq inst
+  | Label_forward { dc; gear; ts; oseq; inst; epoch } ->
+    Printf.sprintf
+      {|{"t":%d,"ev":"label_forward","dc":%d,"gear":%d,"ts":%d,"oseq":%d,"inst":%d,"epoch":%d}|} t
+      dc gear ts oseq inst epoch
   | Serializer_hop { from_ser; to_ser } ->
     Printf.sprintf {|{"t":%d,"ev":"serializer_hop","from":%d,"to":%d}|} t from_ser to_ser
   | Serializer_deliver { dc } -> Printf.sprintf {|{"t":%d,"ev":"serializer_deliver","dc":%d}|} t dc
   | Delay_wait { serializer; us } ->
     Printf.sprintf {|{"t":%d,"ev":"delay_wait","serializer":%d,"us":%d}|} t serializer us
   | Chain_ack { seq } -> Printf.sprintf {|{"t":%d,"ev":"chain_ack","seq":%d}|} t seq
-  | Ser_commit { ser; origin; oseq } ->
-    Printf.sprintf {|{"t":%d,"ev":"ser_commit","ser":%d,"origin":%d,"oseq":%d}|} t ser origin oseq
+  | Ser_commit { ser; origin; oseq; epoch } ->
+    Printf.sprintf {|{"t":%d,"ev":"ser_commit","ser":%d,"origin":%d,"oseq":%d,"epoch":%d}|} t ser
+      origin oseq epoch
   | Head_change { ser } -> Printf.sprintf {|{"t":%d,"ev":"head_change","ser":%d}|} t ser
   | Sink_emit { dc; ts } -> Printf.sprintf {|{"t":%d,"ev":"sink_emit","dc":%d,"ts":%d}|} t dc ts
   | Proxy_apply { dc; src_dc; gear; ts; fallback } ->
@@ -158,6 +175,11 @@ let to_json at ev =
   | Stab_round { dc; gst } -> Printf.sprintf {|{"t":%d,"ev":"stab_round","dc":%d,"gst":%d}|} t dc gst
   | Vec_advance { dc; src; ts } ->
     Printf.sprintf {|{"t":%d,"ev":"vec_advance","dc":%d,"src":%d,"ts":%d}|} t dc src ts
+  | Switch_begin { epoch; graceful } ->
+    Printf.sprintf {|{"t":%d,"ev":"switch_begin","epoch":%d,"mode":"%s"}|} t epoch
+      (if graceful then "graceful" else "forced")
+  | Switch_done { dc; epoch } ->
+    Printf.sprintf {|{"t":%d,"ev":"switch_done","dc":%d,"epoch":%d}|} t dc epoch
   | Span_begin s -> span_json t "begin" s
   | Span_end s -> span_json t "end" s
 

@@ -54,9 +54,18 @@ val span_kinds : span_kind list
     [Sk_bulk], [Sk_stab]) carry [(origin dc, seq = label ts in µs)] with
     [aux] = the source gear (timestamps are only unique per gear).
     [site]/[peer] locate the span (serializer or datacenter ids; -1 when
-    unused). [Harness.Journey] joins the two keyings via
-    {!Label_forward}. *)
-type span = { sk : span_kind; origin : int; seq : int; aux : int; site : int; peer : int }
+    unused). [epoch] is the configuration epoch the span's work belongs to
+    (0 for spans whose begin/end sites cannot both know it).
+    [Harness.Journey] joins the two keyings via {!Label_forward}. *)
+type span = {
+  sk : span_kind;
+  origin : int;
+  seq : int;
+  aux : int;
+  site : int;
+  peer : int;
+  epoch : int;
+}
 
 type event =
   | Engine_step of { seq : int }  (** the event loop dispatched one event *)
@@ -69,19 +78,22 @@ type event =
           tell loss-by-cut from loss-by-outage *)
   | Fifo_resend of { sender : int; seq : int }
       (** a reliable-FIFO sender retransmitted an unacknowledged message *)
-  | Label_forward of { dc : int; gear : int; ts : int; oseq : int; inst : int }
+  | Label_forward of { dc : int; gear : int; ts : int; oseq : int; inst : int; epoch : int }
       (** label [(dc, gear, ts)] entered the metadata service at [dc]. When
           it had remote targets it was assigned uid [(dc, oseq)] by service
           instance [inst]; [oseq] = -1 means local-only, never forwarded.
-          This event is the lid→uid join point for journey reconstruction. *)
+          [epoch] is the configuration epoch of the tree it entered. This
+          event is the lid→uid join point for journey reconstruction. *)
   | Serializer_hop of { from_ser : int; to_ser : int }  (** serializer-to-serializer forward *)
   | Serializer_deliver of { dc : int }  (** service egress toward [dc]'s proxy *)
   | Delay_wait of { serializer : int; us : int }  (** artificial delay δ applied on a hop *)
   | Chain_ack of { seq : int }  (** chain commit acknowledged back to the sender *)
-  | Ser_commit of { ser : int; origin : int; oseq : int }
+  | Ser_commit of { ser : int; origin : int; oseq : int; epoch : int }
       (** serializer [ser]'s chain committed the [oseq]-th label that origin
           datacenter [origin] pushed into the service — the exactly-once,
-          FIFO-per-origin oracle the fault checker asserts over *)
+          FIFO-per-origin oracle the fault checker asserts over. [epoch] is
+          the tree's configuration epoch; serializer ids and oseq counters
+          both restart per epoch, so cross-epoch analysis keys on it *)
   | Head_change of { ser : int }  (** chain head crashed and the chain healed *)
   | Sink_emit of { dc : int; ts : int }  (** label sink emitted a stable label *)
   | Proxy_apply of { dc : int; src_dc : int; gear : int; ts : int; fallback : bool }
@@ -89,6 +101,12 @@ type event =
   | Proxy_mode of { dc : int; mode : mode }  (** proxy switched ordering modes *)
   | Stab_round of { dc : int; gst : int }  (** baseline stabilization round completed *)
   | Vec_advance of { dc : int; src : int; ts : int }  (** baseline version-vector advance *)
+  | Switch_begin of { epoch : int; graceful : bool }
+      (** online reconfiguration (paper §6.2) started: the system begins
+          migrating from epoch-1 trees to the [epoch] configuration *)
+  | Switch_done of { dc : int; epoch : int }
+      (** datacenter [dc]'s proxy finished its migration into [epoch] —
+          the old tree carries no more of its traffic *)
   | Span_begin of span  (** simulated time starts accruing to [span.sk] *)
   | Span_end of span  (** …and stops; must match an open begin field-for-field *)
 

@@ -12,8 +12,8 @@ type kind = Probe.span_kind =
 
 let active = Probe.active
 
-let begin_ ~at ?(aux = -1) ?(site = -1) ?(peer = -1) sk ~origin ~seq =
-  Probe.emit ~at (Probe.Span_begin { Probe.sk; origin; seq; aux; site; peer })
+let begin_ ~at ?(aux = -1) ?(site = -1) ?(peer = -1) ?(epoch = 0) sk ~origin ~seq =
+  Probe.emit ~at (Probe.Span_begin { Probe.sk; origin; seq; aux; site; peer; epoch })
 
-let end_ ~at ?(aux = -1) ?(site = -1) ?(peer = -1) sk ~origin ~seq =
-  Probe.emit ~at (Probe.Span_end { Probe.sk; origin; seq; aux; site; peer })
+let end_ ~at ?(aux = -1) ?(site = -1) ?(peer = -1) ?(epoch = 0) sk ~origin ~seq =
+  Probe.emit ~at (Probe.Span_end { Probe.sk; origin; seq; aux; site; peer; epoch })

@@ -21,5 +21,14 @@ type kind = Probe.span_kind =
 val active : unit -> bool
 (** Same guard as {!Probe.active}. *)
 
-val begin_ : at:Time.t -> ?aux:int -> ?site:int -> ?peer:int -> kind -> origin:int -> seq:int -> unit
-val end_ : at:Time.t -> ?aux:int -> ?site:int -> ?peer:int -> kind -> origin:int -> seq:int -> unit
+val begin_ :
+  at:Time.t -> ?aux:int -> ?site:int -> ?peer:int -> ?epoch:int -> kind -> origin:int -> seq:int ->
+  unit
+
+val end_ :
+  at:Time.t -> ?aux:int -> ?site:int -> ?peer:int -> ?epoch:int -> kind -> origin:int -> seq:int ->
+  unit
+(** [epoch] defaults to 0; begin and end must pass the same value or the
+    span will not pair. Only sites where both ends know the configuration
+    epoch (the tree-side spans, emitted inside one service instance)
+    should override it. *)

@@ -34,6 +34,7 @@ type t = {
   samples_per_window : int;
   tbl : (string, series) Hashtbl.t;
   mutable rev_ordered : series list; (* registration order, reversed *)
+  mutable rev_annotations : (int * string) list; (* (us, name), emission order reversed *)
 }
 
 type counter = series
@@ -43,7 +44,8 @@ let create ?(window = Sim.Time.of_ms 50) ?(samples_per_window = 5) () =
   let window_us = Sim.Time.to_us window in
   if window_us <= 0 then invalid_arg "Series.create: window must be positive";
   if samples_per_window <= 0 then invalid_arg "Series.create: samples_per_window must be positive";
-  { window_us; samples_per_window; tbl = Hashtbl.create 32; rev_ordered = [] }
+  { window_us; samples_per_window; tbl = Hashtbl.create 32; rev_ordered = [];
+    rev_annotations = [] }
 
 let window t = Sim.Time.of_us t.window_us
 let tick_period t = Sim.Time.of_us (max 1 (t.window_us / t.samples_per_window))
@@ -197,6 +199,15 @@ let seal t ~now =
   let to_idx = (Sim.Time.to_us now / t.window_us) + 1 in
   List.iter (fun s -> roll s ~to_idx) t.rev_ordered
 
+(* ---- annotations -------------------------------------------------------- *)
+
+let annotate t ~us name = t.rev_annotations <- (us, name) :: t.rev_annotations
+
+let annotations t =
+  List.sort
+    (fun (ua, na) (ub, nb) -> match Int.compare ua ub with 0 -> String.compare na nb | c -> c)
+    t.rev_annotations
+
 (* ---- reading ----------------------------------------------------------- *)
 
 let n_windows t = List.fold_left (fun m s -> max m s.n_closed) 0 t.rev_ordered
@@ -242,6 +253,16 @@ let to_csv t =
              p.count p.vmin p.vmean p.vmax p.p50 p.p99)
       done)
     (sorted_series t);
+  (* annotations ride as pseudo-rows with the same column count, so the CSV
+     digest covers them and a switch/fault mark drifting in time fails the
+     determinism gate like any other divergence *)
+  List.iter
+    (fun (us, name) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,annotation,%d,%.1f,0,0.000,0.000,0.000,0.000,0.000\n" name
+           (us / t.window_us)
+           (float_of_int us /. 1000.)))
+    (annotations t);
   buf
 
 let to_csv t = Buffer.contents (to_csv t)
@@ -269,6 +290,13 @@ let to_json t =
       done;
       Buffer.add_string buf "]}")
     (sorted_series t);
+  Buffer.add_string buf "],\"annotations\":[";
+  List.iteri
+    (fun i (us, name) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":%S,\"us\":%d,\"w\":%d}" name us (us / t.window_us)))
+    (annotations t);
   Buffer.add_string buf "]}\n";
   Buffer.contents buf
 

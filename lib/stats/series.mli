@@ -72,6 +72,20 @@ val seal : t -> now:Sim.Time.t -> unit
     run's driver finishes. Recording after [seal] is allowed (later windows
     reopen), but points already closed are final. *)
 
+(** {2 Annotations}
+
+    Named instants on the window axis — fault, heal and epoch-switch marks
+    a timeline renders alongside the series. They carry no values; they
+    appear in {!to_csv} as pseudo-rows (kind ["annotation"]) and in
+    {!to_json} under ["annotations"], so the digest covers them. *)
+
+val annotate : t -> us:int -> string -> unit
+(** Record that [name] happened at absolute simulated time [us]. *)
+
+val annotations : t -> (int * string) list
+(** Every recorded annotation as [(us, name)], sorted by time then name —
+    deterministic regardless of recording order. *)
+
 (** {2 Reading} *)
 
 type kind = Counter | Gauge | Hist
@@ -105,11 +119,13 @@ val primary : t -> string -> float array
 
 val to_csv : t -> string
 (** Long-form CSV: [series,kind,window,start_ms,count,min,mean,max,p50,p99],
-    sorted by series name then window index. Deterministic. *)
+    sorted by series name then window index, then one pseudo-row per
+    annotation (kind ["annotation"], window index and start_ms from the
+    annotation's instant, zero values). Deterministic. *)
 
 val to_json : t -> string
-(** One JSON object: window width, axis length, and per-series point
-    arrays, name-sorted. Deterministic. *)
+(** One JSON object: window width, axis length, per-series point arrays
+    (name-sorted) and the annotation list. Deterministic. *)
 
 val digest : t -> string
 (** FNV-1a 64-bit digest of [to_csv t], rendered as 16 hex digits. *)

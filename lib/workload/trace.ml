@@ -54,9 +54,7 @@ let to_string t =
     clients;
   Buffer.contents buf
 
-let payload_counter = ref 0
-
-let parse_line lineno line =
+let parse_line payload_counter lineno line =
   let fail () = failwith (Printf.sprintf "Trace: malformed line %d: %S" lineno line) in
   match String.split_on_char ' ' (String.trim line) with
   | [ "" ] -> None
@@ -78,9 +76,13 @@ let parse_line lineno line =
   | _ -> fail ()
 
 let of_string s =
+  (* parse-scoped, not process-global: payload values only need to be
+     distinct within one trace, and a global counter would make the same
+     trace parse differently on a second in-process run *)
+  let payload_counter = ref 0 in
   let ops =
     String.split_on_char '\n' s
-    |> List.mapi (fun i line -> parse_line (i + 1) line)
+    |> List.mapi (fun i line -> parse_line payload_counter (i + 1) line)
     |> List.filter_map Fun.id
   in
   of_ops ops

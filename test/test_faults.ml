@@ -163,7 +163,7 @@ let prop_random_plans_always_heal =
         Faults.Plan.random ~seed
           ~link_names:[ "l1"; "l2"; "l3" ]
           ~serializer_names:[ "s0"; "s1" ] ~clock_names:[ "c0" ] ~max_replica_crashes:1
-          ~horizon:(Sim.Time.of_ms 100)
+          ~horizon:(Sim.Time.of_ms 100) ()
       in
       let ends_healed =
         List.fold_left
@@ -188,6 +188,132 @@ let prop_random_plans_always_heal =
              | _ -> true)
            (Faults.Plan.events plan))
 
+(* ---- reconfiguration plan/injector edges ---------------------------------- *)
+
+let dc_sites3 = [| 0; 1; 2 |]
+
+let switch_event ~at ~graceful =
+  {
+    Faults.Plan.at;
+    action =
+      Faults.Plan.Switch_config
+        { graceful; config = Harness.Build.backup_config ~dc_sites:dc_sites3 };
+  }
+
+let test_switch_plan_not_restorative () =
+  let plan = Faults.Plan.make [ switch_event ~at:(Sim.Time.of_ms 5) ~graceful:true ] in
+  (* a switch is a migration, not a heal: recovery is not measured from it *)
+  Alcotest.(check (option int)) "no heal time" None
+    (Option.map Sim.Time.to_us (Faults.Plan.last_heal_time plan));
+  Alcotest.(check string) "pp" "t=5000us switch-config graceful\n"
+    (Format.asprintf "%a" Faults.Plan.pp plan)
+
+let prop_random_plans_at_most_one_early_switch =
+  QCheck.Test.make ~name:"random plans include at most one switch, in the first half" ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let plan =
+        Faults.Plan.random ~seed ~link_names:[ "l1"; "l2" ] ~serializer_names:[ "s0" ]
+          ~clock_names:[] ~max_replica_crashes:1
+          ~switch:(Harness.Build.backup_config ~dc_sites:dc_sites3)
+          ~horizon:(Sim.Time.of_ms 100) ()
+      in
+      let switches =
+        List.filter_map
+          (fun (e : Faults.Plan.event) ->
+            match e.action with Faults.Plan.Switch_config _ -> Some e.at | _ -> None)
+          (Faults.Plan.events plan)
+      in
+      List.length switches <= 1
+      && List.for_all (fun at -> Sim.Time.compare at (Sim.Time.of_ms 50) < 0) switches)
+
+let test_injector_rejects_switch_without_system () =
+  let engine = Sim.Engine.create () in
+  let reg = small_registry engine in
+  (* nothing bound via bind_system: the registry cannot reconfigure *)
+  Alcotest.check_raises "switch needs a Saturn system"
+    (Invalid_argument "Faults.Injector: switch-config needs a reconfigurable (Saturn) system")
+    (fun () ->
+      ignore
+        (Faults.Injector.arm engine reg
+           (Faults.Plan.make [ switch_event ~at:Sim.Time.zero ~graceful:true ])))
+
+let test_injector_e2_names_deferred () =
+  let engine = Sim.Engine.create () in
+  let reg = small_registry engine in
+  (* an epoch-2 name before any switch is a typo and must fail at arm time *)
+  Alcotest.check_raises "e2. name without a preceding switch"
+    (Invalid_argument "Faults.Registry: unknown link \"e2.ab\"") (fun () ->
+      ignore
+        (Faults.Injector.arm engine reg
+           (Faults.Plan.make [ { Faults.Plan.at = Sim.Time.zero; action = Faults.Plan.Cut "e2.ab" } ])))
+
+(* arm a plan that cuts an epoch-2 tree link after the switch: the name only
+   exists once the switch fires, so validation is deferred — and the cut
+   then resolves against the new tree's registered link *)
+let test_switch_registers_epoch2_pieces () =
+  let topo = Harness.Build.topo3 () in
+  let rmap = Kvstore.Replica_map.full ~n_dcs:3 ~n_keys:8 in
+  let engine = Sim.Engine.create () in
+  let freg = Faults.Registry.create () in
+  let metrics = Harness.Metrics.create engine ~topo ~dc_sites:dc_sites3 in
+  let spec =
+    {
+      (Harness.Build.default_spec ~topo ~dc_sites:dc_sites3 ~rmap) with
+      Harness.Build.saturn_config = Some (Harness.Build.chain_config ~dc_sites:dc_sites3);
+    }
+  in
+  let _api, _system = Harness.Build.saturn ~faults:freg engine spec metrics in
+  let plan =
+    Faults.Plan.make
+      [
+        switch_event ~at:(Sim.Time.of_ms 10) ~graceful:true;
+        { Faults.Plan.at = Sim.Time.of_ms 20; action = Faults.Plan.Cut "e2.tree.s0->s1.data" };
+        { Faults.Plan.at = Sim.Time.of_ms 30; action = Faults.Plan.Heal "e2.tree.s0->s1.data" };
+      ]
+  in
+  let inj = Faults.Injector.arm engine freg plan in
+  Alcotest.(check bool) "epoch-2 names unknown before the switch" true
+    (not (List.exists (fun n -> String.length n > 3 && String.sub n 0 3 = "e2.")
+            (Faults.Registry.link_names freg)));
+  Sim.Engine.run ~until:(Sim.Time.of_ms 15) engine;
+  (* the backup tree's serializers and links are now addressable *)
+  Alcotest.(check bool) "e2 serializer registered" true
+    (List.mem "e2.ser0" (Faults.Registry.serializer_names freg));
+  Alcotest.(check bool) "e2 tree link registered" true
+    (List.mem "e2.tree.s0->s1.data" (Faults.Registry.link_names freg));
+  Sim.Engine.run ~until:(Sim.Time.of_ms 25) engine;
+  Alcotest.(check bool) "deferred cut applied to the new tree" false
+    (Sim.Link.is_up (Faults.Registry.link freg "e2.tree.s0->s1.data"));
+  Sim.Engine.run ~until:(Sim.Time.of_ms 35) engine;
+  Alcotest.(check bool) "healed" true
+    (Sim.Link.is_up (Faults.Registry.link freg "e2.tree.s0->s1.data"));
+  Alcotest.(check int) "all three events applied" 3 (Faults.Injector.events_applied inj)
+
+let test_double_switch_rejected () =
+  let topo = Harness.Build.topo3 () in
+  let rmap = Kvstore.Replica_map.full ~n_dcs:3 ~n_keys:8 in
+  let engine = Sim.Engine.create () in
+  let freg = Faults.Registry.create () in
+  let metrics = Harness.Metrics.create engine ~topo ~dc_sites:dc_sites3 in
+  let spec =
+    {
+      (Harness.Build.default_spec ~topo ~dc_sites:dc_sites3 ~rmap) with
+      Harness.Build.saturn_config = Some (Harness.Build.chain_config ~dc_sites:dc_sites3);
+    }
+  in
+  let _api, _system = Harness.Build.saturn ~faults:freg engine spec metrics in
+  Alcotest.check_raises "one switch per plan"
+    (Invalid_argument "Faults.Injector: at most one switch-config per plan (one switch per system)")
+    (fun () ->
+      ignore
+        (Faults.Injector.arm engine freg
+           (Faults.Plan.make
+              [
+                switch_event ~at:(Sim.Time.of_ms 1) ~graceful:true;
+                switch_event ~at:(Sim.Time.of_ms 2) ~graceful:false;
+              ])))
+
 (* ---- checker ------------------------------------------------------------- *)
 
 let with_events emits =
@@ -196,7 +322,22 @@ let with_events emits =
       List.iter (fun (us, ev) -> Sim.Probe.emit ~at:(Sim.Time.of_us us) ev) emits);
   Faults.Checker.analyze probe
 
-let commit ser origin oseq = Sim.Probe.Ser_commit { ser; origin; oseq }
+let commit ser origin oseq = Sim.Probe.Ser_commit { ser; origin; oseq; epoch = 0 }
+let commit_e epoch ser origin oseq = Sim.Probe.Ser_commit { ser; origin; oseq; epoch }
+
+let forward ?(gear = 0) ~dc ~oseq ~epoch () =
+  Sim.Probe.Label_forward { dc; gear; ts = oseq; oseq; inst = epoch; epoch }
+
+let marker = forward ~gear:Saturn.Label.marker_gear
+
+let has_violation r sub =
+  let contains s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+    go 0
+  in
+  List.exists (fun (v : Faults.Checker.violation) -> contains v.Faults.Checker.what)
+    r.Faults.Checker.violations
 
 let test_checker_clean_stream () =
   let r =
@@ -249,6 +390,62 @@ let test_checker_counts () =
   Alcotest.(check int) "head changes" 1 r.Faults.Checker.head_changes;
   Alcotest.(check int) "fallbacks (activations only)" 1 r.Faults.Checker.fallback_activations
 
+(* ---- cross-epoch invariants ----------------------------------------------- *)
+
+let test_checker_epoch_scopes_commit_keys () =
+  (* epoch-2 serializer ids and per-origin uid counters restart at 0: the
+     same (ser, origin, oseq) in a later epoch is a fresh commit, not a
+     duplicate or a FIFO regression *)
+  let r =
+    with_events
+      [ (1, commit_e 0 0 1 1); (2, commit_e 0 0 1 2); (3, commit_e 1 0 1 1); (4, commit_e 1 0 1 2) ]
+  in
+  Alcotest.(check bool) "ok across epochs" true (Faults.Checker.ok r);
+  Alcotest.(check int) "all four commits counted" 4 r.Faults.Checker.commits;
+  (* but within one epoch the old rules still bite *)
+  let r2 = with_events [ (1, commit_e 1 0 1 1); (2, commit_e 1 0 1 1) ] in
+  Alcotest.(check bool) "duplicate within an epoch still flagged" true
+    (has_violation r2 "committed twice")
+
+let test_checker_marker_last () =
+  (* §6.2: the epoch-change marker must be the last label its origin pushes
+     through the old tree *)
+  let r =
+    with_events
+      [
+        (1, forward ~dc:1 ~oseq:4 ~epoch:0 ());
+        (2, marker ~dc:1 ~oseq:5 ~epoch:0 ());
+        (3, forward ~dc:1 ~oseq:6 ~epoch:0 ());
+      ]
+  in
+  Alcotest.(check bool) "old-tree forward after the marker flagged" true
+    (has_violation r "after marker");
+  (* the same origin continuing on the NEW tree is the intended behaviour *)
+  let r2 =
+    with_events
+      [
+        (1, forward ~dc:1 ~oseq:4 ~epoch:0 ());
+        (2, marker ~dc:1 ~oseq:5 ~epoch:0 ());
+        (3, forward ~dc:1 ~oseq:6 ~epoch:1 ());
+        (4, commit_e 1 0 1 6);
+      ]
+  in
+  Alcotest.(check bool) "new-tree labels after the marker are fine" true (Faults.Checker.ok r2);
+  let r3 =
+    with_events [ (1, marker ~dc:1 ~oseq:5 ~epoch:0 ()); (2, marker ~dc:1 ~oseq:7 ~epoch:0 ()) ]
+  in
+  Alcotest.(check bool) "duplicate marker flagged" true (has_violation r3 "duplicate epoch-change")
+
+let test_checker_route_monotone_and_duplicate_apply () =
+  let r =
+    with_events [ (1, forward ~dc:2 ~oseq:1 ~epoch:1 ()); (2, forward ~dc:2 ~oseq:2 ~epoch:0 ()) ]
+  in
+  Alcotest.(check bool) "route regression flagged" true (has_violation r "route regression");
+  let apply ts = Sim.Probe.Proxy_apply { dc = 2; src_dc = 1; gear = 0; ts; fallback = false } in
+  let r2 = with_events [ (1, apply 7); (2, apply 7) ] in
+  Alcotest.(check bool) "old/new tree race installing a label twice flagged" true
+    (has_violation r2 "installed twice")
+
 (* ---- whole-system property ----------------------------------------------- *)
 
 (* a 3-DC chain deployment under a random (but survivable) plan: whatever
@@ -279,7 +476,8 @@ let run_random_plan ~seed =
           ~serializer_names:(Faults.Registry.serializer_names freg)
           ~clock_names:(Faults.Registry.clock_names freg)
           ~max_replica_crashes:1 (* of 2 replicas: the chain survives *)
-          ~horizon:(Sim.Time.of_ms 500)
+          ~switch:(Harness.Build.backup_config ~dc_sites)
+          ~horizon:(Sim.Time.of_ms 500) ()
       in
       let (_ : Faults.Injector.t) = Faults.Injector.arm ~registry engine freg plan in
       let clients = Harness.Driver.make_clients ~dc_sites ~per_dc:2 in
@@ -295,8 +493,21 @@ let run_random_plan ~seed =
            ~cooldown:(Sim.Time.of_ms 100)));
   Faults.Checker.analyze probe
 
+(* regression pin: plan seed 877 forces a switch at t=38ms with ~40ms of
+   bulk traffic still in flight; the old completion rule adopted C2
+   instantly (empty payload table) and the late C1-era payloads then
+   applied out of per-origin timestamp order.  The epoch-tag drain
+   barrier must hold the switch open until that traffic lands. *)
+let test_forced_switch_drain_barrier_seed877 () =
+  let r = run_random_plan ~seed:877 in
+  if not (Faults.Checker.ok r) then
+    Alcotest.failf "%s" (Format.asprintf "%a" Faults.Checker.pp r);
+  Alcotest.(check bool) "commits flowed" true (r.Faults.Checker.commits > 0);
+  Alcotest.(check int) "one switch" 1 r.Faults.Checker.switches
+
 let prop_random_plan_exactly_once_fifo =
-  QCheck.Test.make ~name:"random fault plans preserve exactly-once FIFO-per-origin commit"
+  QCheck.Test.make
+    ~name:"random fault plans (incl. epoch switches) preserve exactly-once FIFO-per-origin commit"
     ~count:4
     QCheck.(int_bound 1000)
     (fun seed ->
@@ -309,7 +520,7 @@ let prop_random_plan_exactly_once_fifo =
    covers recovery-time plumbing end to end *)
 let test_matrix_smoke () =
   let outcomes = Harness.Fault_run.run_matrix ~seed:7 () in
-  Alcotest.(check int) "eight runs" 8 (List.length outcomes);
+  Alcotest.(check int) "twelve runs" 12 (List.length outcomes);
   Alcotest.(check int) "no violations" 0 (Harness.Fault_run.violations outcomes);
   List.iter
     (fun (o : Harness.Fault_run.outcome) ->
@@ -320,7 +531,21 @@ let test_matrix_smoke () =
     outcomes;
   let crash_run = List.hd outcomes in
   Alcotest.(check int) "head change healed the chain" 1
-    crash_run.Harness.Fault_run.report.Faults.Checker.head_changes
+    crash_run.Harness.Fault_run.report.Faults.Checker.head_changes;
+  (* every reconfig row records exactly one epoch switch in its trace, and
+     the series carries the switch annotation the timeline renders *)
+  List.iter
+    (fun (o : Harness.Fault_run.outcome) ->
+      let s = o.Harness.Fault_run.scenario in
+      if String.length s >= 8 && String.equal (String.sub s 0 8) "reconfig" then begin
+        Alcotest.(check int) (s ^ " one switch") 1
+          o.Harness.Fault_run.report.Faults.Checker.switches;
+        Alcotest.(check bool) (s ^ " switch annotated") true
+          (List.exists
+             (fun (_, n) -> String.length n >= 7 && String.equal (String.sub n 0 7) "switch.")
+             (Stats.Series.annotations o.Harness.Fault_run.series))
+      end)
+    outcomes
 
 let suite =
   [
@@ -332,10 +557,24 @@ let suite =
     Alcotest.test_case "injector validates eagerly" `Quick test_injector_validates_eagerly;
     Alcotest.test_case "plan sort + heal time" `Quick test_plan_sort_and_heal_time;
     qtest prop_random_plans_always_heal;
+    Alcotest.test_case "switch plan is not restorative" `Quick test_switch_plan_not_restorative;
+    qtest prop_random_plans_at_most_one_early_switch;
+    Alcotest.test_case "injector rejects switch without system" `Quick
+      test_injector_rejects_switch_without_system;
+    Alcotest.test_case "injector defers e2. names" `Quick test_injector_e2_names_deferred;
+    Alcotest.test_case "switch registers epoch-2 pieces" `Quick test_switch_registers_epoch2_pieces;
+    Alcotest.test_case "double switch rejected" `Quick test_double_switch_rejected;
+    Alcotest.test_case "checker epoch-scoped commit keys" `Quick
+      test_checker_epoch_scopes_commit_keys;
+    Alcotest.test_case "checker marker-last invariant" `Quick test_checker_marker_last;
+    Alcotest.test_case "checker route monotonicity + duplicate apply" `Quick
+      test_checker_route_monotone_and_duplicate_apply;
     Alcotest.test_case "checker clean stream" `Quick test_checker_clean_stream;
     Alcotest.test_case "checker duplicate commit" `Quick test_checker_flags_duplicate_commit;
     Alcotest.test_case "checker reorder" `Quick test_checker_flags_reorder;
     Alcotest.test_case "checker fault counts" `Quick test_checker_counts;
+    Alcotest.test_case "forced-switch drain barrier (seed 877)" `Quick
+      test_forced_switch_drain_barrier_seed877;
     qtest prop_random_plan_exactly_once_fifo;
     Alcotest.test_case "scenario matrix smoke" `Slow test_matrix_smoke;
   ]

@@ -27,6 +27,31 @@ let test_label_compare_rule () =
   Alcotest.(check bool) "gear breaks src ties" true (Saturn.Label.compare a d < 0);
   Alcotest.(check bool) "reflexive equal" true (Saturn.Label.equal a a)
 
+let test_epoch_marker_sorts_last () =
+  (* §6.2: the epoch-change marker must be the last label its origin pushes
+     through the old tree, so at an equal timestamp it has to sort after
+     every same-origin data label — pinned here so the gear tie-break
+     cannot silently regress *)
+  let ts = 10 and src_dc = 1 in
+  let m = Saturn.Label.epoch_change ~ts ~src_dc ~epoch:2 in
+  Alcotest.(check int) "marker gear is the 20-bit max" 0xFFFFF Saturn.Label.marker_gear;
+  List.iter
+    (fun src_gear ->
+      let u = Saturn.Label.update ~ts ~src_dc ~src_gear ~key:3 in
+      let g = Saturn.Label.migration ~ts ~src_dc ~src_gear ~dest_dc:2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "same-ts update (gear %d) before marker" src_gear)
+        true
+        (Saturn.Label.compare u m < 0 && Saturn.Label.compare_ts_src u m < 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "same-ts migration (gear %d) before marker" src_gear)
+        true
+        (Saturn.Label.compare g m < 0))
+    [ 0; 1; Saturn.Label.marker_gear - 1 ];
+  (* the tie-break never overrides the timestamp order *)
+  let later = Saturn.Label.update ~ts:(ts + 1) ~src_dc ~src_gear:0 ~key:3 in
+  Alcotest.(check bool) "later ts still after the marker" true (Saturn.Label.compare m later < 0)
+
 let test_label_kind_predicates () =
   let u = Saturn.Label.update ~ts:1 ~src_dc:0 ~src_gear:0 ~key:0 in
   let m = Saturn.Label.migration ~ts:1 ~src_dc:0 ~src_gear:0 ~dest_dc:1 in
@@ -206,6 +231,8 @@ let prop_sink_emits_sorted =
 let suite =
   [
     Alcotest.test_case "label comparability rule" `Quick test_label_compare_rule;
+    Alcotest.test_case "epoch marker sorts after same-ts data labels" `Quick
+      test_epoch_marker_sorts_last;
     Alcotest.test_case "label kind predicates" `Quick test_label_kind_predicates;
     qtest prop_compare_total_order;
     qtest prop_ts_src_consistent;

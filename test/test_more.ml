@@ -41,7 +41,7 @@ let test_sweep_rescues_lost_label () =
   let l = Saturn.Label.update ~ts:(Sim.Time.of_ms 10) ~src_dc:1 ~src_gear:0 ~key:1 in
   Saturn.Proxy.on_payload proxy
     { Saturn.Proxy.label = l; value = Kvstore.Value.make ~payload:1 ~size_bytes:2;
-      origin_time = Sim.Time.zero };
+      origin_time = Sim.Time.zero; epoch = 0 };
   (* no on_label ever (the label died with its serializer); heartbeats make
      it ts-stable *)
   Saturn.Proxy.on_heartbeat proxy ~src:1 (Sim.Time.of_ms 20);
@@ -65,7 +65,7 @@ let test_proxy_compact () =
   let l = Saturn.Label.update ~ts:(Sim.Time.of_ms 5) ~src_dc:1 ~src_gear:0 ~key:1 in
   Saturn.Proxy.on_payload proxy
     { Saturn.Proxy.label = l; value = Kvstore.Value.make ~payload:1 ~size_bytes:2;
-      origin_time = Sim.Time.zero };
+      origin_time = Sim.Time.zero; epoch = 0 };
   Saturn.Proxy.on_label proxy l;
   Sim.Engine.run engine;
   Alcotest.(check bool) "applied" true (Saturn.Proxy.label_was_applied proxy l);

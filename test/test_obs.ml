@@ -93,10 +93,11 @@ let test_probe_json_stable () =
        (Sim.Probe.Proxy_apply { dc = 2; src_dc = 0; gear = 1; ts = 33; fallback = true }));
   Alcotest.(check string)
     "span json"
-    {|{"t":42,"ev":"span_begin","kind":"chain","origin":1,"seq":7,"aux":0,"site":2,"peer":-1}|}
+    {|{"t":42,"ev":"span_begin","kind":"chain","origin":1,"seq":7,"aux":0,"site":2,"peer":-1,"epoch":0}|}
     (Sim.Probe.to_json (Sim.Time.of_us 42)
        (Sim.Probe.Span_begin
-          { Sim.Probe.sk = Sim.Probe.Sk_chain; origin = 1; seq = 7; aux = 0; site = 2; peer = -1 }))
+          { Sim.Probe.sk = Sim.Probe.Sk_chain; origin = 1; seq = 7; aux = 0; site = 2; peer = -1;
+            epoch = 0 }))
 
 let test_probe_unbuffered () =
   let p = Sim.Probe.create ~keep:false () in

@@ -4,9 +4,9 @@
 let ulabel ~ts ~src ~key = Saturn.Label.update ~ts:(Sim.Time.of_ms ts) ~src_dc:src ~src_gear:0 ~key
 let mlabel ~ts ~src ~dest = Saturn.Label.migration ~ts:(Sim.Time.of_ms ts) ~src_dc:src ~src_gear:0 ~dest_dc:dest
 
-let payload ?(origin = 0.) label =
+let payload ?(origin = 0.) ?(epoch = 0) label =
   { Saturn.Proxy.label; value = Kvstore.Value.make ~payload:label.Saturn.Label.ts ~size_bytes:2;
-    origin_time = Sim.Time.of_sec origin }
+    origin_time = Sim.Time.of_sec origin; epoch }
 
 (* proxy with instantaneous staging and an install log *)
 type ctx = {
@@ -185,18 +185,25 @@ let test_epoch_graceful_switch () =
 let test_epoch_forced_switch () =
   (* three datacenters so that a silent source (src 2) gates stability *)
   let ctx = make_ctx ~n_dcs:3 () in
-  (* C1 broke: fall back to ts order, buffer C2, adopt when stable *)
+  (* C1 broke: fall back to ts order, buffer C2, adopt once the old
+     epoch's bulk traffic has drained *)
   let l1 = ulabel ~ts:10 ~src:1 ~key:1 in
   Saturn.Proxy.on_payload ctx.proxy (payload l1);
-  Saturn.Proxy.start_forced_switch ctx.proxy;
+  Saturn.Proxy.start_forced_switch ctx.proxy ~epoch:1;
   Alcotest.(check bool) "fallback mode" true (Saturn.Proxy.mode ctx.proxy = Saturn.Proxy.Fallback);
   let c2 = ulabel ~ts:30 ~src:1 ~key:2 in
-  Saturn.Proxy.on_payload ctx.proxy (payload c2);
+  Saturn.Proxy.on_payload ctx.proxy (payload ~epoch:1 c2);
   Saturn.Proxy.on_label_next ctx.proxy c2;
   Sim.Engine.run ctx.engine;
   Alcotest.(check (list int)) "nothing before stability" [] !(ctx.installed);
-  Saturn.Proxy.on_heartbeat ctx.proxy ~src:1 (Sim.Time.of_ms 35);
+  (* src 1's barrier is already crossed by c2's tag; src 2 stays silent, so
+     an old-epoch heartbeat from it must NOT complete the switch *)
+  Saturn.Proxy.on_heartbeat ctx.proxy ~src:1 ~epoch:1 (Sim.Time.of_ms 35);
   Saturn.Proxy.on_heartbeat ctx.proxy ~src:2 (Sim.Time.of_ms 35);
+  Sim.Engine.run ctx.engine;
+  Alcotest.(check bool) "old-epoch heartbeat does not complete" false
+    (Saturn.Proxy.switch_complete ctx.proxy);
+  Saturn.Proxy.on_heartbeat ctx.proxy ~src:2 ~epoch:1 (Sim.Time.of_ms 36);
   Sim.Engine.run ctx.engine;
   Alcotest.(check bool) "adopted C2" true (Saturn.Proxy.switch_complete ctx.proxy);
   Alcotest.(check bool) "back in stream mode" true (Saturn.Proxy.mode ctx.proxy = Saturn.Proxy.Stream);

@@ -120,6 +120,99 @@ let test_recovery_window () =
     (Stats.Series.recovery_window ~window_us:50_000 ~fault_at_us:400_000 ~heal_at_us:700_000
        (Array.init 24 (fun i -> if i >= 8 then 100. else 10.)))
 
+(* the boundary cases of the window quantization: a fault landing exactly
+   on a window's left edge makes that window fault-era (excluded from the
+   steady-state calibration), and a heal landing exactly on a left edge
+   makes that very window the first recovery candidate *)
+let test_recovery_window_boundary () =
+  let w = 50_000 in
+  (* fault at exactly window 4's left edge; elevated through window 8 *)
+  let v = Array.init 12 (fun i -> if i >= 4 && i < 9 then 100. else 10.) in
+  Alcotest.(check (option int)) "boundary fault window excluded from steady state" (Some 9)
+    (Stats.Series.recovery_window ~window_us:w ~fault_at_us:(4 * w) ~heal_at_us:(8 * w) v);
+  (* heal at exactly window 8's left edge, and window 8 is already back at
+     steady: the heal window itself is the answer *)
+  let v2 = Array.init 12 (fun i -> if i >= 4 && i < 8 then 100. else 10.) in
+  Alcotest.(check (option int)) "heal-boundary window itself can be the recovery" (Some 8)
+    (Stats.Series.recovery_window ~window_us:w ~fault_at_us:(4 * w) ~heal_at_us:(8 * w) v2);
+  (* one microsecond earlier the heal falls inside window 7, which is still
+     elevated — the scan starts there and walks forward to the same answer *)
+  Alcotest.(check (option int)) "heal one us before the boundary" (Some 8)
+    (Stats.Series.recovery_window ~window_us:w ~fault_at_us:(4 * w) ~heal_at_us:((8 * w) - 1) v2)
+
+(* when the series never returns to steady state, the window-derived
+   recovery is None and the agreement cross-check declines to answer
+   rather than reporting a spurious (dis)agreement *)
+let test_recovery_never_happens () =
+  let series = Stats.Series.create ~window:(ms 50) () in
+  let h = Stats.Series.hist series "series.vis_ms" in
+  for i = 0 to 23 do
+    Stats.Series.observe h
+      ~now:(Sim.Time.of_us ((i * 50_000) + 10_000))
+      (if i >= 8 then 100. else 10.)
+  done;
+  (* seal inside the last observed window: an extra empty window would
+     read as "recovered" (p99 back to 0) and defeat the point *)
+  Stats.Series.seal series ~now:(ms 1195);
+  let o =
+    {
+      Harness.Fault_run.scenario = "synthetic";
+      system = "saturn";
+      ops = 0;
+      vis_mean_ms = 0.;
+      vis_p99_ms = 0.;
+      recovery_ms = 120.;
+      report = Faults.Checker.analyze (Sim.Probe.create ());
+      digest = "";
+      n_events = 0;
+      flame = [];
+      span_us = [];
+      registry = Stats.Registry.create ();
+      series;
+      fault_at_us = Some 400_000;
+      heal_at_us = Some 700_000;
+    }
+  in
+  Alcotest.(check (option (float 1e-9))) "series_recovery_ms is None" None
+    (Harness.Fault_run.series_recovery_ms o);
+  Alcotest.(check (option bool)) "recovery_agrees is None" None
+    (Harness.Fault_run.recovery_agrees o)
+
+(* ---- annotations -------------------------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_annotations () =
+  let t = Stats.Series.create ~window:(ms 50) () in
+  let c = Stats.Series.counter t "series.a" in
+  Stats.Series.incr c ~now:(ms 10);
+  (* emitted out of order, two at the same instant *)
+  Stats.Series.annotate t ~us:60_000 "switch.graceful";
+  Stats.Series.annotate t ~us:10_000 "fault";
+  Stats.Series.annotate t ~us:10_000 "a-first";
+  Stats.Series.seal t ~now:(ms 100);
+  Alcotest.(check (list (pair int string)))
+    "sorted by time then name"
+    [ (10_000, "a-first"); (10_000, "fault"); (60_000, "switch.graceful") ]
+    (Stats.Series.annotations t);
+  (* CSV pseudo-rows keep the column count and place the mark in its window *)
+  let lines = String.split_on_char '\n' (Stats.Series.to_csv t) in
+  Alcotest.(check bool) "csv pseudo-row, window 1" true
+    (List.mem "switch.graceful,annotation,1,60.0,0,0.000,0.000,0.000,0.000,0.000" lines);
+  Alcotest.(check bool) "csv pseudo-row, window 0" true
+    (List.mem "fault,annotation,0,10.0,0,0.000,0.000,0.000,0.000,0.000" lines);
+  Alcotest.(check bool) "json annotations array" true
+    (contains (Stats.Series.to_json t)
+       "\"annotations\":[{\"name\":\"a-first\",\"us\":10000,\"w\":0}");
+  (* the digest is over the CSV, pseudo-rows included: a mark drifting in
+     time or appearing/vanishing fails the determinism gate *)
+  let d = Stats.Series.digest t in
+  Stats.Series.annotate t ~us:90_000 "heal";
+  Alcotest.(check bool) "digest covers annotations" true (d <> Stats.Series.digest t)
+
 (* ---- rendering --------------------------------------------------------------- *)
 
 let test_sparkline () =
@@ -173,7 +266,7 @@ let series_digest_of_random_plan ~seed =
       ~serializer_names:(Faults.Registry.serializer_names freg)
       ~clock_names:(Faults.Registry.clock_names freg)
       ~max_replica_crashes:1
-      ~horizon:(Sim.Time.of_ms 500)
+      ~horizon:(Sim.Time.of_ms 500) ()
   in
   let (_ : Faults.Injector.t) = Faults.Injector.arm ~registry engine freg plan in
   let clients = Harness.Driver.make_clients ~dc_sites ~per_dc:2 in
@@ -238,6 +331,12 @@ let suite =
     Alcotest.test_case "per-window histogram percentiles" `Quick test_hist_per_window;
     Alcotest.test_case "registration rules" `Quick test_registration_rules;
     Alcotest.test_case "recovery-point detection" `Quick test_recovery_window;
+    Alcotest.test_case "recovery window: fault/heal exactly on a boundary" `Quick
+      test_recovery_window_boundary;
+    Alcotest.test_case "recovery never happens: series answer is None" `Quick
+      test_recovery_never_happens;
+    Alcotest.test_case "annotations: ordering, csv/json rows, digest coverage" `Quick
+      test_annotations;
     Alcotest.test_case "sparkline" `Quick test_sparkline;
     Alcotest.test_case "csv shape + digest" `Quick test_csv_shape;
     qtest prop_series_digest_deterministic;

@@ -75,9 +75,9 @@ let test_stream_jsonl () =
     [
       (us 10, Sim.Probe.Sink_emit { dc = 0; ts = 10 });
       (us 20, Sim.Probe.Span_begin { Sim.Probe.sk = Sim.Probe.Sk_sink_hold; origin = 0; seq = 10;
-                                     aux = 1; site = 0; peer = -1 });
+                                     aux = 1; site = 0; peer = -1; epoch = 0 });
       (us 30, Sim.Probe.Span_end { Sim.Probe.sk = Sim.Probe.Sk_sink_hold; origin = 0; seq = 10;
-                                   aux = 1; site = 0; peer = -1 });
+                                   aux = 1; site = 0; peer = -1; epoch = 0 });
     ]
   in
   Sim.Probe.with_probe probe (fun () -> List.iter (fun (at, e) -> Sim.Probe.emit ~at e) evs);
@@ -369,7 +369,7 @@ let prop_decomposition_sums_under_random_plans =
               ~link_names:(Faults.Registry.link_names freg)
               ~serializer_names:(Faults.Registry.serializer_names freg)
               ~clock_names:(Faults.Registry.clock_names freg)
-              ~max_replica_crashes:1 ~horizon:(Sim.Time.of_ms 500))
+              ~max_replica_crashes:1 ~horizon:(Sim.Time.of_ms 500) ())
       in
       let report = Harness.Journey.analyze probe in
       (match Harness.Journey.check report with
