@@ -2,6 +2,7 @@
 # Regenerate every checked-in deterministic baseline in one command:
 #
 #   ci/smoke-counters.txt   probe/span/series counters of the smoke run
+#   ci/lint-waivers.txt     saturn-lint waiver inventory (the ratchet)
 #   BENCH_smoke.json        smoke-run headline numbers (saturn-bench-smoke/1)
 #   BENCH_engine.json       per-tier engine speed (saturn-bench-engine/1)
 #   BENCH_shootout.json     per-system visibility + metadata bytes/op
@@ -13,6 +14,18 @@
 # the reviewable statement of what moved.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# --lint-baseline: refresh only the lint waiver inventory. Adding or
+# removing a (* lint: allow ... *) comment fails `dune build @lint` until
+# this file moves with it — the diff is the reviewable statement that the
+# waiver set changed on purpose.
+if [[ "${1:-}" == "--lint-baseline" ]]; then
+  dune build bin/saturn_lint.exe
+  dune exec bin/saturn_lint.exe -- --root . --waivers-out ci/lint-waivers.txt lib bin > /dev/null
+  echo "regenerated ci/lint-waivers.txt:"
+  git --no-pager diff --stat -- ci/lint-waivers.txt
+  exit 0
+fi
 
 # Each baseline regenerates under step(), so a failure names the baseline
 # left stale instead of dying on an anonymous non-zero exit.
@@ -39,7 +52,9 @@ step BENCH_engine.json \
   dune exec bench/main.exe -- engine --out BENCH_engine.json
 step BENCH_shootout.json \
   dune exec bench/main.exe -- shootout --out BENCH_shootout.json > /dev/null
+step ci/lint-waivers.txt \
+  dune exec bin/saturn_lint.exe -- --root . --waivers-out ci/lint-waivers.txt lib bin > /dev/null
 
 echo
 echo "regenerated baselines:"
-git --no-pager diff --stat -- ci/smoke-counters.txt BENCH_smoke.json BENCH_engine.json BENCH_shootout.json
+git --no-pager diff --stat -- ci/smoke-counters.txt ci/lint-waivers.txt BENCH_smoke.json BENCH_engine.json BENCH_shootout.json

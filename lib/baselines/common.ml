@@ -8,16 +8,10 @@ type params = {
   bulk_factor : float;
 }
 
-let default_params ~topo ~dc_sites ~rmap =
-  { topo; dc_sites; partitions = 4; frontends = 2; cost = Saturn.Cost_model.default; rmap;
-    bulk_factor = 1.0 }
-
 type hooks = {
   on_visible :
     dc:int -> key:int -> origin_dc:int -> origin_time:Sim.Time.t -> value:Kvstore.Value.t -> unit;
 }
-
-let no_hooks = { on_visible = (fun ~dc:_ ~key:_ ~origin_dc:_ ~origin_time:_ ~value:_ -> ()) }
 
 type dc_state = {
   servers : Sim.Server.t array;
@@ -83,7 +77,6 @@ let create ?series engine p =
   t
 
 let engine t = t.engine
-let series t = t.series
 let n_dcs t = Array.length t.dcs
 let params t = t.p
 let partition_of t ~key = Kvstore.Partitioning.responsible t.partitioning ~key

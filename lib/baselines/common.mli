@@ -17,15 +17,10 @@ type params = {
   bulk_factor : float;  (** bulk-path inflation; 1.0 = shortest path *)
 }
 
-val default_params :
-  topo:Sim.Topology.t -> dc_sites:Sim.Topology.site array -> rmap:Kvstore.Replica_map.t -> params
-
 type hooks = {
   on_visible :
     dc:int -> key:int -> origin_dc:int -> origin_time:Sim.Time.t -> value:Kvstore.Value.t -> unit;
 }
-
-val no_hooks : hooks
 
 type t
 
@@ -37,9 +32,6 @@ val create : ?series:Stats.Series.t -> Sim.Engine.t -> params -> t
     apply/pending series via {!series}. *)
 
 val engine : t -> Sim.Engine.t
-
-val series : t -> Stats.Series.t option
-(** The windowed-telemetry registry passed at [create], if any. *)
 
 val n_dcs : t -> int
 val params : t -> params

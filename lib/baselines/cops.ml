@@ -56,7 +56,6 @@ let create ?series ?meta engine p hooks ~prune_on_write =
   | None -> ());
   t
 
-let fabric t = t.geo
 let cost t = (Common.params t.geo).Common.cost
 let rmap t = (Common.params t.geo).Common.rmap
 

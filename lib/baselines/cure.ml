@@ -154,8 +154,6 @@ and finish_stab_round t dc =
         List.iter (fun (_, k) -> k ()) ready
   end
 
-let fabric t = t.geo
-let gsv t ~dc = Array.copy t.dcs.(dc).gsv
 let cost t = (Common.params t.geo).Common.cost
 let rmap t = (Common.params t.geo).Common.rmap
 

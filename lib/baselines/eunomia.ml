@@ -158,7 +158,6 @@ let create ?series ?meta engine p hooks =
   t
 
 let fabric t = t.geo
-let gst t ~dc = t.dcs.(dc).gst
 let sequencer_down t ~dc = not t.dcs.(dc).seq_up
 
 let sequencer_crash t ~dc =

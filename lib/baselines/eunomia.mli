@@ -24,7 +24,6 @@ val create :
   Common.hooks -> t
 
 val fabric : t -> Common.t
-val gst : t -> dc:int -> Sim.Time.t
 
 val sequencer_crash : t -> dc:int -> unit
 (** Crash [dc]'s sequencer: announcements (and stabilization rounds) stop

@@ -142,8 +142,6 @@ and finish_stab_round t dc =
         List.iter (fun (_, k) -> k ()) ready
   end
 
-let fabric t = t.geo
-let gst t ~dc = t.dcs.(dc).gst
 let cost t = (Common.params t.geo).Common.cost
 let rmap t = (Common.params t.geo).Common.rmap
 let client_dt t client = Option.value ~default:Sim.Time.zero (Hashtbl.find_opt t.client_dt client)

@@ -163,7 +163,6 @@ and finish_stab_round t dc =
   advance t dc
 
 let fabric t = t.geo
-let ust t ~dc = t.dcs.(dc).ust
 let cost t = (Common.params t.geo).Common.cost
 let rmap t = (Common.params t.geo).Common.rmap
 let client_dt t client = Option.value ~default:Sim.Time.zero (Hashtbl.find_opt t.client_dt client)

@@ -23,9 +23,6 @@ val create :
 
 val fabric : t -> Common.t
 
-val ust : t -> dc:int -> Sim.Time.t
-(** The universal stable time as computed at [dc]. *)
-
 val attach : t -> client:int -> home:Sim.Topology.site -> dc:int -> k:(unit -> unit) -> unit
 val read :
   t -> client:int -> home:Sim.Topology.site -> dc:int -> key:int -> k:(Kvstore.Value.t option -> unit) -> unit

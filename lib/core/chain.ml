@@ -53,14 +53,11 @@ let compact_window = 1024
 let compact t =
   let floor = t.committed - compact_window in
   if floor > 0 then begin
-    (* lint: allow unordered-iteration — collects keys only to remove them;
-       removal commutes, table state after the sweep is order-independent *)
     let stale = Hashtbl.fold (fun k seq acc -> if seq < floor then k :: acc else acc) t.dedup [] in
     List.iter (Hashtbl.remove t.dedup) stale;
     Array.iter
       (fun r ->
         if r.alive then begin
-          (* lint: allow unordered-iteration — same removal sweep as above *)
           let old = Hashtbl.fold (fun seq _ acc -> if seq < floor then seq :: acc else acc) r.store [] in
           List.iter (Hashtbl.remove r.store) old
         end)
@@ -158,8 +155,6 @@ let crash_replica t i =
          lost; their dedup entries must go so retransmissions are re-keyed *)
       let floor = max t.committed (t.reps.(new_head).max_contig + 1) in
       t.next_seq <- floor;
-      (* lint: allow unordered-iteration — collects keys only to remove them
-         (dedup + confirms); removal commutes, no ordering escapes *)
       let stale = Hashtbl.fold (fun k seq acc -> if seq >= floor then k :: acc else acc) t.dedup [] in
       List.iter
         (fun k ->

@@ -43,12 +43,6 @@ val crash_replica : 'msg t -> int -> unit
     the paper's fault model. @raise Invalid_argument if already crashed or
     out of range. *)
 
-val compact : 'msg t -> unit
-(** Drops dedup entries and replica log entries more than a window (1024)
-    below the committed point; runs automatically every 256 commits. Such
-    entries can no longer be retransmitted (their senders were acknowledged
-    long ago) nor needed for re-sync (every live replica has stored them). *)
-
 val alive_replicas : 'msg t -> int
 val committed : 'msg t -> int
 val is_down : 'msg t -> bool

@@ -10,7 +10,6 @@ type t = {
 let create ~id ~home_site ~preferred_dc =
   { id; home_site; preferred_dc; current_dc = preferred_dc; label = None; ops = 0 }
 
-let id t = t.id
 let home_site t = t.home_site
 let preferred_dc t = t.preferred_dc
 let current_dc t = t.current_dc
@@ -23,5 +22,3 @@ let observe t label =
   | None -> t.label <- Some label
   | Some current -> if Label.compare label current > 0 then t.label <- Some label
 
-let ops_completed t = t.ops
-let incr_ops t = t.ops <- t.ops + 1

@@ -11,7 +11,6 @@ type t
 
 val create : id:int -> home_site:Sim.Topology.site -> preferred_dc:int -> t
 
-val id : t -> int
 val home_site : t -> Sim.Topology.site
 val preferred_dc : t -> int
 
@@ -28,6 +27,3 @@ val causal_ts : t -> Sim.Time.t
 
 val observe : t -> Label.t -> unit
 (** Merge a label into the causal past: replaces it iff greater. *)
-
-val ops_completed : t -> int
-val incr_ops : t -> unit

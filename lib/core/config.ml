@@ -51,8 +51,6 @@ let metadata_latency t topo ~src_dc ~dst_dc =
     in
     hops entry path
 
-(* lint: allow unordered-iteration — Time.add commutes; the fold reduces to
-   a single sum, no ordering escapes *)
 let total_delay t = Hashtbl.fold (fun _ d acc -> Sim.Time.add acc d) t.delays Sim.Time.zero
 
 let clear_delays t = Hashtbl.reset t.delays

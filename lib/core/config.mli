@@ -28,9 +28,6 @@ val set_delay : t -> from:int -> hop:hop -> Sim.Time.t -> unit
 
 val delay : t -> from:int -> hop:hop -> Sim.Time.t
 
-val hop_latency : t -> Sim.Topology.t -> from:int -> hop:hop -> Sim.Time.t
-(** Physical latency + artificial delay of one hop. *)
-
 val metadata_latency : t -> Sim.Topology.t -> src_dc:int -> dst_dc:int -> Sim.Time.t
 (** End-to-end label propagation latency from [src_dc] to [dst_dc]: the
     dc→serializer hop, every serializer hop (with δ), and the final

@@ -25,9 +25,6 @@ val optimize_delays : problem -> Config.t -> float
 (** Sets the config's artificial delays to a minimizer for its placement.
     Returns the resulting objective value. *)
 
-val score_placement_fast : problem -> Config.t -> float
-(** Cheap ranking score: {!Mismatch.lower_bound}, no delay optimization. *)
-
 val optimize_placement :
   ?fast:bool -> ?restarts:int -> rng:Sim.Rng.t -> problem -> Tree.t -> Config.t * float
 (** Full solve for one tree shape. [fast] ranks candidate placements with

@@ -30,9 +30,6 @@ type t = {
 
 val default : t
 
-val value_cost_us : t -> size_bytes:int -> int
-(** Size-proportional handling cost for a value. *)
-
 (* Per-protocol operation costs (returned in microseconds). [n_dcs] sizes
    the vectors for Cure. *)
 

@@ -24,9 +24,7 @@ type t = {
   mutable stopped : bool;
 }
 
-let dc t = t.dc
 let proxy t = t.proxy
-let sink t = t.sink
 
 let responsible t ~key = Kvstore.Partitioning.responsible t.partitioning ~key
 let store_of_key t ~key = t.stores.(responsible t ~key)

@@ -39,9 +39,7 @@ val create :
     is created when omitted. [series] is forwarded to the sink and proxy
     for windowed queue-depth / apply-throughput telemetry. *)
 
-val dc : t -> int
 val proxy : t -> Proxy.t
-val sink : t -> Sink.t
 val store_of_key : t -> key:int -> (Label.t, int) Kvstore.Store.t
 val gear_floor : t -> Sim.Time.t
 (** min over gears — the datacenter's bulk-heartbeat promise. *)

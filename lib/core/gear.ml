@@ -7,8 +7,6 @@ type t = {
 }
 
 let create clock ~dc ~gear_id = { clock; dc; gear_id; last_ts = Sim.Time.zero; issued = 0 }
-let dc t = t.dc
-let id t = t.gear_id
 
 let generate_ts t ~client_ts =
   let physical = Sim.Clock.read t.clock in

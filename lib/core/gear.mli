@@ -12,9 +12,6 @@ type t
 
 val create : Sim.Clock.t -> dc:int -> gear_id:int -> t
 
-val dc : t -> int
-val id : t -> int
-
 val generate_ts : t -> client_ts:Sim.Time.t -> Sim.Time.t
 (** Timestamp for a new label: [> client_ts], [>] every previous timestamp
     from this gear, and [>=] the physical clock. *)

@@ -20,9 +20,6 @@ val of_replica_map : Kvstore.Replica_map.t -> bulk:(int -> int -> Sim.Time.t) ->
 (** c(i, j) = number of keys replicated at both i and j (the workload-derived
     correlation weights of §5.4); pairs sharing nothing are ignored. *)
 
-val pair_mismatch_ms : t -> Config.t -> Sim.Topology.t -> src:int -> dst:int -> float
-(** |λ(src,dst) − β(src,dst)| in milliseconds. *)
-
 val objective : t -> Config.t -> Sim.Topology.t -> float
 (** The Definition 2 sum, in weighted milliseconds. *)
 

@@ -138,7 +138,6 @@ let pending_stream t =
     match s.arr.(i) with Some { state = Waiting; _ } -> incr n | Some _ | None -> ()
   done;
   !n
-let pending_payloads t = Hashtbl.length t.payloads
 let label_was_applied t l = Hashtbl.mem t.applied_set l
 
 (* ---- watermarks and waiters ------------------------------------------- *)
@@ -478,8 +477,6 @@ let compact t =
     let cutoff = Sim.Time.sub !floor compact_margin in
     if Sim.Time.compare cutoff Sim.Time.zero > 0 then begin
       let stale =
-        (* lint: allow unordered-iteration — collects members only to remove
-           them; removal commutes, the set after compaction is order-independent *)
         Hashtbl.fold
           (fun (l : Label.t) () acc -> if Sim.Time.compare l.Label.ts cutoff < 0 then l :: acc else acc)
           t.applied_set []
@@ -513,8 +510,6 @@ let start_graceful_switch t ~epoch =
 let start_forced_switch t ~epoch =
   t.target_epoch <- epoch;
   t.old_pending <-
-    (* lint: allow unordered-iteration — counting commutes, the total is
-       order-independent *)
     Hashtbl.fold (fun _ (p : payload) acc -> if p.epoch < epoch then acc + 1 else acc) t.payloads 0;
   t.switch <- Some Forced;
   if t.mode <> Fallback then probe_mode t Fallback;

@@ -127,6 +127,5 @@ val compact : t -> unit
 
 val applied_updates : t -> int
 val pending_stream : t -> int
-val pending_payloads : t -> int
 val label_was_applied : t -> Label.t -> bool
 val effective_watermark : t -> src:int -> Sim.Time.t

@@ -344,7 +344,6 @@ let restore_edge t a b =
 
 let labels_input t = Stats.Registry.counter_value t.input_counter
 let labels_delivered t = Stats.Registry.counter_value t.delivered_counter
-let head_changes t = Stats.Registry.counter_value t.head_change_counter
 
 let n_serializers t = Array.length t.chains
 

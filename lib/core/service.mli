@@ -65,9 +65,6 @@ val restore_edge : t -> int -> int -> unit
 val labels_input : t -> int
 val labels_delivered : t -> int
 
-val head_changes : t -> int
-(** Chain-head crashes healed so far, over every serializer. *)
-
 (** {2 Fault-injection surface}
 
     Enumerations a fault registry uses to bind the service's links and

@@ -59,7 +59,6 @@ type t = {
 }
 
 let n_dcs t = Array.length t.dcs
-let engine t = t.engine
 let datacenter t i = t.dcs.(i)
 let service t = t.service
 let next_service t = t.next_service

@@ -55,7 +55,6 @@ val create :
     counters are scoped by id, the serializer tree under ["service"]);
     a private registry is created when omitted. *)
 
-val engine : t -> Sim.Engine.t
 val n_dcs : t -> int
 val datacenter : t -> int -> Datacenter.t
 val service : t -> Service.t option

@@ -51,9 +51,71 @@ let analyze probe =
   and head_changes = ref 0
   and fallbacks = ref 0
   and switches = ref 0 in
+  (* the event loop pops its keyed heap in (time, scheduling-seq) order, so
+     the step stream must be strictly increasing under that lexicographic
+     key — anything else means the engine replayed or reordered work *)
+  let last_step : (int * int) option ref = ref None in
+  (* every delivered or dropped message was first sent: the running link
+     conservation law [delivers + drops <= sends] *)
+  let link_sends = ref 0 and link_delivers = ref 0 and link_drops = ref 0 in
+  let link_conserved at =
+    if !link_delivers + !link_drops > !link_sends then
+      flag at
+        (Printf.sprintf "link conservation violated: %d delivered + %d dropped > %d sent"
+           !link_delivers !link_drops !link_sends)
+  in
+  (* (dc, src) -> last version-vector entry: baselines emit Vec_advance
+     only when the entry strictly advances, so equality is a violation *)
+  let vec_ts : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* epochs announced by Switch_begin; (dc, epoch) pairs already done *)
+  let switch_epochs : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let switch_done : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun (at, ev) ->
       match (ev : Sim.Probe.event) with
+      | Sim.Probe.Engine_step { seq } ->
+        let us = Sim.Time.to_us at in
+        (match !last_step with
+        | Some (pus, pseq) when us < pus || (us = pus && seq <= pseq) ->
+          flag at
+            (Printf.sprintf
+               "event loop order regression: step (t=%dus, seq %d) after (t=%dus, seq %d)" us seq
+               pus pseq)
+        | _ -> ());
+        last_step := Some (us, seq)
+      | Sim.Probe.Link_send { size_bytes } ->
+        incr link_sends;
+        if size_bytes < 0 then
+          flag at (Printf.sprintf "link send with negative size: %d bytes" size_bytes)
+      | Sim.Probe.Link_deliver ->
+        incr link_delivers;
+        link_conserved at
+      | Sim.Probe.Serializer_hop { from_ser; to_ser } ->
+        if from_ser = to_ser then
+          flag at (Printf.sprintf "serializer self-hop: ser%d forwarded to itself" from_ser)
+      | Sim.Probe.Serializer_deliver { dc } ->
+        if dc < 0 then flag at (Printf.sprintf "serializer egress toward invalid dc%d" dc)
+      | Sim.Probe.Delay_wait { serializer; us } ->
+        if us < 0 then
+          flag at (Printf.sprintf "negative artificial delay at ser%d: %dus" serializer us)
+      | Sim.Probe.Chain_ack { seq } ->
+        if seq < 0 then flag at (Printf.sprintf "chain ack for invalid seq %d" seq)
+      | Sim.Probe.Vec_advance { dc; src; ts } ->
+        (match Hashtbl.find_opt vec_ts (dc, src) with
+        | Some prev when ts <= prev ->
+          flag at
+            (Printf.sprintf "version vector regression at dc%d: entry for dc%d moved %d -> %d" dc
+               src prev ts)
+        | _ -> ());
+        Hashtbl.replace vec_ts (dc, src) ts
+      | Sim.Probe.Switch_done { dc; epoch } ->
+        if not (Hashtbl.mem switch_epochs epoch) then
+          flag at
+            (Printf.sprintf "dc%d finished migrating to epoch %d that no Switch_begin announced" dc
+               epoch)
+        else if Hashtbl.mem switch_done (dc, epoch) then
+          flag at (Printf.sprintf "dc%d finished migrating to epoch %d twice" dc epoch)
+        else Hashtbl.replace switch_done (dc, epoch) ()
       | Sim.Probe.Ser_commit { ser; origin; oseq; epoch } ->
         incr commits;
         check_marker_last at ~what:"commit" ~origin ~oseq ~epoch;
@@ -101,10 +163,15 @@ let analyze probe =
                ts prev)
         | _ -> Hashtbl.replace apply_ts (dc, src_dc) ts)
       | Sim.Probe.Fifo_resend _ -> incr resends
-      | Sim.Probe.Link_drop { in_flight } -> if in_flight then incr drops_cut else incr drops_down
+      | Sim.Probe.Link_drop { in_flight } ->
+        if in_flight then incr drops_cut else incr drops_down;
+        incr link_drops;
+        link_conserved at
       | Sim.Probe.Head_change _ -> incr head_changes
       | Sim.Probe.Proxy_mode { mode = Sim.Probe.Fallback; _ } -> incr fallbacks
-      | Sim.Probe.Switch_begin _ -> incr switches
+      | Sim.Probe.Switch_begin { epoch; graceful = _ } ->
+        incr switches;
+        Hashtbl.replace switch_epochs epoch ()
       | _ -> ())
     events;
   {

@@ -93,5 +93,4 @@ let arm ?registry engine reg plan =
     (Plan.events plan);
   t
 
-let last_heal_time t = Plan.last_heal_time t.plan
 let events_applied t = t.applied

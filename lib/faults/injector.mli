@@ -17,8 +17,5 @@ val arm : ?registry:Stats.Registry.t -> Sim.Engine.t -> Registry.t -> Plan.t -> 
     reconfigurable (Saturn, non-peer) system, at most once per plan.
     @raise Invalid_argument on an unknown name. *)
 
-val last_heal_time : t -> Sim.Time.t option
-(** {!Plan.last_heal_time} of the armed plan. *)
-
 val events_applied : t -> int
 (** Plan events executed so far (simulation-time progress). *)

@@ -70,5 +70,4 @@ val random :
     half of the horizon, graceful or forced. Deterministic in [seed] and
     the (name-sorted) input lists. *)
 
-val pp_action : Format.formatter -> action -> unit
 val pp : Format.formatter -> t -> unit

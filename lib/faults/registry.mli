@@ -39,9 +39,6 @@ val register_serializer :
   unit
 (** @raise Invalid_argument on a duplicate name. *)
 
-val register_clock : t -> name:string -> bump:(Sim.Time.t -> unit) -> unit
-(** @raise Invalid_argument on a duplicate name. *)
-
 (** {2 Lookup} — all raise [Invalid_argument] naming the missing entry, so
     a plan referring to topology that was never registered fails loudly. *)
 

@@ -105,9 +105,6 @@ let run_tier ?(now_s = fun () -> 0.) ?(stream_ops = 200_000) ~seed tier =
     sim_ms = sim_s *. 1e3;
   }
 
-let run ?now_s ?(tiers = Workload.Scale.tiers) ?stream_ops ~seed () =
-  List.map (fun tier -> run_tier ?now_s ?stream_ops ~seed tier) tiers
-
 (* ---- saturn-bench-engine/1 --------------------------------------------- *)
 
 let to_json ~seed results =

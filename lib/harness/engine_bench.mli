@@ -39,16 +39,6 @@ val run_tier :
 (** One tier. [now_s] defaults to a constant clock (wall fields read 0);
     [stream_ops] is the phase-B op budget (default 200_000). *)
 
-val run :
-  ?now_s:(unit -> float) ->
-  ?tiers:Workload.Scale.tier list ->
-  ?stream_ops:int ->
-  seed:int ->
-  unit ->
-  tier_result list
-(** All requested tiers (default: every {!Workload.Scale.tiers}),
-    smallest first. *)
-
 val to_json : seed:int -> tier_result list -> string
 (** The [saturn-bench-engine/1] document, one line. *)
 

@@ -35,9 +35,6 @@ type segment =
   | Egress
   | Proxy_order
 
-val segments : segment list
-(** Lifecycle order. *)
-
 val segment_name : segment -> string
 
 type journey = {

@@ -33,15 +33,6 @@ val smoke : ?seed:int -> unit -> result
     windowed series' total sample count as [series.<name>.n] counters so
     the counter gate catches a series going silent. *)
 
-val write_artifacts : result -> out_dir:string -> string list
-(** Writes [trace.jsonl], [trace.digest], [trace.chrome.json] (Perfetto/
-    chrome://tracing), [decomposition.txt] (the {!Journey} table),
-    [series.csv] / [series.json] (the {!Stats.Series} dump) and
-    [reconfig.timeline.txt] (the {!Fault_run.timeline_string} of a fresh
-    fixed-seed [reconfig-cut] run — graceful epoch switch under a
-    metadata-tree cut) under [out_dir] (created if missing); returns the
-    paths. *)
-
 val run_smoke : ?seed:int -> ?out_dir:string -> unit -> result
 (** {!smoke}, then prints the registry table and the digest to stdout and,
     when [out_dir] is given, writes the artifacts. *)

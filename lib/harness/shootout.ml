@@ -93,8 +93,6 @@ let run_system ?(seed = 42) name =
        else float_of_int total /. float_of_int r.Driver.ops_completed);
   }
 
-let run ?(seed = 42) () = List.map (run_system ~seed) systems
-
 (* the Table 2 metadata hierarchy, as adjacent-family bands on bytes/op *)
 let families =
   [

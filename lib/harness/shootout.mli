@@ -37,18 +37,8 @@ val systems : string list
 (** Fixed run order, cheapest metadata family first:
     [eventual; gentlerain; eunomia; saturn; okapi; cure; orbe; cops]. *)
 
-val run : ?seed:int -> unit -> row list
-(** All systems, default seed 42. *)
-
 val run_system : ?seed:int -> string -> row
 (** One system by name. @raise Invalid_argument outside {!systems}. *)
-
-val ordering_violations : row list -> string list
-(** Checks the family ordering the metadata designs predict —
-    eventual < scalar (GentleRain, Eunomia, Saturn) < hybrid (Okapi)
-    < vector (Cure, Orbe) < dependency-list (COPS) — on [bytes_per_op];
-    every adjacent-family inversion, as a human-readable line. Empty means
-    the shootout reproduces the hierarchy. *)
 
 val print : row list -> unit
 (** The results table plus the ordering verdict, on stdout. *)

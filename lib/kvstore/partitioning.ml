@@ -4,8 +4,6 @@ let create ~partitions =
   if partitions < 1 then invalid_arg "Partitioning.create: partitions < 1";
   { n = partitions }
 
-let partitions t = t.n
-
 (* Fibonacci hashing: spreads consecutive ids across partitions. *)
 let mix key =
   let h = key * 0x2545F4914F6CDD1D in

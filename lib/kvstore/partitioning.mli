@@ -10,7 +10,5 @@ type t
 val create : partitions:int -> t
 (** @raise Invalid_argument when [partitions < 1]. *)
 
-val partitions : t -> int
-
 val responsible : t -> key:int -> int
 (** Partition index in [0, partitions). Deterministic in the key. *)

@@ -21,12 +21,5 @@ let put_if_newer t ~cmp ~key v m =
 let get t ~key = Hashtbl.find_opt t.tbl key
 let mem t ~key = Hashtbl.mem t.tbl key
 let size t = Hashtbl.length t.tbl
-(* lint: allow unordered-iteration — documented as raw table order in the
-   interface; order-sensitive callers must use iter_sorted below *)
-let iter t f = Hashtbl.iter (fun k v -> f k v) t.tbl
-
-let iter_sorted t f =
-  let keys = List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl []) in
-  List.iter (fun k -> f k (Hashtbl.find t.tbl k)) keys
 
 let puts_applied t = t.applied

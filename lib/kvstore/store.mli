@@ -23,15 +23,6 @@ val put_if_newer :
 val get : ('meta, int) t -> key:int -> (Value.t * 'meta) option
 val mem : ('meta, int) t -> key:int -> bool
 val size : ('meta, int) t -> int
-val iter : ('meta, int) t -> (int -> Value.t * 'meta -> unit) -> unit
-(** Visits entries in raw hash-table order, which depends on insertion
-    history. Fine for commutative aggregation; anything whose output order
-    matters must use {!iter_sorted}. *)
-
-val iter_sorted : ('meta, int) t -> (int -> Value.t * 'meta -> unit) -> unit
-(** Visits entries in ascending key order — deterministic regardless of
-    insertion history. Costs an intermediate sort; prefer {!iter} on hot
-    paths that don't expose ordering. *)
 
 val puts_applied : ('meta, int) t -> int
 (** Number of versions ever installed (monotone counter). *)

@@ -1,7 +1,8 @@
 let split_lines s = String.split_on_char '\n' s
 
 (* One source file, tokenized, with its parsed waivers and the findings
-   malformed lint comments produced. *)
+   malformed lint comments produced. Interfaces contribute waivers (R9
+   findings land on .mli lines) but no per-file findings. *)
 let scan_source ~file source =
   let toks, comments = Token.tokenize source in
   let waivers = ref [] in
@@ -26,16 +27,24 @@ let scan_source ~file source =
       | Waiver.Malformed (line, message) ->
         bad := { Rules.rule = Rules.r_bad_waiver; file; line; message } :: !bad)
     comments;
-  (Rules.analyze_file ~file toks, List.rev !waivers, List.rev !bad)
+  let facts =
+    if Filename.check_suffix file ".mli" then
+      { Rules.ff_findings = []; ff_spans = []; ff_patterns = [] }
+    else Rules.analyze_file ~file toks
+  in
+  (facts, List.rev !waivers, List.rev !bad)
 
 let compare_findings (a : Rules.finding) (b : Rules.finding) =
   match String.compare a.file b.file with
   | 0 -> ( match Int.compare a.line b.line with 0 -> String.compare a.rule b.rule | c -> c)
   | c -> c
 
-(* [sources] are (display path, contents). The optional [baseline] is
-   (display path, contents) of ci/smoke-counters.txt. *)
-let run_sources ?baseline sources =
+(* [sources] are (display path, contents) — implementations and
+   interfaces. [baseline] is ci/smoke-counters.txt, [layers] is
+   ci/layers.txt, [dune_files] feed the module graph, [use_sources] are
+   reference-only trees (tests/benches/examples): their uses keep an
+   export alive, but they are not scanned for findings. *)
+let run_sources ?baseline ?layers ?(dune_files = []) ?(use_sources = []) sources =
   let per_file = List.map (fun (file, src) -> (file, scan_source ~file src)) sources in
   let waivers = List.concat_map (fun (_, (_, ws, _)) -> ws) per_file in
   let bad_waivers = List.concat_map (fun (_, (_, _, bs)) -> bs) per_file in
@@ -43,12 +52,26 @@ let run_sources ?baseline sources =
   let local = List.concat_map (fun f -> f.Rules.ff_findings) facts in
   let spans = List.concat_map (fun f -> f.Rules.ff_spans) facts in
   let patterns = List.concat_map (fun f -> f.Rules.ff_patterns) facts in
+  (* the cross-file passes see tokens, not facts *)
+  let toks_of = List.map (fun (file, src) -> (file, fst (Token.tokenize src))) sources in
+  let use_toks = List.map (fun (file, src) -> (file, fst (Token.tokenize src))) use_sources in
+  let libs = Modgraph.parse dune_files in
+  let layer_findings =
+    match layers with
+    | None -> []
+    | Some (lfile, lsrc) -> (
+      match Layers.parse lsrc with
+      | Error message -> [ { Rules.rule = Rules.r_layer; file = lfile; line = 1; message } ]
+      | Ok lt -> Rules.check_layers ~layers:lt ~libs toks_of)
+  in
   let cross =
     Rules.pair_spans spans
-    @
-    match baseline with
-    | Some (file, contents) -> Rules.check_baseline ~file (split_lines contents) patterns
-    | None -> []
+    @ (match baseline with
+      | Some (file, contents) -> Rules.check_baseline ~file (split_lines contents) patterns
+      | None -> [])
+    @ layer_findings
+    @ Rules.check_probe_consumers toks_of
+    @ Rules.check_dead_exports ~sources:toks_of ~use_sources:use_toks
   in
   let file_waivers = List.map (fun (file, (_, ws, _)) -> (file, ws)) per_file in
   let suppressed (f : Rules.finding) =
@@ -85,11 +108,19 @@ let run_sources ?baseline sources =
           ws)
       file_waivers
   in
+  let waiver_sites =
+    List.sort compare
+      (List.concat_map
+         (fun (file, ws) ->
+           List.map (fun w -> (file, w.Waiver.rule, w.Waiver.reason)) ws)
+         file_waivers)
+  in
   {
     Report.findings = List.sort compare_findings (surviving @ bad_waivers @ unused);
     files_scanned = List.length sources;
     waivers_total = List.length waivers;
     waivers_used = List.length (List.filter (fun w -> w.Waiver.used) waivers);
+    waiver_sites;
   }
 
 (* ---- filesystem walk ----------------------------------------------------- *)
@@ -101,35 +132,49 @@ let read_file path =
   close_in ic;
   s
 
-let rec walk_dir abs rel acc =
+(* [kinds] selects what the walk collects: sources (.ml/.mli) and/or the
+   dune files the module graph is built from. *)
+let rec walk_dir ~with_mli abs rel acc =
   let entries = Sys.readdir abs in
   (* Sys.readdir order is filesystem-dependent: sort for a stable report *)
   Array.sort String.compare entries;
   Array.fold_left
-    (fun acc name ->
-      if String.length name = 0 || name.[0] = '.' || name = "_build" then acc
+    (fun (srcs, dunes) name ->
+      if String.length name = 0 || name.[0] = '.' || name = "_build" then (srcs, dunes)
       else
         let abs' = Filename.concat abs name in
         let rel' = if rel = "" then name else rel ^ "/" ^ name in
-        if Sys.is_directory abs' then walk_dir abs' rel' acc
-        else if Filename.check_suffix name ".ml" then (rel', abs') :: acc
-        else acc)
+        if Sys.is_directory abs' then walk_dir ~with_mli abs' rel' (srcs, dunes)
+        else if
+          Filename.check_suffix name ".ml" || (with_mli && Filename.check_suffix name ".mli")
+        then ((rel', abs') :: srcs, dunes)
+        else if with_mli && name = "dune" then (srcs, (rel', abs') :: dunes)
+        else (srcs, dunes))
     acc entries
 
-let run ?baseline ~root ~dirs () =
-  let files =
-    List.concat_map
-      (fun dir ->
+let collect ~with_mli root dirs =
+  let srcs, dunes =
+    List.fold_left
+      (fun acc dir ->
         let abs = Filename.concat root dir in
-        if Sys.file_exists abs && Sys.is_directory abs then List.rev (walk_dir abs dir [])
-        else [])
-      dirs
+        if Sys.file_exists abs && Sys.is_directory abs then walk_dir ~with_mli abs dir acc
+        else acc)
+      ([], []) dirs
   in
-  let files = List.sort (fun (a, _) (b, _) -> String.compare a b) files in
+  let by_path = List.sort (fun (a, _) (b, _) -> String.compare a b) in
+  (by_path srcs, by_path dunes)
+
+let run ?baseline ?layers ?(use_dirs = []) ~root ~dirs () =
+  let files, dune_files = collect ~with_mli:true root dirs in
+  let use_files, _ = collect ~with_mli:false root use_dirs in
   let sources = List.map (fun (rel, abs) -> (rel, read_file abs)) files in
-  let baseline =
-    match baseline with
+  let use_sources = List.map (fun (rel, abs) -> (rel, read_file abs)) use_files in
+  let dune_files = List.map (fun (rel, abs) -> (rel, read_file abs)) dune_files in
+  let read_opt = function
     | Some path when Sys.file_exists path -> Some (path, read_file path)
     | _ -> None
   in
-  run_sources ?baseline sources
+  run_sources
+    ?baseline:(read_opt baseline)
+    ?layers:(read_opt layers)
+    ~dune_files ~use_sources sources

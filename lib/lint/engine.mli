@@ -1,16 +1,36 @@
-(** The driver: tokenize, run per-file rules, run the cross-file rules,
-    apply waivers, then report the waivers that silenced nothing. *)
+(** The driver: tokenize, run per-file rules, run the cross-file rules
+    (span pairing, counter baseline, layer boundaries, probe consumers,
+    dead exports), apply waivers, then report the waivers that silenced
+    nothing. *)
 
 val scan_source :
   file:string -> string -> Rules.file_facts * Waiver.t list * Rules.finding list
 (** One file in isolation; returns (facts, parsed waivers, bad-waiver
-    findings). Exposed for tests. *)
+    findings). Interfaces ([.mli]) contribute waivers but empty facts.
+    Exposed for tests. *)
 
-val run_sources : ?baseline:string * string -> (string * string) list -> Report.t
-(** Full analysis over in-memory (path, contents) pairs; [baseline] is
-    (path, contents) of the smoke-counter baseline. This is what the unit
-    tests drive with inline fixtures. *)
+val run_sources :
+  ?baseline:string * string ->
+  ?layers:string * string ->
+  ?dune_files:(string * string) list ->
+  ?use_sources:(string * string) list ->
+  (string * string) list ->
+  Report.t
+(** Full analysis over in-memory (path, contents) pairs — [.ml] and
+    [.mli]. [baseline] is the smoke-counter baseline, [layers] the
+    layer contract, [dune_files] feed the module graph for R7's
+    dependency-edge half, and [use_sources] are reference-only trees
+    whose uses keep an export alive (R9) without being scanned for
+    findings. This is what the unit tests drive with inline fixtures. *)
 
-val run : ?baseline:string -> root:string -> dirs:string list -> unit -> Report.t
-(** Walk [root]/[dirs] for [*.ml] files (skipping dotfiles and [_build]),
-    read [baseline] if the path exists, and analyze. *)
+val run :
+  ?baseline:string ->
+  ?layers:string ->
+  ?use_dirs:string list ->
+  root:string ->
+  dirs:string list ->
+  unit ->
+  Report.t
+(** Walk [root]/[dirs] for [*.ml], [*.mli] and [dune] files (skipping
+    dotfiles and [_build]), walk [use_dirs] for reference-only [*.ml],
+    read [baseline]/[layers] if the paths exist, and analyze. *)

@@ -1,0 +1,76 @@
+(* The checked-in architecture contract (ci/layers.txt): named layers
+   over directories, plus deny edges from a layer to identifier prefixes
+   or to other layers. Grammar, one declaration per line:
+
+     layer <name> = <dir> [<dir> ...]
+     deny <layer> -> <spec> [<spec> ...]
+
+   where <spec> is either [layer:<name>] (no identifier of that layer's
+   wrapped library modules, and no dune dependency edge) or an
+   identifier prefix ([Unix.] matches the whole module, [Format.printf]
+   exactly one value). [#] starts a comment. *)
+
+type spec = S_layer of string | S_prefix of string
+
+type deny = { d_from : string; d_specs : spec list; d_line : int }
+
+type t = { layers : (string * string list) list; denies : deny list }
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse contents =
+  let layers = ref [] in
+  let denies = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line =
+        match String.index_opt line '#' with Some h -> String.sub line 0 h | None -> line
+      in
+      match split_ws line with
+      | [] -> ()
+      | "layer" :: name :: "=" :: (_ :: _ as dirs) -> layers := (name, dirs) :: !layers
+      | "deny" :: from :: "->" :: (_ :: _ as specs) ->
+        let specs =
+          List.map
+            (fun s ->
+              if Token.starts_with ~prefix:"layer:" s then
+                S_layer (String.sub s 6 (String.length s - 6))
+              else S_prefix s)
+            specs
+        in
+        denies := { d_from = from; d_specs = specs; d_line = lineno } :: !denies
+      | _ ->
+        if !error = None then
+          error :=
+            Some
+              (Printf.sprintf
+                 "line %d: expected 'layer <name> = <dir>...' or 'deny <layer> -> <spec>...'"
+                 lineno))
+    (String.split_on_char '\n' contents);
+  match !error with
+  | Some e -> Error e
+  | None ->
+    let t = { layers = List.rev !layers; denies = List.rev !denies } in
+    (* every name a deny references must be declared *)
+    let missing =
+      List.find_map
+        (fun d ->
+          if not (List.mem_assoc d.d_from t.layers) then Some (d.d_line, d.d_from)
+          else
+            List.find_map
+              (function
+                | S_layer l when not (List.mem_assoc l t.layers) -> Some (d.d_line, l)
+                | _ -> None)
+              d.d_specs)
+        t.denies
+    in
+    (match missing with
+    | Some (line, name) -> Error (Printf.sprintf "line %d: undeclared layer %S" line name)
+    | None -> Ok t)
+
+let dirs_of t name = Option.value ~default:[] (List.assoc_opt name t.layers)

@@ -1,0 +1,21 @@
+(** The checked-in architecture contract ([ci/layers.txt]): named layers
+    over directories plus deny edges to identifier prefixes or to other
+    layers. See [parse] for the line grammar. *)
+
+type spec =
+  | S_layer of string
+      (** no identifier of that layer's wrapped library modules, and no
+          dune dependency edge into it *)
+  | S_prefix of string
+      (** identifier prefix: ["Unix."] denies the whole module, an exact
+          name like ["Format.printf"] a single value *)
+
+type deny = { d_from : string; d_specs : spec list; d_line : int }
+
+type t = { layers : (string * string list) list; denies : deny list }
+
+val parse : string -> (t, string) result
+(** Lines are [layer <name> = <dir>...] or [deny <layer> -> <spec>...];
+    [#] comments. Deny edges must reference declared layers. *)
+
+val dirs_of : t -> string -> string list

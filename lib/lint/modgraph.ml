@@ -1,0 +1,102 @@
+(* The cross-file module graph's library half: which dune library lives
+   in which directory, what it depends on, and the wrapped module name
+   other libraries see it under. Parsing covers the s-expression subset
+   this repo's dune files use — (library (name x) (libraries a b c)) —
+   and ignores everything else (executables, rules, aliases). *)
+
+type lib = {
+  lib_name : string;
+  lib_dir : string;  (* directory of the dune file, repo-relative *)
+  lib_deps : string list;
+}
+
+(* minimal s-expression reader: atoms and lists, no strings-with-spaces
+   (dune library stanzas never need them) *)
+type sexp = Atom of string | List of sexp list
+
+let parse_sexps src =
+  let n = String.length src in
+  let i = ref 0 in
+  let rec skip_ws () =
+    if !i < n then
+      match src.[!i] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        incr i;
+        skip_ws ()
+      | ';' ->
+        while !i < n && src.[!i] <> '\n' do incr i done;
+        skip_ws ()
+      | _ -> ()
+  in
+  let rec parse_one () =
+    skip_ws ();
+    if !i >= n then None
+    else if src.[!i] = '(' then begin
+      incr i;
+      let items = ref [] in
+      let fin = ref false in
+      while not !fin do
+        skip_ws ();
+        if !i >= n then fin := true
+        else if src.[!i] = ')' then begin
+          incr i;
+          fin := true
+        end
+        else
+          match parse_one () with
+          | Some s -> items := s :: !items
+          | None -> fin := true
+      done;
+      Some (List (List.rev !items))
+    end
+    else if src.[!i] = ')' then None
+    else begin
+      let start = !i in
+      while !i < n && not (String.contains " \t\n\r();" src.[!i]) do incr i done;
+      if !i > start then Some (Atom (String.sub src start (!i - start))) else None
+    end
+  in
+  let out = ref [] in
+  let fin = ref false in
+  while not !fin do
+    match parse_one () with Some s -> out := s :: !out | None -> fin := true
+  done;
+  List.rev !out
+
+let field name = function
+  | List (Atom f :: rest) when f = name -> Some rest
+  | _ -> None
+
+let atoms l = List.filter_map (function Atom a -> Some a | List _ -> None) l
+
+(* [sources] are (dune file path, contents); the library's directory is
+   the dune file's. *)
+let parse sources =
+  List.concat_map
+    (fun (path, contents) ->
+      let dir = Filename.dirname path in
+      List.filter_map
+        (function
+          | List (Atom "library" :: fields) -> (
+            let name = List.find_map (field "name") fields in
+            let deps = List.find_map (field "libraries") fields in
+            match name with
+            | Some [ Atom n ] ->
+              Some
+                {
+                  lib_name = n;
+                  lib_dir = dir;
+                  lib_deps = (match deps with Some l -> atoms l | None -> []);
+                }
+            | _ -> None)
+          | _ -> None)
+        (parse_sexps contents))
+    sources
+
+let wrapped_module l = String.capitalize_ascii l.lib_name
+
+let under_dir ~dir path =
+  path = dir || Token.starts_with ~prefix:(dir ^ "/") path
+
+let libs_under libs ~dirs =
+  List.filter (fun l -> List.exists (fun d -> under_dir ~dir:d l.lib_dir) dirs) libs

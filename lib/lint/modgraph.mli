@@ -1,0 +1,22 @@
+(** The library half of the cross-file module graph: dune library
+    stanzas mapped to directories, dependency edges, and the wrapped
+    module name other libraries reference a library under. *)
+
+type lib = {
+  lib_name : string;
+  lib_dir : string;  (** directory of the dune file, repo-relative *)
+  lib_deps : string list;
+}
+
+val parse : (string * string) list -> lib list
+(** Extract [(library (name …) (libraries …))] stanzas from (dune file
+    path, contents) pairs. Executables, rules and aliases are ignored. *)
+
+val wrapped_module : lib -> string
+(** The module name the library's contents are reachable under from
+    outside it ([sim] -> [Sim]). *)
+
+val under_dir : dir:string -> string -> bool
+(** Is the path equal to, or inside, [dir]? *)
+
+val libs_under : lib list -> dirs:string list -> lib list

@@ -3,6 +3,7 @@ type t = {
   files_scanned : int;
   waivers_total : int;
   waivers_used : int;
+  waiver_sites : (string * string * string) list;
 }
 
 let json_escape s =
@@ -19,11 +20,22 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let count_rule t rule =
+  List.length (List.filter (fun (f : Rules.finding) -> f.rule = rule) t.findings)
+
+let by_rule t = List.map (fun r -> (r, count_rule t r)) Rules.all_rules
+
 let to_json t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf {|{"version":1,"files_scanned":%d,"waivers":{"total":%d,"used":%d},"findings":[|}
+    (Printf.sprintf {|{"version":2,"files_scanned":%d,"waivers":{"total":%d,"used":%d},"by_rule":{|}
        t.files_scanned t.waivers_total t.waivers_used);
+  List.iteri
+    (fun i (rule, n) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf {|"%s":%d|} (json_escape rule) n))
+    (by_rule t);
+  Buffer.add_string buf {|},"findings":[|};
   List.iteri
     (fun i (f : Rules.finding) ->
       if i > 0 then Buffer.add_char buf ',';
@@ -56,6 +68,83 @@ let to_table t =
       t.findings
   end;
   Buffer.contents buf
+
+(* markdown step summary for the CI job page: the per-rule counts first,
+   then the findings themselves when there are any *)
+let to_summary_md t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "### saturn-lint\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%d finding(s) · %d files scanned · %d/%d waivers in use\n\n"
+       (List.length t.findings) t.files_scanned t.waivers_used t.waivers_total);
+  Buffer.add_string buf "| rule | findings |\n|---|---|\n";
+  List.iter
+    (fun (rule, n) -> Buffer.add_string buf (Printf.sprintf "| `%s` | %d |\n" rule n))
+    (by_rule t);
+  if t.findings <> [] then begin
+    Buffer.add_string buf "\n| site | rule | message |\n|---|---|---|\n";
+    List.iter
+      (fun (f : Rules.finding) ->
+        Buffer.add_string buf
+          (Printf.sprintf "| `%s:%d` | `%s` | %s |\n" f.file f.line f.rule f.message))
+      t.findings
+  end;
+  Buffer.contents buf
+
+(* the waiver inventory the ratchet checks: line-number free so moving
+   code does not churn the baseline, sorted for stable diffs *)
+let to_waivers_txt t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "# saturn-lint waiver inventory — regenerate with ci/regen.sh --lint-baseline\n";
+  Buffer.add_string buf "# <file> <rule> \xe2\x80\x94 <reason>\n";
+  (* reasons come from comments that may wrap across lines: collapse the
+     runs of whitespace so each inventory entry stays one parseable line *)
+  let one_line s =
+    String.concat " "
+      (List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.map (function '\n' | '\t' -> ' ' | c -> c) s)))
+  in
+  List.iter
+    (fun (file, rule, reason) ->
+      Buffer.add_string buf (Printf.sprintf "%s %s \xe2\x80\x94 %s\n" file rule reason))
+    (List.map (fun (f, r, reason) -> (f, r, one_line reason)) t.waiver_sites);
+  Buffer.contents buf
+
+(* Ratchet: every waiver in the tree must be listed in the checked-in
+   inventory (new waivers need an explicit baseline refresh in the same
+   commit, so review sees them), and the inventory must not list waivers
+   that no longer exist (so the count only moves deliberately). *)
+let check_waivers t ~inventory =
+  let parse_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then None
+    else
+      (* "<file> <rule> — <reason>": the key is the first two words *)
+      match String.split_on_char ' ' line with
+      | file :: rule :: _ -> Some (file, rule)
+      | _ -> None
+  in
+  let listed = List.filter_map parse_line (String.split_on_char '\n' inventory) in
+  let actual = List.map (fun (file, rule, _) -> (file, rule)) t.waiver_sites in
+  let missing = List.filter (fun k -> not (List.mem k listed)) actual in
+  let stale = List.filter (fun k -> not (List.mem k actual)) listed in
+  let errs =
+    List.map
+      (fun (file, rule) ->
+        Printf.sprintf
+          "new waiver %s (%s) is not in the checked-in inventory; run ci/regen.sh \
+           --lint-baseline and justify the addition in review"
+          file rule)
+      missing
+    @ List.map
+        (fun (file, rule) ->
+          Printf.sprintf
+            "inventory lists a waiver for %s (%s) that no longer exists; run ci/regen.sh \
+             --lint-baseline"
+            file rule)
+        stale
+  in
+  if errs = [] then Ok () else Error errs
 
 let print ?(json = false) t =
   print_string (if json then to_json t ^ "\n" else to_table t)

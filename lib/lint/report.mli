@@ -1,13 +1,32 @@
-(** Findings plus scan statistics, renderable as a human table or as the
-    machine-readable JSON CI archives. *)
+(** Findings plus scan statistics, renderable as a human table, the
+    machine-readable JSON CI archives (with per-rule counts), a markdown
+    step summary, or the waiver inventory the ratchet checks. *)
 
 type t = {
   findings : Rules.finding list;  (** sorted by (file, line, rule) *)
   files_scanned : int;
   waivers_total : int;
   waivers_used : int;
+  waiver_sites : (string * string * string) list;
+      (** (file, rule, reason), sorted — every waiver comment in the
+          scanned tree, used or not *)
 }
+
+val by_rule : t -> (string * int) list
+(** Finding count per rule, over {!Rules.all_rules} (zeros included). *)
 
 val to_json : t -> string
 val to_table : t -> string
+
+val to_summary_md : t -> string
+(** Markdown for the CI step summary: per-rule counts, then findings. *)
+
+val to_waivers_txt : t -> string
+(** The line-number-free waiver inventory ([<file> <rule> — <reason>]). *)
+
+val check_waivers : t -> inventory:string -> (unit, string list) result
+(** Ratchet against a checked-in inventory: errors for waivers missing
+    from it (additions need a deliberate baseline refresh) and for
+    inventory lines whose waiver no longer exists. *)
+
 val print : ?json:bool -> t -> unit

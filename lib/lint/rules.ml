@@ -5,11 +5,18 @@ let r_ambient = "ambient-nondeterminism"
 let r_span = "span-pairing"
 let r_counter = "counter-name-grammar"
 let r_physeq = "physical-equality"
+let r_taint = "nondeterminism-taint"
+let r_layer = "layer-boundary"
+let r_proto = "protocol-invariant"
+let r_dead = "dead-export"
 let r_unused_waiver = "unused-waiver"
 let r_bad_waiver = "bad-waiver"
 
 (* rules a waiver comment may name *)
-let waivable = [ r_unordered; r_ambient; r_span; r_counter; r_physeq ]
+let waivable =
+  [ r_unordered; r_ambient; r_span; r_counter; r_physeq; r_taint; r_layer; r_proto; r_dead ]
+
+let all_rules = waivable @ [ r_unused_waiver; r_bad_waiver ]
 
 type span_site = { sp_file : string; sp_line : int; sp_kind : string option; sp_is_begin : bool }
 
@@ -21,74 +28,21 @@ type file_facts = {
   ff_patterns : reg_pattern list;
 }
 
-(* ---- statement windows --------------------------------------------------
-
-   "The same expression" for R1/R3: the token window around a site bounded
-   by statement-level punctuation. Scanning out from the site we track the
-   lowest bracket depth seen so far ([l]); a boundary token only stops the
-   scan when it sits at that level, so delimiters inside sibling argument
-   groups — the [->] of an inline [fun], the [;] inside its body — are
-   crossed freely while the [in]/[;]/[let] that really ends the statement
-   is not. *)
-
-let fwd_stop = [ ";"; ";;"; "in"; "let"; "and"; "then"; "else"; "do"; "done"; "->"; "|" ]
-let bwd_stop = fwd_stop @ [ "="; "<-"; ":=" ]
-
-let boundary stops (t : Token.t) =
-  (match t.kind with Token.Ident | Token.Punct -> true | _ -> false)
-  && List.mem t.text stops
-
-let window_fwd (toks : Token.t array) i =
-  let n = Array.length toks in
-  let out = ref [] in
-  let l = ref toks.(i).depth in
-  let k = ref (i + 1) in
-  let stop = ref false in
-  while (not !stop) && !k < n do
-    let t = toks.(!k) in
-    if t.depth < !l then l := t.depth;
-    if boundary fwd_stop t && t.depth <= !l then stop := true
-    else begin
-      out := t :: !out;
-      incr k
-    end
-  done;
-  List.rev !out
-
-let window_bwd (toks : Token.t array) i =
-  let out = ref [] in
-  let l = ref toks.(i).depth in
-  let k = ref (i - 1) in
-  let stop = ref false in
-  while (not !stop) && !k >= 0 do
-    let t = toks.(!k) in
-    if t.depth < !l then l := t.depth;
-    if boundary bwd_stop t && t.depth <= !l then stop := true
-    else begin
-      out := t :: !out;
-      decr k
-    end
-  done;
-  !out
-
-let statement_window toks i = window_bwd toks i @ (toks.(i) :: window_fwd toks i)
-
 (* ---- R1: unordered iteration -------------------------------------------- *)
 
-let unordered_op text =
-  Token.starts_with ~prefix:"Hashtbl." text
-  && List.mem (Token.last_component text) [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
-
-let sort_witness (t : Token.t) =
-  t.kind = Token.Ident
-  && List.mem (Token.last_component t.text) [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort" ]
-
-let check_unordered ~file toks =
+(* The heavy lifting moved to [Dataflow.classify_unordered]: a site is
+   clean when the order provably cannot escape (sorted in the same
+   statement, a commutative fold, a binding that only drives removals or
+   is sorted before any read, an array fill sorted below). Everything the
+   classifier cannot prove stays a finding. *)
+let check_unordered ~file ~items toks =
   let out = ref [] in
   Array.iteri
     (fun i (t : Token.t) ->
-      if t.kind = Token.Ident && unordered_op t.text then
-        if not (List.exists sort_witness (statement_window toks i)) then
+      if t.kind = Token.Ident && Dataflow.unordered_op t.text then
+        match Dataflow.classify_unordered toks ~items i with
+        | Dataflow.R1_safe _ -> ()
+        | Dataflow.R1_unsafe ->
           out :=
             {
               rule = r_unordered;
@@ -96,8 +50,8 @@ let check_unordered ~file toks =
               line = t.line;
               message =
                 Printf.sprintf
-                  "%s iterates in hash-table order; sort the result in the same expression or \
-                   waive with a proof that the order cannot escape"
+                  "%s iterates in hash-table order and the order can escape; sort the result, \
+                   reduce commutatively, or waive with a proof"
                   t.text;
             }
             :: !out)
@@ -192,7 +146,7 @@ let collect_spans ~file (toks : Token.t array) =
         | None -> ()
         | Some is_begin ->
           let kind =
-            match List.find_map sk_of (window_fwd toks i) with
+            match List.find_map sk_of (Dataflow.window_fwd toks i) with
             | Some k -> Some k
             | None ->
               let a, b = segment_bounds toks i in
@@ -461,14 +415,401 @@ let check_baseline ~file lines patterns =
     lines;
   List.rev !findings
 
+(* ---- R6: nondeterminism taint --------------------------------------------- *)
+
+let check_taint ~file toks =
+  List.map
+    (fun (tf : Dataflow.taint_finding) ->
+      {
+        rule = r_taint;
+        file;
+        line = tf.Dataflow.tf_line;
+        message =
+          Printf.sprintf "%s (line %d) reaches %s%s; derive the value deterministically or waive \
+                          with a proof it cannot vary"
+            tf.Dataflow.tf_source tf.Dataflow.tf_src_line tf.Dataflow.tf_sink
+            (match tf.Dataflow.tf_via with
+            | [] -> ""
+            | via -> Printf.sprintf " through %s" (String.concat " -> " via));
+      })
+    (Dataflow.check_taint toks)
+
+(* ---- R8: protocol-invariant ship sites ------------------------------------ *)
+
+(* Every bulk shipment must (a) pass [~size_bytes] so Meta_bytes can
+   attribute it, (b) sit in a definition that records [Stats.Meta_bytes]
+   (the PR 7 accounting convention), and — in [lib/core], where shipments
+   cross reconfiguration epochs — (c) thread an epoch. The definition of
+   the [ship] primitive itself is exempt from (b): it is the thing call
+   sites account around. *)
+let ship_site (toks : Token.t array) i (t : Token.t) =
+  t.kind = Token.Ident
+  && ((Token.last_component t.text = "ship"
+       && not
+            (i > 0
+            && toks.(i - 1).kind = Token.Ident
+            && List.mem toks.(i - 1).text [ "let"; "and"; "val" ]))
+     || (Token.has_component "Link" t.text
+        && Token.last_component t.text = "send"
+        && List.exists
+             (fun (w : Token.t) -> w.kind = Token.Ident && Token.has_component "bulk" w.text)
+             (Dataflow.statement_window toks i)))
+
+let item_mentions_meta toks (it : Ast.item) =
+  Dataflow.slice_exists toks ~from:it.Ast.it_start ~upto:it.Ast.it_stop (fun t ->
+      t.kind = Token.Ident && Token.has_component "Meta_bytes" t.text)
+
+let item_mentions_epoch toks (it : Ast.item) =
+  Dataflow.slice_exists toks ~from:it.Ast.it_start ~upto:it.Ast.it_stop (fun t ->
+      match t.kind with
+      | Token.Ident -> Token.has_component "epoch" t.text
+      | Token.Label -> t.text = "~epoch" || t.text = "?epoch"
+      | _ -> false)
+
+let check_ship ~file ~items toks =
+  let out = ref [] in
+  Array.iteri
+    (fun i (t : Token.t) ->
+      if ship_site toks i t then begin
+        let flag message = out := { rule = r_proto; file; line = t.line; message } :: !out in
+        if
+          not
+            (List.exists
+               (fun (w : Token.t) -> w.kind = Token.Label && w.text = "~size_bytes")
+               (Dataflow.window_fwd toks i))
+        then
+          flag
+            (Printf.sprintf
+               "bulk send %s does not pass ~size_bytes — metadata-bytes accounting cannot \
+                attribute this shipment"
+               t.text);
+        match Ast.item_containing items i with
+        | None -> ()
+        | Some it ->
+          let defines_ship = List.exists (fun (nm, _) -> nm = "ship") it.Ast.it_names in
+          if (not defines_ship) && not (item_mentions_meta toks it) then
+            flag
+              (Printf.sprintf
+                 "ship site %s sits in a definition that never records Stats.Meta_bytes — the \
+                  bytes-per-op gate undercounts this channel"
+                 t.text);
+          if
+            Token.starts_with ~prefix:"lib/core/" file
+            && (not defines_ship)
+            && not (item_mentions_epoch toks it)
+          then
+            flag
+              (Printf.sprintf
+                 "bulk send %s in lib/core does not thread an epoch — the reconfiguration drain \
+                  barrier cannot classify this shipment"
+                 t.text)
+      end)
+    toks;
+  List.rev !out
+
+(* ---- R8 cross-file half: every probe constructor has a consumer ------------ *)
+
+let probe_consumer_suffixes = [ "faults/checker.ml"; "harness/journey.ml"; "harness/chrome.ml" ]
+
+let check_probe_consumers sources =
+  match
+    List.find_opt (fun (f, _) -> String.ends_with ~suffix:"simulator/probe.mli" f) sources
+  with
+  | None -> []
+  | Some (pfile, ptoks) ->
+    let ctors = Ast.variant_constructors ptoks ~type_name:"event" in
+    let consumers =
+      List.filter
+        (fun (f, _) ->
+          List.exists (fun s -> String.ends_with ~suffix:s f) probe_consumer_suffixes)
+        sources
+    in
+    List.filter_map
+      (fun (c, line) ->
+        let used =
+          List.exists
+            (fun (_, toks) ->
+              Array.exists
+                (fun (t : Token.t) ->
+                  t.kind = Token.Ident && Token.last_component t.text = c)
+                toks)
+            consumers
+        in
+        if used then None
+        else
+          Some
+            {
+              rule = r_proto;
+              file = pfile;
+              line;
+              message =
+                Printf.sprintf
+                  "Probe.%s has no consumer in Faults.Checker, Harness.Journey or Harness.Chrome \
+                   — an event nobody checks or renders is dead telemetry"
+                  c;
+            })
+      ctors
+
+(* ---- R7: layer boundaries -------------------------------------------------- *)
+
+let head_component text =
+  match String.index_opt text '.' with None -> text | Some d -> String.sub text 0 d
+
+let check_layers ~layers ~libs sources =
+  let findings = ref [] in
+  List.iter
+    (fun (d : Layers.deny) ->
+      let from_dirs = Layers.dirs_of layers d.Layers.d_from in
+      let from_files =
+        List.filter
+          (fun (f, _) -> List.exists (fun dir -> Modgraph.under_dir ~dir f) from_dirs)
+          sources
+      in
+      List.iter
+        (fun spec ->
+          match spec with
+          | Layers.S_prefix p ->
+            let bare =
+              if String.ends_with ~suffix:"." p then String.sub p 0 (String.length p - 1) else p
+            in
+            List.iter
+              (fun (file, toks) ->
+                Array.iter
+                  (fun (t : Token.t) ->
+                    if
+                      t.kind = Token.Ident
+                      && (t.text = bare || t.text = p || Token.starts_with ~prefix:(bare ^ ".") t.text)
+                    then
+                      findings :=
+                        {
+                          rule = r_layer;
+                          file;
+                          line = t.line;
+                          message =
+                            Printf.sprintf
+                              "layer %S may not reach %s (ci/layers.txt); offending identifier: %s"
+                              d.Layers.d_from p t.text;
+                        }
+                        :: !findings)
+                  toks)
+              from_files
+          | Layers.S_layer target ->
+            let target_dirs = Layers.dirs_of layers target in
+            let target_mods =
+              List.map Modgraph.wrapped_module (Modgraph.libs_under libs ~dirs:target_dirs)
+            in
+            (* identifier edges, resolving [module A = Target.X] aliases *)
+            List.iter
+              (fun (file, toks) ->
+                let aliases =
+                  List.filter_map
+                    (fun (a, p) ->
+                      if List.mem (head_component p) target_mods then Some a else None)
+                    (Ast.module_aliases toks)
+                in
+                Array.iter
+                  (fun (t : Token.t) ->
+                    if t.kind = Token.Ident then begin
+                      let head = head_component t.text in
+                      if List.mem head target_mods || List.mem head aliases then
+                        findings :=
+                          {
+                            rule = r_layer;
+                            file;
+                            line = t.line;
+                            message =
+                              Printf.sprintf
+                                "layer %S may not reach layer %S (ci/layers.txt); offending \
+                                 identifier: %s"
+                                d.Layers.d_from target t.text;
+                          }
+                          :: !findings
+                    end)
+                  toks)
+              from_files;
+            (* dune dependency edges, so the ban holds even for code the
+               identifier scan cannot see *)
+            let target_libs =
+              List.map (fun (l : Modgraph.lib) -> l.Modgraph.lib_name)
+                (Modgraph.libs_under libs ~dirs:target_dirs)
+            in
+            List.iter
+              (fun (l : Modgraph.lib) ->
+                List.iter
+                  (fun dep ->
+                    if List.mem dep target_libs then
+                      findings :=
+                        {
+                          rule = r_layer;
+                          file = l.Modgraph.lib_dir ^ "/dune";
+                          line = 1;
+                          message =
+                            Printf.sprintf
+                              "layer %S may not depend on layer %S (ci/layers.txt), but library \
+                               %s lists %s in (libraries …)"
+                              d.Layers.d_from target l.Modgraph.lib_name dep;
+                        }
+                        :: !findings)
+                  l.Modgraph.lib_deps)
+              (Modgraph.libs_under libs ~dirs:from_dirs))
+        d.Layers.d_specs)
+    layers.Layers.denies;
+  List.rev !findings
+
+(* ---- R9: dead exports and .mli drift --------------------------------------- *)
+
+(* Per-file reference index: (component, last component) pairs of every
+   dotted identifier, plus opens/aliases/includes, so the per-val check
+   is a hash lookup instead of a token scan. *)
+type use_info = {
+  ui_pairs : (string * string, unit) Hashtbl.t;
+  ui_lasts : (string, unit) Hashtbl.t;
+  ui_opens : string list;  (* last components of opened paths *)
+  ui_aliases : (string * string) list;  (* alias -> head of the aliased path *)
+  ui_includes : string list;  (* last components of included paths *)
+}
+
+let use_info (toks : Token.t array) =
+  let pairs = Hashtbl.create 256 in
+  let lasts = Hashtbl.create 256 in
+  let includes = ref [] in
+  Array.iteri
+    (fun i (t : Token.t) ->
+      if t.kind = Token.Ident then begin
+        let comps = String.split_on_char '.' t.text in
+        let last = List.nth comps (List.length comps - 1) in
+        Hashtbl.replace lasts last ();
+        List.iter (fun c -> Hashtbl.replace pairs (c, last) ()) comps;
+        if t.text = "include" && i + 1 < Array.length toks && toks.(i + 1).kind = Token.Ident then
+          includes := Token.last_component toks.(i + 1).text :: !includes
+      end
+      else if t.kind = Token.Label && String.length t.text > 1 then
+        (* a punned label argument [~x] under an [open] is a use of [x] *)
+        Hashtbl.replace lasts (String.sub t.text 1 (String.length t.text - 1)) ())
+    toks;
+  {
+    ui_pairs = pairs;
+    ui_lasts = lasts;
+    ui_opens = List.map Token.last_component (Ast.opens toks);
+    ui_aliases = List.map (fun (a, p) -> (a, head_component p)) (Ast.module_aliases toks);
+    ui_includes = !includes;
+  }
+
+let module_of_path f = String.capitalize_ascii (Filename.remove_extension (Filename.basename f))
+
+let check_dead_exports ~sources ~use_sources =
+  let findings = ref [] in
+  let infos = List.map (fun (f, toks) -> (f, toks, use_info toks)) (sources @ use_sources) in
+  let included =
+    List.sort_uniq String.compare (List.concat_map (fun (_, _, ui) -> ui.ui_includes) infos)
+  in
+  (* R9a: an exported val nobody outside the module references *)
+  List.iter
+    (fun (mli_file, mli_toks) ->
+      if Filename.check_suffix mli_file ".mli" then begin
+        let m = module_of_path mli_file in
+        let own_ml = Filename.remove_extension mli_file ^ ".ml" in
+        let others = List.filter (fun (f, _, _) -> f <> mli_file && f <> own_ml) infos in
+        List.iter
+          (fun (subpath, name, line) ->
+            let want = if subpath = "" then m else Token.last_component subpath in
+            (* [include]d modules re-export everything; references cannot
+               be attributed, so stay silent *)
+            if (not (List.mem m included)) && not (List.mem want included) then begin
+              let referenced =
+                List.exists
+                  (fun (_, _, ui) ->
+                    Hashtbl.mem ui.ui_pairs (want, name)
+                    || List.exists
+                         (fun (a, tgt) -> tgt = want && Hashtbl.mem ui.ui_pairs (a, name))
+                         ui.ui_aliases
+                    || (List.mem want ui.ui_opens && Hashtbl.mem ui.ui_lasts name))
+                  others
+              in
+              if not referenced then
+                findings :=
+                  {
+                    rule = r_dead;
+                    file = mli_file;
+                    line;
+                    message =
+                      Printf.sprintf
+                        "val %s%s is never referenced outside its module — delete the export (and \
+                         the value, if nothing inside uses it) or waive with the planned caller"
+                        (if subpath = "" then "" else subpath ^ ".")
+                        name;
+                  }
+                  :: !findings
+            end)
+          (Ast.mli_vals mli_toks)
+      end)
+    sources;
+  (* R9b: a top-level value the .mli hides and the .ml itself never uses *)
+  List.iter
+    (fun (ml_file, ml_toks) ->
+      if Filename.check_suffix ml_file ".ml" then
+        match
+          List.find_opt (fun (f, _) -> f = Filename.remove_extension ml_file ^ ".mli") sources
+        with
+        | None -> ()
+        | Some (_, mli_toks) ->
+          let has_include =
+            Array.exists (fun (t : Token.t) -> t.kind = Token.Ident && t.text = "include") ml_toks
+          in
+          if not has_include then begin
+            let exported = List.map (fun (_, n, _) -> n) (Ast.mli_vals mli_toks) in
+            List.iter
+              (fun (it : Ast.item) ->
+                (* a multi-name item is a [let rec ... and ...] group whose
+                   members call each other inside the item's own range —
+                   sibling calls are real uses we cannot tell apart from
+                   self-recursion, so stay silent *)
+                if it.Ast.it_kind = Ast.K_let && List.length it.Ast.it_names = 1 then
+                  List.iter
+                    (fun (name, line) ->
+                      if name <> "" && name.[0] <> '_' && not (List.mem name exported) then begin
+                        let used = ref false in
+                        Array.iteri
+                          (fun j (t : Token.t) ->
+                            if
+                              (j < it.Ast.it_start || j >= it.Ast.it_stop)
+                              && ((t.kind = Token.Ident && head_component t.text = name)
+                                 (* punned label argument [~name] passes the value *)
+                                 || (t.kind = Token.Label
+                                    && String.length t.text > 1
+                                    && String.sub t.text 1 (String.length t.text - 1) = name))
+                            then used := true)
+                          ml_toks;
+                        if not !used then
+                          findings :=
+                            {
+                              rule = r_dead;
+                              file = ml_file;
+                              line;
+                              message =
+                                Printf.sprintf
+                                  "top-level value %s is hidden by the .mli and never used in \
+                                   this file — dead code, or an export the interface lost"
+                                  name;
+                            }
+                            :: !findings
+                      end)
+                    it.Ast.it_names)
+              (Ast.items ml_toks)
+          end)
+    sources;
+  List.rev !findings
+
 (* ---- per-file driver ------------------------------------------------------ *)
 
 let analyze_file ~file toks =
+  let items = Ast.items toks in
   let counter_findings, patterns = check_counters ~file toks in
   {
     ff_findings =
-      check_unordered ~file toks @ check_ambient ~file toks @ check_physeq ~file toks
-      @ counter_findings;
+      check_unordered ~file ~items toks
+      @ check_ambient ~file toks @ check_physeq ~file toks @ counter_findings
+      @ check_taint ~file toks @ check_ship ~file ~items toks;
     ff_spans = collect_spans ~file toks;
     ff_patterns = patterns;
   }

@@ -17,13 +17,17 @@ let last_component text =
 
 let starts_with ~prefix s = String.starts_with ~prefix s
 
+let has_component comp text = List.mem comp (String.split_on_char '.' text)
+
 (* Lexes the subset of OCaml this repo is written in: dotted identifiers
    are kept as single tokens ([Hashtbl.fold], [t.edge_links]), strings
    (including [{id|…|id}] quoted strings) and char literals are opaque,
    comments nest and are returned out-of-band so the waiver parser can see
-   them. [depth] is bracket depth ([( [ { begin do] open, [) ] } end done]
-   close): openers and closers carry the *outer* depth, tokens between
-   them the inner one. That is all the structure the rules need. *)
+   them. [depth] is bracket depth ([( [ { begin do struct sig object]
+   open, [) ] } end done] close): openers and closers carry the *outer*
+   depth, tokens between them the inner one. That is all the structure
+   the token-level rules need; [Ast] recovers items and binding chains
+   on top of it. *)
 let tokenize src =
   let n = String.length src in
   let toks = ref [] in
@@ -141,7 +145,7 @@ let tokenize src =
       go ();
       let text = String.sub src start (!j - start) in
       (match text with
-      | "begin" | "do" ->
+      | "begin" | "do" | "struct" | "sig" | "object" ->
         push Ident text !depth;
         incr depth
       | "end" | "done" ->

@@ -21,8 +21,9 @@ type t = {
   text : string;
   line : int;  (** 1-based *)
   depth : int;
-      (** bracket depth — [( \[ { begin do] open, [) \] } end done] close;
-          opener/closer tokens carry the outer depth *)
+      (** bracket depth — [( \[ { begin do struct sig object] open,
+          [) \] } end done] close; opener/closer tokens carry the outer
+          depth *)
 }
 
 type comment = { ctext : string; cstart : int; cend : int }
@@ -34,3 +35,7 @@ val last_component : string -> string
 (** ["Sim.Span.Sk_bulk"] → ["Sk_bulk"]. *)
 
 val starts_with : prefix:string -> string -> bool
+
+val has_component : string -> string -> bool
+(** [has_component "bulk" "t.bulk"] — is the name a dot-component of the
+    (possibly dotted) identifier? *)

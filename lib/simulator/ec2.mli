@@ -13,8 +13,6 @@ val f : Topology.site
 val t : Topology.site
 val s : Topology.site
 
-val region_names : string array
-
 val first_n : int -> Topology.site list
 (** The first [n] regions in table order, used by the 3–7 datacenter
     scaling experiments (Fig. 1). *)

@@ -130,10 +130,8 @@ let cut t =
 
 let restore t = t.up <- true
 let is_up t = t.up
-let sent_count t = t.sent
 let delivered_count t = t.delivered
 let dropped_count t = t.dropped_down + t.dropped_cut
 let dropped_down_count t = t.dropped_down
 let dropped_cut_count t = t.dropped_cut
 let in_flight_count t = t.sent - t.delivered - t.dropped_down - t.dropped_cut
-let bytes_sent t = t.bytes

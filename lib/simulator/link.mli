@@ -51,7 +51,6 @@ val restore : t -> unit
 
 val is_up : t -> bool
 
-val sent_count : t -> int
 val delivered_count : t -> int
 
 val dropped_count : t -> int
@@ -66,5 +65,3 @@ val dropped_cut_count : t -> int
 val in_flight_count : t -> int
 (** Messages sent but neither delivered nor dropped yet — the queue depth
     of the wire at the current simulated instant. *)
-
-val bytes_sent : t -> int

@@ -76,28 +76,6 @@ type event =
   | Span_begin of span
   | Span_end of span
 
-let kind = function
-  | Engine_step _ -> "engine_step"
-  | Link_send _ -> "link_send"
-  | Link_deliver -> "link_deliver"
-  | Link_drop _ -> "link_drop"
-  | Fifo_resend _ -> "fifo_resend"
-  | Label_forward _ -> "label_forward"
-  | Serializer_hop _ -> "serializer_hop"
-  | Serializer_deliver _ -> "serializer_deliver"
-  | Delay_wait _ -> "delay_wait"
-  | Chain_ack _ -> "chain_ack"
-  | Ser_commit _ -> "ser_commit"
-  | Head_change _ -> "head_change"
-  | Sink_emit _ -> "sink_emit"
-  | Proxy_apply _ -> "proxy_apply"
-  | Proxy_mode _ -> "proxy_mode"
-  | Stab_round _ -> "stab_round"
-  | Vec_advance _ -> "vec_advance"
-  | Switch_begin _ -> "switch_begin"
-  | Switch_done _ -> "switch_done"
-  | Span_begin s | Span_end s -> "span." ^ span_kind_name s.sk
-
 (* Interned kind ids: per-event counting bumps a dense [int array] slot
    instead of hashing the kind string. Span begins and ends share one
    "span.<kind>" bucket, matching [kind]. *)
@@ -298,7 +276,6 @@ let current : t option ref = ref None
 
 let install t = current := Some t
 let uninstall () = current := None
-let installed () = !current
 let active () = !current <> None
 
 let emit ~at ev = match !current with None -> () | Some t -> record t at ev

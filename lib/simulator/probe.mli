@@ -43,9 +43,6 @@ type span_kind =
 val span_kind_name : span_kind -> string
 (** ["sink_hold"], ["attach"], … — the keys of {!span_totals_us}. *)
 
-val span_kinds : span_kind list
-(** Every kind, in label-lifecycle order. *)
-
 (** A span's correlation key. Begin and end must agree on {e every} field
     — the probe pairs them structurally. Two keying conventions are used:
     tree-side spans ([Sk_attach]..[Sk_delay_egress]) carry the service uid
@@ -122,7 +119,6 @@ val create : ?keep:bool -> unit -> t
 
 val install : t -> unit
 val uninstall : unit -> unit
-val installed : unit -> t option
 
 val active : unit -> bool
 (** Cheap guard for instrumentation points: check before building an
@@ -165,7 +161,6 @@ val digest : t -> string
 
 (** {2 Export} *)
 
-val kind : event -> string
 val to_json : Time.t -> event -> string
 (** One JSON object, e.g. [{"t":1200,"ev":"serializer_hop","from":0,"to":1}]. *)
 
@@ -174,15 +169,6 @@ val to_json : Time.t -> event -> string
     The set of event kinds is closed, so per-event accounting uses a dense
     integer id instead of the kind string: {!record} bumps [counts.(kind_id
     ev)] — no hashing, no allocation on the per-event path. *)
-
-val n_kinds : int
-
-val kind_id : event -> int
-(** Dense id in [\[0, n_kinds)]. [Span_begin]/[Span_end] of the same
-    {!span_kind} share an id, mirroring {!kind}. *)
-
-val kind_names : string array
-(** [kind_names.(kind_id ev) = kind ev] for every event. *)
 
 val write_jsonl : t -> out_channel -> unit
 (** One {!to_json} line per recorded event, in emission order.

@@ -10,8 +10,6 @@ type kind = Probe.span_kind =
   | Sk_bulk
   | Sk_stab
 
-let active = Probe.active
-
 let begin_ ~at ?(aux = -1) ?(site = -1) ?(peer = -1) ?(epoch = 0) sk ~origin ~seq =
   Probe.emit ~at (Probe.Span_begin { Probe.sk; origin; seq; aux; site; peer; epoch })
 

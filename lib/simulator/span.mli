@@ -18,9 +18,6 @@ type kind = Probe.span_kind =
   | Sk_bulk
   | Sk_stab
 
-val active : unit -> bool
-(** Same guard as {!Probe.active}. *)
-
 val begin_ :
   at:Time.t -> ?aux:int -> ?site:int -> ?peer:int -> ?epoch:int -> kind -> origin:int -> seq:int ->
   unit

@@ -31,7 +31,6 @@ let site_of_name t n =
   loop 0
 
 let latency t a b = t.lat.(a).(b)
-let sites t = List.init (n_sites t) Fun.id
 
 let sub t chosen =
   let chosen = Array.of_list chosen in

@@ -22,8 +22,6 @@ val site_of_name : t -> string -> site
 val latency : t -> site -> site -> Time.t
 (** One-way latency between two sites ([Time.zero] on the diagonal). *)
 
-val sites : t -> site list
-
 val sub : t -> site list -> t * site array
 (** [sub t chosen] restricts the topology to [chosen] sites; also returns
     the mapping from new dense ids to the original ids. *)

@@ -12,7 +12,6 @@ type t = {
 let create ?(capacity = 65536) engine =
   { engine; capacity; enabled = false; buf = Array.make capacity None; next = 0; count = 0 }
 
-let enabled t = t.enabled
 let set_enabled t v = t.enabled <- v
 
 let log t ~component msg =
@@ -21,10 +20,6 @@ let log t ~component msg =
     t.next <- (t.next + 1) mod t.capacity;
     t.count <- min (t.count + 1) t.capacity
   end
-
-let logf t ~component fmt =
-  if t.enabled then Format.kasprintf (fun msg -> log t ~component msg) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let entries t =
   let start = if t.count < t.capacity then 0 else t.next in
@@ -37,12 +32,6 @@ let entries t =
       | Some e -> loop (i + 1) ((e.at, e.component, e.msg) :: acc)
   in
   loop 0 []
-
-let dump t ppf =
-  List.iter
-    (fun (at, component, msg) ->
-      Format.fprintf ppf "[%a] %-16s %s@." Time.pp at component msg)
-    (entries t)
 
 let clear t =
   Array.fill t.buf 0 t.capacity None;

@@ -9,7 +9,6 @@ type t
 val create : ?capacity:int -> Engine.t -> t
 (** Ring buffer of at most [capacity] entries (default 65536). *)
 
-val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
 val log : t -> component:string -> string -> unit
@@ -17,12 +16,7 @@ val log : t -> component:string -> string -> unit
     disabled; the message is built eagerly, so guard expensive formatting
     with [enabled]. *)
 
-val logf : t -> component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Like {!log} but with lazy formatting: the format arguments are only
-    rendered when tracing is enabled. *)
-
 val entries : t -> (Time.t * string * string) list
 (** Oldest first. *)
 
-val dump : t -> Format.formatter -> unit
 val clear : t -> unit

@@ -59,22 +59,6 @@ let percentile t p =
     !result
   end
 
-let cdf t =
-  if t.n = 0 then []
-  else begin
-    let acc = ref t.under in
-    let out = ref [] in
-    Array.iteri
-      (fun i c ->
-        acc := !acc + c;
-        if c > 0 then
-          out :=
-            (t.lo +. (float_of_int (i + 1) *. t.width), float_of_int !acc /. float_of_int t.n)
-            :: !out)
-      t.counts;
-    List.rev !out
-  end
-
 let merge a b =
   if a.lo <> b.lo || a.hi <> b.hi || Array.length a.counts <> Array.length b.counts then
     invalid_arg "Histogram.merge: geometry mismatch";

@@ -18,9 +18,6 @@ val percentile : t -> float -> float
 (** Approximate percentile: midpoint of the bucket containing the rank.
     @raise Invalid_argument on an empty histogram. *)
 
-val cdf : t -> (float * float) list
-(** [(bucket upper bound, cumulative fraction)] for non-empty prefix. *)
-
 val merge : t -> t -> t
 (** Pointwise sum; both histograms must share the same geometry.
     [merge] allocates a fresh histogram: neither input aliases the result,

@@ -51,8 +51,6 @@ val record_heartbeat : t -> bytes:int -> unit
 (** One liveness/floor heartbeat of [bytes] on the wire. *)
 
 val attached_bytes : t -> int
-val stabilization_bytes : t -> int
-val heartbeat_bytes : t -> int
 
 val total_bytes : t -> int
 (** [attached + stabilization + heartbeat]. *)

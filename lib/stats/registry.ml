@@ -65,8 +65,6 @@ let incr_id ?(by = 1) t id =
   let c = t.dense.(id) in
   c.n <- c.n + by
 
-let id_value t id = t.dense.(id).n
-
 let gauge t name =
   match Hashtbl.find_opt t.metrics name with
   | Some (M_gauge g) -> g
@@ -77,8 +75,6 @@ let gauge t name =
     g
 
 let set g v = g.v <- v
-let gauge_value g = g.v
-let gauge_name g = g.gname
 
 let register_pull t name f =
   match Hashtbl.find_opt t.metrics name with
@@ -108,11 +104,7 @@ let snapshot t =
   Hashtbl.fold (fun name m acc -> (name, sample m) :: acc) t.metrics []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let names t = List.map fst (snapshot t)
-
 let sum_counters t ~prefix =
-  (* lint: allow unordered-iteration — integer addition commutes; the fold
-     reduces to a single sum, no ordering escapes *)
   Hashtbl.fold
     (fun name m acc ->
       match m with

@@ -40,7 +40,6 @@ val intern : t -> string -> int
     @raise Invalid_argument if the name holds a non-counter metric. *)
 
 val incr_id : ?by:int -> t -> int -> unit
-val id_value : t -> int -> int
 
 (** {2 Gauges} *)
 
@@ -48,8 +47,6 @@ type gauge
 
 val gauge : t -> string -> gauge
 val set : gauge -> float -> unit
-val gauge_value : gauge -> float
-val gauge_name : gauge -> string
 
 val register_pull : t -> string -> (unit -> float) -> unit
 (** Registers a gauge whose value is sampled on demand.
@@ -68,11 +65,8 @@ val find : t -> string -> value option
 val snapshot : t -> (string * value) list
 (** Every metric, name-sorted; pull gauges are sampled now. *)
 
-val names : t -> string list
-
 val sum_counters : t -> prefix:string -> int
 (** Sum of every counter whose name starts with [prefix] — aggregates
     per-datacenter scoped counters ([proxy.dc*...]) into one figure. *)
 
-val to_table : ?title:string -> t -> Table.t
 val print : ?title:string -> t -> unit

@@ -5,9 +5,6 @@ let add_row t row = t.rows <- row :: t.rows
 let cell_f v = Printf.sprintf "%.1f" v
 let cell_pct v = Printf.sprintf "%+.1f%%" v
 
-let add_float_row t label values _ =
-  add_row t (label :: List.map cell_f values)
-
 let render t =
   let rows = List.rev t.rows in
   let all = t.columns :: rows in

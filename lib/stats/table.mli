@@ -8,10 +8,6 @@ type t
 
 val create : title:string -> columns:string list -> t
 val add_row : t -> string list -> unit
-val add_float_row : t -> string -> float list -> t -> unit
-(** [add_float_row t label values t] appends [label] followed by each value
-    formatted with one decimal. (The trailing [t] is ignored; kept for
-    pipeline style.) *)
 
 val render : t -> string
 val print : t -> unit

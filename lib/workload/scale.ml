@@ -150,8 +150,6 @@ let of_tier tier ~seed = generate ~n_users:(tier_users tier) ~seed ()
 let n_users t = t.n_users
 let n_edges t = t.n_edges
 let degree t u = t.offsets.(u + 1) - t.offsets.(u)
-let community t u = u mod t.n_communities
-let n_communities t = t.n_communities
 
 let mean_degree t =
   if t.n_users = 0 then 0. else 2. *. float_of_int t.n_edges /. float_of_int t.n_users

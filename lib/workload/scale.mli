@@ -40,17 +40,12 @@ val of_tier : tier -> seed:int -> t
 val n_users : t -> int
 val n_edges : t -> int
 val degree : t -> int -> int
-val community : t -> int -> int
-val n_communities : t -> int
 val mean_degree : t -> float
 val max_degree : t -> int
 
 val iter_friends : t -> int -> (int -> unit) -> unit
 (** Neighbors of a user, ascending, straight out of the CSR row — no
     per-call array. *)
-
-val friend : t -> Sim.Rng.t -> int -> int
-(** Uniform random neighbor (the user itself if isolated). O(1). *)
 
 val digest : t -> string
 (** FNV-1a (64-bit hex) over the edge stream in generation order — the
@@ -67,11 +62,6 @@ val digest : t -> string
 module Ops : sig
   type graph := t
   type t
-
-  val master_dc : graph -> n_dcs:int -> user:int -> int
-
-  val wall_key : graph -> user:int -> int
-  val album_key : graph -> user:int -> int
 
   val n_keys : graph -> int
   (** [2 * n_users]: walls then albums. *)

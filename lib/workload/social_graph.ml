@@ -74,8 +74,6 @@ let generate ~n_users ~mean_degree ~communities ~locality ~seed =
       (fun set ->
         let arr = Array.make (Hashtbl.length set) 0 in
         let i = ref 0 in
-        (* lint: allow unordered-iteration — fills an array that is
-           Array.sort'ed immediately below, before anything reads it *)
         Hashtbl.iter
           (fun v () ->
             arr.(!i) <- v;
@@ -96,9 +94,7 @@ let facebook_scaled ~n_users ~seed =
 let n_users t = Array.length t.adj
 let n_edges t = t.n_edges
 let friends t u = t.adj.(u)
-let degree t u = Array.length t.adj.(u)
 let community t u = t.community.(u)
-let n_communities t = t.n_communities
 
 let mean_degree t =
   if n_users t = 0 then 0. else 2. *. float_of_int t.n_edges /. float_of_int (n_users t)

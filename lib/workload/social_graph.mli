@@ -11,10 +11,6 @@
 
 type t
 
-val generate : n_users:int -> mean_degree:int -> communities:int -> locality:float -> seed:int -> t
-(** [locality] ∈ [0,1] is the probability a new edge stays inside the
-    node's community. @raise Invalid_argument on nonsensical parameters. *)
-
 val facebook_scaled : n_users:int -> seed:int -> t
 (** The New Orleans statistics (mean degree ≈ 30, strong communities)
     scaled to [n_users]. *)
@@ -22,8 +18,6 @@ val facebook_scaled : n_users:int -> seed:int -> t
 val n_users : t -> int
 val n_edges : t -> int
 val friends : t -> int -> int array
-val degree : t -> int -> int
 val community : t -> int -> int
-val n_communities : t -> int
 val mean_degree : t -> float
 val max_degree : t -> int

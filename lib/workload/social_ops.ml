@@ -7,17 +7,6 @@ type kind =
   | Write_friend_wall
   | Upload_album
 
-let pp_kind ppf k =
-  Format.pp_print_string ppf
-    (match k with
-    | Browse_friend_wall -> "browse-friend-wall"
-    | Browse_friend_albums -> "browse-friend-albums"
-    | Read_own_wall -> "read-own-wall"
-    | Universal_search -> "universal-search"
-    | Update_own_wall -> "update-own-wall"
-    | Write_friend_wall -> "write-friend-wall"
-    | Upload_album -> "upload-album")
-
 let mix =
   [
     (Browse_friend_wall, 0.52);

@@ -16,7 +16,6 @@ type kind =
   | Write_friend_wall  (** 3% — message/comment on a friend's wall *)
   | Upload_album  (** 2% — write own albums object *)
 
-val pp_kind : Format.formatter -> kind -> unit
 val mix : (kind * float) list
 (** The percentages above; sums to 1. *)
 

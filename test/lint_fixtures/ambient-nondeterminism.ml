@@ -1,0 +1,11 @@
+(* rule: ambient-nondeterminism
+   Wall clocks, module-level Random, Marshal and Hashtbl.hash differ
+   run-to-run even under the simulated clock, so the digest gate would
+   only catch them after the fact. Take time from the engine clock and
+   randomness from a seeded Random.State threaded explicitly. *)
+(* --bad-- *)
+(* @file lib/fixture.ml *)
+let jitter () = Random.float 1.0
+(* --good-- *)
+(* @file lib/fixture.ml *)
+let jitter st = Random.State.float st 1.0

@@ -1,0 +1,11 @@
+(* rule: counter-name-grammar
+   Counter names reaching the registry must match [a-z0-9_.*>-]+ and the
+   dotted family.metric convention, because the probe-counter gate globs
+   the smoke baseline against registration sites — a name outside the
+   grammar can never be covered and silently escapes the gate. *)
+(* --bad-- *)
+(* @file lib/fixture.ml *)
+let c reg = Stats.Registry.counter reg "Commit Count"
+(* --good-- *)
+(* @file lib/fixture.ml *)
+let c reg = Stats.Registry.counter reg "serializer.commits"

@@ -1,0 +1,22 @@
+(* rule: dead-export
+   An .mli val no other file references is surface the remaining rules
+   must reason about for nothing — delete it (the compiler's unused-value
+   warning then walks the dead implementation chain for you), or waive
+   it naming the planned caller. Uses in test/, bench/ and examples/
+   count as live. *)
+(* --bad-- *)
+(* @file lib/m.mli *)
+val used : int -> int
+val helper : int -> int
+(* @file lib/m.ml *)
+let used x = x + 1
+let helper x = x * 2
+(* @file lib/caller.ml *)
+let y = M.used 1
+(* --good-- *)
+(* @file lib/m.mli *)
+val used : int -> int
+(* @file lib/m.ml *)
+let used x = x + 1
+(* @file lib/caller.ml *)
+let y = M.used 1

@@ -1,0 +1,12 @@
+(* rule: layer-boundary
+   ci/layers.txt declares which layers may not reach which identifier
+   families or sibling layers: core and the baselines stay free of
+   Unix/Sys/printing/harness so the live-mode refactor can swap the
+   transport under them, and the simulator never reaches back into core.
+   Inject the capability instead of importing it. *)
+(* --bad-- *)
+(* @file lib/core/fixture.ml *)
+let log msg = Printf.printf "%s\n" msg
+(* --good-- *)
+(* @file lib/core/fixture.ml *)
+let log ~emit msg = emit msg

@@ -1,0 +1,15 @@
+(* rule: nondeterminism-taint
+   An ambient source two let-bindings away from a probe/registry/digest
+   sink is invisible to the per-site ambient check, but the value still
+   corrupts replay. Taint flows through bindings until a canonicalizing
+   sort kills it or a sink consumes it. Thread deterministic inputs
+   instead of laundering ambient ones. *)
+(* --bad-- *)
+(* @file lib/fixture.ml *)
+let stamp probe ~at =
+  let t0 = Unix.gettimeofday () in
+  let skew = t0 *. 1e6 in
+  Sim.Probe.custom probe ~at skew
+(* --good-- *)
+(* @file lib/fixture.ml *)
+let stamp probe ~at ~skew = Sim.Probe.custom probe ~at skew

@@ -1,0 +1,11 @@
+(* rule: physical-equality
+   == and != compare addresses, not contents: two structurally equal
+   labels allocated separately compare unequal, and the result can vary
+   with allocation order. Use structural =/<>, or waive an intentional
+   identity check with the reason. *)
+(* --bad-- *)
+(* @file lib/fixture.ml *)
+let same_label a b = a == b
+(* --good-- *)
+(* @file lib/fixture.ml *)
+let same_label a b = a = b

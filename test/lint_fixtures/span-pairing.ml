@@ -1,0 +1,12 @@
+(* rule: span-pairing
+   The exact-tiling gate requires every span kind that is ever begun to
+   also be ended somewhere in the tree — an unpaired begin_ leaves an
+   open interval the tiling check rejects on every scenario that hits
+   it. The end_ may live in another file. *)
+(* --bad-- *)
+(* @file lib/fixture.ml *)
+let enter tr ~at = Sim.Span.begin_ tr ~at Sim.Span.Sk_flush
+(* --good-- *)
+(* @file lib/fixture.ml *)
+let enter tr ~at = Sim.Span.begin_ tr ~at Sim.Span.Sk_flush
+let leave tr ~at = Sim.Span.end_ tr ~at Sim.Span.Sk_flush

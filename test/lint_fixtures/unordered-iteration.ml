@@ -1,0 +1,15 @@
+(* rule: unordered-iteration
+   Hashtbl iteration order is arbitrary and differs run-to-run, so any
+   value that escapes an iter/fold in table order reaches the trace
+   digest and breaks replay. Sort in the same expression (or in the
+   binding's later uses), or make the reduction commutative. *)
+(* --bad-- *)
+(* @file lib/fixture.ml *)
+let keys tbl =
+  let out = ref [] in
+  Hashtbl.iter (fun k _ -> out := k :: !out) tbl;
+  !out
+(* --good-- *)
+(* @file lib/fixture.ml *)
+let keys tbl =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
