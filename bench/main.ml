@@ -30,8 +30,9 @@ let experiments =
    The observability smoke run: fixed-seed scenario, registry table,
    trace.jsonl + trace.digest. CI runs it twice and diffs the digests.
    --bench-out writes the run's headline numbers — throughput, visibility
-   p50/p99, per-series peak queue depth — as one machine-readable JSON
-   object, the repo's benchmark trajectory format (BENCH_smoke.json). *)
+   p50/p99, optimality-gap p50/p99/p99.9, per-series peak queue depth — as
+   one machine-readable JSON object, the repo's benchmark trajectory
+   format (BENCH_smoke.json). *)
 let smoke_measure_s = 1.0
 
 let smoke_bench_json (r : Harness.Obs.result) ~seed =
@@ -50,6 +51,17 @@ let smoke_bench_json (r : Harness.Obs.result) ~seed =
     (Printf.sprintf "\"visibility_ms\":{\"n\":%d,\"mean\":%.3f,\"p50\":%.3f,\"p99\":%.3f},"
        (Stats.Histogram.count vis) (Stats.Histogram.mean vis)
        (Stats.Histogram.percentile vis 50.) (Stats.Histogram.percentile vis 99.));
+  (* the avoidable part of visibility: per-journey gap over the shortest
+     bulk path, from the blame pass the smoke run already performed *)
+  let gap = r.Harness.Obs.blame.Harness.Blame.gap_hist in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"gap_ms\":{\"n\":%d,\"mean\":%.3f,\"p50\":%.3f,\"p99\":%.3f,\"p999\":%.3f},"
+       (Stats.Hdr.count gap)
+       (Stats.Hdr.mean gap /. 1000.)
+       (Stats.Hdr.percentile gap 50. /. 1000.)
+       (Stats.Hdr.percentile gap 99. /. 1000.)
+       (Stats.Hdr.percentile gap 99.9 /. 1000.));
   Buffer.add_string b
     (Printf.sprintf "\"series\":{\"window_us\":%d,\"windows\":%d,\"peak\":["
        (Sim.Time.to_us (Stats.Series.window sr))

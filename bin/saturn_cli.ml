@@ -1,15 +1,9 @@
 (* saturn-cli: drive the Saturn reproduction from the command line.
 
-   Subcommands:
-     matrix   print the EC2 latency matrix the simulations run on (Table 1)
-     plan     run the configuration generator (Algorithm 3) over regions
-     bench    run one comparative workload and print the measurements
-     bench-check  gate a fresh engine-bench JSON against the checked-in baseline
-     social   run the Facebook-like benchmark
-     trace    record / replay operation traces
-     obs      observability smoke run (deterministic trace + counter gate)
-     faults   fault-injection scenario matrix with invariant checking
-     series   windowed telemetry timelines (queue depths, recovery points) *)
+   The subcommand surface is single-sourced in Harness.Cli_spec: every
+   Cmd.info doc below pulls its summary from there, the top-level help
+   renders Cli_spec.usage, and main asserts the registered command names
+   equal the spec before dispatch. *)
 
 open Cmdliner
 
@@ -25,7 +19,7 @@ let region_conv =
 (* ---- matrix ---------------------------------------------------------------- *)
 
 let matrix_cmd =
-  let doc = "Print the inter-region latency matrix (the paper's Table 1)." in
+  let doc = Harness.Cli_spec.summary "matrix" in
   Cmd.v (Cmd.info "matrix" ~doc)
     Term.(
       const (fun () ->
@@ -73,7 +67,7 @@ let plan regions seed =
   Stats.Table.print table
 
 let plan_cmd =
-  let doc = "Plan a serializer tree for a set of regions (Algorithm 3)." in
+  let doc = Harness.Cli_spec.summary "plan" in
   let regions =
     Arg.(value & pos_all region_conv [] & info [] ~docv:"REGION" ~doc:"Regions (NV NC O I F T S).")
   in
@@ -135,7 +129,7 @@ let bench systems n_dcs correlation value_size read_pct remote_pct clients measu
   Stats.Table.print table
 
 let bench_cmd =
-  let doc = "Run a comparative synthetic workload (the Figure 5/7 harness)." in
+  let doc = Harness.Cli_spec.summary "bench" in
   let systems =
     Arg.(value & opt_all system_conv [] & info [ "s"; "system" ] ~doc:"System(s) to run; default all.")
   in
@@ -180,7 +174,7 @@ let social systems users max_replicas =
   Stats.Table.print table
 
 let social_cmd =
-  let doc = "Run the Facebook-like benchmark (§7.4)." in
+  let doc = Harness.Cli_spec.summary "social" in
   let systems =
     Arg.(value & opt_all system_conv [] & info [ "s"; "system" ] ~doc:"System(s) to run; default all.")
   in
@@ -316,7 +310,7 @@ let obs seed out spans spans_out check counters_out counters_baseline tolerance 
       exit 1)
 
 let obs_cmd =
-  let doc = "Run the observability smoke scenario: registry table + deterministic trace." in
+  let doc = Harness.Cli_spec.summary "obs" in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.") in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
@@ -385,10 +379,15 @@ let bench_check baseline_path fresh_path tolerance =
     exit 1
 
 let bench_check_cmd =
-  let doc =
-    "Compare a fresh engine-bench JSON (bench -- engine --out) against the checked-in baseline. \
-     Deterministic fields (counts, words/op) gate hard within the tolerance; wall-clock fields \
-     are reported but never fail the check."
+  let doc = Harness.Cli_spec.summary "bench-check" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compare a fresh engine-bench JSON (bench -- engine --out) against the checked-in \
+         baseline. Deterministic fields (counts, words/op) gate hard within the tolerance; \
+         wall-clock fields are reported but never fail the check.";
+    ]
   in
   let baseline =
     Arg.(required & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
@@ -403,7 +402,7 @@ let bench_check_cmd =
            ~doc:"Allowed relative drift for deterministic fields (absolute floor of the same \
                  magnitude for near-zero baselines).")
   in
-  Cmd.v (Cmd.info "bench-check" ~doc) Term.(const bench_check $ baseline $ fresh $ tolerance)
+  Cmd.v (Cmd.info "bench-check" ~doc ~man) Term.(const bench_check $ baseline $ fresh $ tolerance)
 
 (* ---- series ------------------------------------------------------------------ *)
 
@@ -461,11 +460,15 @@ let series scenario system seed csv json out check =
   end
 
 let series_cmd =
-  let doc =
-    "Windowed telemetry timelines: run one scenario and print per-series sparklines (queue \
-     depths, apply throughput, visibility p99 per 50 sim-ms window) with fault/heal and \
-     epoch-switch marks, the series-derived recovery point cross-checked against the \
-     drain-based recovery metric."
+  let doc = Harness.Cli_spec.summary "series" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Run one scenario and print per-series sparklines (queue depths, apply throughput, \
+         visibility p99 per 50 sim-ms window) with fault/heal and epoch-switch marks, the \
+         series-derived recovery point cross-checked against the drain-based recovery metric.";
+    ]
   in
   let scenario =
     Arg.(value & opt (enum scenario_enum) "partition" & info [ "scenario" ] ~doc:scenario_doc)
@@ -493,7 +496,7 @@ let series_cmd =
     Arg.(value & flag & info [ "check" ]
            ~doc:"Run the scenario twice and assert the series digests are byte-identical.")
   in
-  Cmd.v (Cmd.info "series" ~doc)
+  Cmd.v (Cmd.info "series" ~doc ~man)
     Term.(const series $ scenario $ system $ seed $ csv $ json $ out $ check)
 
 (* ---- faults ------------------------------------------------------------------ *)
@@ -524,10 +527,15 @@ let faults seed check digest_out =
   end
 
 let faults_cmd =
-  let doc =
-    "Run the fault-injection scenario matrix (serializer crash, transient partition, latency \
-     spike, and the reconfig-* epoch-switch rows) for Saturn and the baselines, check \
-     invariants — including the cross-epoch ones — and print recovery metrics."
+  let doc = Harness.Cli_spec.summary "faults" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Run the fault-injection scenario matrix (serializer crash, transient partition, latency \
+         spike, and the reconfig-* epoch-switch rows) for Saturn and the baselines, check \
+         invariants — including the cross-epoch ones — and print recovery metrics.";
+    ]
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.") in
   let check =
@@ -537,7 +545,7 @@ let faults_cmd =
     Arg.(value & opt (some string) None & info [ "digest-out" ] ~docv:"FILE"
            ~doc:"Write the matrix digest to FILE (for cross-run diffing in CI).")
   in
-  Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ seed $ check $ digest_out)
+  Cmd.v (Cmd.info "faults" ~doc ~man) Term.(const faults $ seed $ check $ digest_out)
 
 (* `saturn-cli trace --chrome out.json`: run the observability smoke scenario
    and export its span trace as Chrome trace-event JSON, viewable in Perfetto
@@ -554,7 +562,7 @@ let trace_chrome chrome seed =
     Printf.printf "open it in https://ui.perfetto.dev or chrome://tracing\n"
 
 let trace_cmd =
-  let doc = "Record or replay an operation trace, or export the smoke span trace." in
+  let doc = Harness.Cli_spec.summary "trace" in
   let record =
     let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
     let n_dcs = Arg.(value & opt int 3 & info [ "dcs" ] ~doc:"Datacenters.") in
@@ -582,11 +590,158 @@ let trace_cmd =
     ~default:Term.(const trace_chrome $ chrome $ seed)
     (Cmd.info "trace" ~doc) [ record; replay ]
 
+(* ---- blame ------------------------------------------------------------------- *)
+
+let blame_report ~scenario ~system ~seed =
+  if String.equal scenario "smoke" then (Harness.Obs.smoke ~seed ()).Harness.Obs.blame
+  else
+    Harness.Fault_run.blame (Harness.Fault_run.run_scenario ~seed ~scenario ~system ())
+
+let blame scenario system seed top out check =
+  let r = blame_report ~scenario ~system ~seed in
+  print_string (Harness.Blame.render ~top r);
+  (* the tiling invariant is not optional: a blame table whose parts do
+     not sum to the gap is a wrong answer, not a partial one *)
+  (match Harness.Blame.check r with
+  | Ok () ->
+    Printf.printf "blame check: OK (%d journeys, every blame sums to its gap)\n"
+      (List.length r.Harness.Blame.blamed)
+  | Error mismatches ->
+    Printf.printf "blame check: FAILED\n";
+    List.iter (fun m -> Printf.printf "  %s\n" m) mismatches;
+    exit 1);
+  (match out with
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let write name s =
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    write "blame.txt" (Harness.Blame.render ~top r);
+    write "gap.csv" (Harness.Blame.gap_csv r)
+  | None -> ());
+  Printf.printf "blame digest: %s (%d journeys)\n" (Harness.Blame.digest r)
+    (List.length r.Harness.Blame.blamed);
+  if check then begin
+    let r2 = blame_report ~scenario ~system ~seed in
+    if String.equal (Harness.Blame.digest r) (Harness.Blame.digest r2) then
+      Printf.printf "determinism check: OK (%s)\n" (Harness.Blame.digest r)
+    else begin
+      Printf.printf "determinism check: FAILED (%s vs %s)\n" (Harness.Blame.digest r) (Harness.Blame.digest r2);
+      exit 1
+    end
+  end
+
+let blame_cmd =
+  let doc = Harness.Cli_spec.summary "blame" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replay one scenario's trace through the journey decomposition, compute each complete \
+         journey's optimal visibility from the topology's shortest bulk path, and attribute the \
+         gap (visibility minus optimal) to sink hold, serializer chains, configured delays, \
+         proxy ordering and off-optimal-route transit. Prints the per-part blame table, the \
+         culprit ranking by tail gap, and the top-K slowest journeys as annotated paths. The \
+         exact-tiling check (every journey's parts sum to its gap) always runs and fails the \
+         command on a mismatch.";
+    ]
+  in
+  let scenario =
+    Arg.(value & opt (enum scenario_enum) "smoke" & info [ "scenario" ] ~doc:scenario_doc)
+  in
+  let system =
+    Arg.(value & opt (enum [ ("saturn", `Saturn); ("eventual", `Eventual);
+                             ("eunomia", `Eunomia); ("okapi", `Okapi) ]) `Saturn
+         & info [ "system" ] ~doc:"saturn|eventual|eunomia|okapi (ignored by the smoke scenario).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario seed.") in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"K" ~doc:"Annotated slowest journeys to print.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write blame.txt and gap.csv under DIR (created if missing).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Run the scenario twice and assert the blame digests are byte-identical.")
+  in
+  Cmd.v (Cmd.info "blame" ~doc ~man)
+    Term.(const blame $ scenario $ system $ seed $ top $ out $ check)
+
+(* ---- diff -------------------------------------------------------------------- *)
+
+let diff a b =
+  let is_dir p = Sys.file_exists p && Sys.is_directory p in
+  let exists p =
+    if not (Sys.file_exists p) then begin
+      Printf.eprintf "diff: no such file or directory: %s\n" p;
+      exit 2
+    end
+  in
+  exists a;
+  exists b;
+  match (is_dir a, is_dir b) with
+  | true, true -> (
+    match Harness.Diff.dirs a b with
+    | [] -> Printf.printf "identical: %s and %s agree file by file\n" a b
+    | findings ->
+      List.iter (fun f -> print_endline (Harness.Diff.render f)) findings;
+      exit 1)
+  | false, false -> (
+    match Harness.Diff.files ~a ~b with
+    | Harness.Diff.Same -> Printf.printf "identical: %s and %s\n" a b
+    | Harness.Diff.Differs f ->
+      print_endline (Harness.Diff.render f);
+      exit 1)
+  | _ ->
+    Printf.eprintf "diff: %s and %s must both be files or both be directories\n" a b;
+    exit 2
+
+let diff_cmd =
+  let doc = Harness.Cli_spec.summary "diff" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compare two artifact files or directories from double runs of the same experiment and \
+         report the first diverging unit of meaning instead of a raw byte diff: the first \
+         diverging window for series CSVs (named by series and window start), the first drifted \
+         or missing counter for counter files, the first diverging journey and column for gap \
+         CSVs, and the first differing line otherwise. Exits 1 on any divergence.";
+    ]
+  in
+  let a = Arg.(required & pos 0 (some string) None & info [] ~docv:"A") in
+  let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"B") in
+  Cmd.v (Cmd.info "diff" ~doc ~man) Term.(const diff $ a $ b)
+
+(* ---- main -------------------------------------------------------------------- *)
+
 let () =
   let doc = "Saturn (EuroSys '17) reproduction toolkit" in
-  let info = Cmd.info "saturn-cli" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ matrix_cmd; plan_cmd; bench_cmd; bench_check_cmd; social_cmd; trace_cmd; obs_cmd;
-            faults_cmd; series_cmd ]))
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Subcommands (from Harness.Cli_spec, the single source of the surface):";
+      `Pre (Harness.Cli_spec.usage ());
+    ]
+  in
+  let info = Cmd.info "saturn-cli" ~version:"1.0.0" ~doc ~man in
+  let cmds =
+    [ matrix_cmd; plan_cmd; bench_cmd; bench_check_cmd; social_cmd; trace_cmd; obs_cmd;
+      faults_cmd; series_cmd; blame_cmd; diff_cmd ]
+  in
+  (* the registered surface must equal the spec — a drift in either
+     direction is a build bug, caught before any dispatch *)
+  let registered = List.sort String.compare (List.map Cmd.name cmds) in
+  let spec = List.sort String.compare Harness.Cli_spec.names in
+  if registered <> spec then begin
+    Printf.eprintf "saturn-cli: subcommands diverge from Harness.Cli_spec\n  registered: %s\n  spec: %s\n"
+      (String.concat " " registered) (String.concat " " spec);
+    exit 2
+  end;
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,20 @@
+(** The single source of truth for saturn-cli's subcommand surface.
+
+    The binary builds every [Cmd.info] doc string, the top-level usage
+    listing and a startup self-check from this list, and the test suite
+    asserts that each name here appears in [saturn-cli --help] — so a
+    subcommand can no longer be added to the binary without appearing in
+    the help, or documented here without existing. *)
+
+type sub = { name : string; summary : string }
+
+val subs : sub list
+(** Registration order — the order the usage listing shows. *)
+
+val names : string list
+
+val summary : string -> string
+(** @raise Invalid_argument on a name outside {!names}. *)
+
+val usage : unit -> string
+(** The generated "Subcommands:" body — one aligned line per entry. *)

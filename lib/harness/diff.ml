@@ -1,0 +1,185 @@
+type finding = {
+  file : string;
+  kind : string;
+  where : string;
+  a : string;
+  b : string;
+}
+
+type result = Same | Differs of finding
+
+let split_lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let split_csv l = String.split_on_char ',' l
+
+let differs ?(file = "") kind where a b = Differs { file; kind; where; a; b }
+
+(* ---- generic: first differing line ---------------------------------------- *)
+
+let lines ?(file = "") a b =
+  let la = split_lines a and lb = split_lines b in
+  let rec go i la lb =
+    match (la, lb) with
+    | [], [] -> Same
+    | x :: _, [] -> differs ~file "line" (Printf.sprintf "line %d" i) x "<absent>"
+    | [], y :: _ -> differs ~file "line" (Printf.sprintf "line %d" i) "<absent>" y
+    | x :: xs, y :: ys ->
+      if String.equal x y then go (i + 1) xs ys
+      else differs ~file "line" (Printf.sprintf "line %d" i) x y
+  in
+  go 1 la lb
+
+(* ---- counters: "name value" files ----------------------------------------- *)
+
+(* merge-walk the two name-sorted counter lists so a missing counter is
+   named as such rather than cascading into every later line *)
+let counters ?(file = "") a b =
+  let parse s =
+    split_lines s
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if l = "" || l.[0] = '#' then None
+           else
+             match String.index_opt l ' ' with
+             | Some i -> Some (String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1))
+             | None -> Some (l, ""))
+  in
+  let rec go la lb =
+    match (la, lb) with
+    | [], [] -> Same
+    | (n, v) :: _, [] -> differs ~file "counter" (Printf.sprintf "counter %s" n) v "<absent>"
+    | [], (n, v) :: _ -> differs ~file "counter" (Printf.sprintf "counter %s" n) "<absent>" v
+    | (na, va) :: xs, (nb, vb) :: ys ->
+      let c = String.compare na nb in
+      if c < 0 then differs ~file "counter" (Printf.sprintf "counter %s" na) va "<absent>"
+      else if c > 0 then differs ~file "counter" (Printf.sprintf "counter %s" nb) "<absent>" vb
+      else if String.equal va vb then go xs ys
+      else differs ~file "counter" (Printf.sprintf "counter %s" na) va vb
+  in
+  go (parse a) (parse b)
+
+(* ---- series CSV: name the first diverging window -------------------------- *)
+
+let series_csv ?(file = "") a b =
+  let la = split_lines a and lb = split_lines b in
+  let rec go i la lb =
+    match (la, lb) with
+    | [], [] -> Same
+    | x :: xs, y :: ys when String.equal x y -> go (i + 1) xs ys
+    | la, lb ->
+      let line = match (la, lb) with x :: _, _ -> x | _, y :: _ -> y | _ -> "" in
+      let where =
+        match split_csv line with
+        | name :: "annotation" :: _ :: start :: _ ->
+          Printf.sprintf "annotation %s at %sms" name start
+        | name :: _kind :: window :: start :: _ ->
+          Printf.sprintf "series %s window %s (start %sms)" name window start
+        | _ -> Printf.sprintf "line %d" i
+      in
+      let side = function [] -> "<absent>" | x :: _ -> x in
+      differs ~file "series" where (side la) (side lb)
+  in
+  go 1 la lb
+
+(* ---- journey gap CSV: name the journey and the column --------------------- *)
+
+let journeys ?(file = "") a b =
+  let parse s =
+    match split_lines s with
+    | [] -> ([], [])
+    | header :: rows ->
+      ( split_csv header,
+        List.map
+          (fun r ->
+            match split_csv r with
+            | o :: q :: d :: _ as cells -> ((o, q, d), cells, r)
+            | cells -> (("", "", ""), cells, r))
+          rows )
+  in
+  let ha, ra = parse a and hb, rb = parse b in
+  if ha <> hb then
+    differs ~file "journey" "header" (String.concat "," ha) (String.concat "," hb)
+  else
+    let jname (o, q, d) = Printf.sprintf "journey dc%s#%s -> dc%s" o q d in
+    (* rows are (origin, oseq, dst)-sorted on both sides: merge-walk *)
+    let rec go ra rb =
+      match (ra, rb) with
+      | [], [] -> Same
+      | (k, _, r) :: _, [] -> differs ~file "journey" (jname k) r "<absent>"
+      | [], (k, _, r) :: _ -> differs ~file "journey" (jname k) "<absent>" r
+      | (ka, ca, rowa) :: xs, (kb, cb, rowb) :: ys ->
+        let c = compare ka kb in
+        if c < 0 then differs ~file "journey" (jname ka) rowa "<absent>"
+        else if c > 0 then differs ~file "journey" (jname kb) "<absent>" rowb
+        else if String.equal rowa rowb then go xs ys
+        else
+          (* same journey, different numbers: name the first column off *)
+          let rec col hs ca cb =
+            match (hs, ca, cb) with
+            | h :: _, x :: _, y :: _ when not (String.equal x y) -> (h, x, y)
+            | _ :: hs, _ :: ca, _ :: cb -> col hs ca cb
+            | _ -> ("row", rowa, rowb)
+          in
+          let h, x, y = col ha ca cb in
+          differs ~file "journey" (Printf.sprintf "%s %s" (jname ka) h) x y
+    in
+    go ra rb
+
+(* ---- dispatch ------------------------------------------------------------- *)
+
+let basename path =
+  match String.rindex_opt path '/' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.equal (String.sub s (l - ls) ls) suffix
+
+let content ~file a b =
+  match basename file with
+  | "series.csv" -> series_csv ~file a b
+  | "gap.csv" -> journeys ~file a b
+  | base when ends_with ~suffix:"counters.txt" base || ends_with ~suffix:".counters" base ->
+    counters ~file a b
+  | _ -> lines ~file a b
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let files ~a ~b =
+  match (read_file a, read_file b) with
+  | ca, cb -> content ~file:(basename a) ca cb
+
+(* compare two artifact directories: every file present in either side,
+   name-sorted, one finding per differing or one-sided file *)
+let dirs a b =
+  let list d =
+    if Sys.file_exists d && Sys.is_directory d then
+      Sys.readdir d |> Array.to_list
+      |> List.filter (fun f -> not (Sys.is_directory (Filename.concat d f)))
+      |> List.sort String.compare
+    else []
+  in
+  let fa = list a and fb = list b in
+  let all = List.sort_uniq String.compare (fa @ fb) in
+  List.filter_map
+    (fun f ->
+      let ina = List.mem f fa and inb = List.mem f fb in
+      if not ina then Some { file = f; kind = "missing"; where = "file"; a = "<absent>"; b = "present" }
+      else if not inb then
+        Some { file = f; kind = "missing"; where = "file"; a = "present"; b = "<absent>" }
+      else
+        match
+          content ~file:f (read_file (Filename.concat a f)) (read_file (Filename.concat b f))
+        with
+        | Same -> None
+        | Differs d -> Some d)
+    all
+
+let render f =
+  let where = if f.file = "" then f.where else Printf.sprintf "%s: %s" f.file f.where in
+  Printf.sprintf "first divergence at %s\n  A: %s\n  B: %s" where f.a f.b

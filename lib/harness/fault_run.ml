@@ -14,6 +14,7 @@ type outcome = {
   series : Stats.Series.t;
   fault_at_us : int option;
   heal_at_us : int option;
+  probe : Sim.Probe.t;
 }
 
 let scenario_names =
@@ -209,6 +210,10 @@ let run_one ~seed ~scenario ~system ~busiest =
   let recovery = ref None in
   let series = Stats.Series.create () in
   let vis_series = Stats.Series.hist series "series.vis_ms" in
+  let optimal =
+    Blame.optimal_matrix ~topo:spec.Build.topo ~dc_sites ~bulk_factor:spec.Build.bulk_factor
+  in
+  let gap_series = Stats.Series.hist series "series.gap_ms" in
   let fault_at_us = ref None in
   let heal_at_us = ref None in
   let ops =
@@ -240,10 +245,15 @@ let run_one ~seed ~scenario ~system ~busiest =
                     | Faults.Plan.Latency_reset _ -> "heal"
                     | _ -> "fault" ))
                 (Faults.Plan.events plan)));
-        Metrics.subscribe metrics (fun ~dc:_ ~key:_ ~origin_dc:_ ~origin_time ~value:_ ->
+        Metrics.subscribe metrics (fun ~dc ~key:_ ~origin_dc ~origin_time ~value:_ ->
             let now = Sim.Engine.now engine in
-            Stats.Series.observe vis_series ~now
-              (Sim.Time.to_ms_float (Sim.Time.sub now origin_time)));
+            let ms = Sim.Time.to_ms_float (Sim.Time.sub now origin_time) in
+            Stats.Series.observe vis_series ~now ms;
+            (* the same event's gap over the shortest-bulk-path optimum:
+               during a fault the gap series spikes while the optimum stays
+               put, so gap recovery isolates the avoidable part *)
+            Stats.Series.observe gap_series ~now
+              (ms -. (float_of_int optimal.(origin_dc).(dc) /. 1000.)));
         (match fault_ref plan with
         | None -> ()
         | Some fr ->
@@ -289,6 +299,7 @@ let run_one ~seed ~scenario ~system ~busiest =
     series;
     fault_at_us = !fault_at_us;
     heal_at_us = !heal_at_us;
+    probe;
   }
 
 let run_scenario ?(seed = 42) ~scenario ~system () =
@@ -302,19 +313,32 @@ let run_scenario ?(seed = 42) ~scenario ~system () =
   in
   run_one ~seed ~scenario ~system ~busiest
 
-let series_recovery_ms o =
+(* blame the scenario's own trace against the same deployment's optimum:
+   the spec (topology, bulk factor) is this module's, so the CLI cannot
+   pair a fault trace with the wrong matrix *)
+let blame o =
+  let spec = spec () in
+  let optimal =
+    Blame.optimal_matrix ~topo:spec.Build.topo ~dc_sites ~bulk_factor:spec.Build.bulk_factor
+  in
+  Blame.analyze ~optimal (Journey.analyze o.probe)
+
+let recovery_on o name =
   match (o.fault_at_us, o.heal_at_us) with
   | Some fault_at_us, Some heal_at_us ->
     let window_us = Sim.Time.to_us (Stats.Series.window o.series) in
-    (match Stats.Series.kind_of o.series "series.vis_ms" with
+    (match Stats.Series.kind_of o.series name with
     | None -> None
     | Some _ ->
       Stats.Series.recovery_window ~window_us ~fault_at_us ~heal_at_us ~slack:1.0
-        (Stats.Series.primary o.series "series.vis_ms")
+        (Stats.Series.primary o.series name)
       |> Option.map (fun w ->
              (* quantized to window starts, like the series itself *)
              (float_of_int (w * window_us) -. float_of_int heal_at_us) /. 1000.))
   | _ -> None
+
+let series_recovery_ms o = recovery_on o "series.vis_ms"
+let gap_recovery_ms o = recovery_on o "series.gap_ms"
 
 let recovery_agrees o =
   match (series_recovery_ms o, o.heal_at_us) with
@@ -370,13 +394,17 @@ let timeline_string o =
        in
        pf "  %-*s |%s| %s\n" name_w "" (Bytes.to_string marks) legend
      end);
-    match series_recovery_ms o with
+    (match series_recovery_ms o with
     | Some ms ->
       pf
         "  series recovery (vis p99 back to steady state): %.1f ms after heal; drain-based \
          faults.recovery_ms: %.1f; same window +/-1: %s\n"
         ms o.recovery_ms
         (match recovery_agrees o with Some true -> "yes" | Some false -> "NO" | None -> "n/a")
+    | None -> ());
+    match gap_recovery_ms o with
+    | Some ms ->
+      pf "  gap recovery (optimality gap p99 back to steady state): %.1f ms after heal\n" ms
     | None -> ()
   end;
   Buffer.contents buf
@@ -420,8 +448,8 @@ let print outcomes =
     Stats.Table.create ~title:"fault scenario matrix"
       ~columns:
         [
-          "scenario"; "system"; "ops"; "vis ms"; "p99 ms"; "recovery ms"; "resends"; "drops";
-          "head-chg"; "switch"; "violations";
+          "scenario"; "system"; "ops"; "vis ms"; "p99 ms"; "recovery ms"; "gap rec ms"; "resends";
+          "drops"; "head-chg"; "switch"; "violations";
         ]
   in
   List.iter
@@ -435,6 +463,7 @@ let print outcomes =
           Printf.sprintf "%.1f" o.vis_mean_ms;
           Printf.sprintf "%.1f" o.vis_p99_ms;
           Printf.sprintf "%.1f" o.recovery_ms;
+          (match gap_recovery_ms o with Some ms -> Printf.sprintf "%.1f" ms | None -> "-");
           string_of_int r.Faults.Checker.resends;
           string_of_int (r.Faults.Checker.drops_cut + r.Faults.Checker.drops_down);
           string_of_int r.Faults.Checker.head_changes;

@@ -46,6 +46,9 @@ type outcome = {
   heal_at_us : int option;
       (** the restorative reference that [recovery_ms] measures from: the
           plan's last heal, or its last event when nothing heals *)
+  probe : Sim.Probe.t;
+      (** the run's kept trace — what [saturn-cli blame --scenario] feeds
+          through {!Journey.analyze} and {!Blame.analyze} *)
 }
 
 val scenario_names : string list
@@ -80,6 +83,20 @@ val series_recovery_ms : outcome -> float option
     calibration windows, or never recovered. Independent of — and a
     cross-check on — the drain-based [recovery_ms]; the two agree to within
     one window width. *)
+
+val blame : outcome -> Blame.report
+(** Optimality-gap attribution over the outcome's trace, against the
+    optimal matrix of this module's own deployment spec — what
+    [saturn-cli blame --scenario <fault>] prints. *)
+
+val gap_recovery_ms : outcome -> float option
+(** Like {!series_recovery_ms} but over [series.gap_ms] — the per-event
+    visibility gap above the shortest-bulk-path optimum. Because the
+    optimum is constant per (origin, dst) pair, this isolates recovery of
+    the {e avoidable} latency: it lands with {!series_recovery_ms} when
+    the fault inflated every journey uniformly, and earlier when the tail
+    was all route overhead. Reported per scenario in the matrix table
+    ("gap rec ms") next to the drain-based [recovery_ms]. *)
 
 val recovery_agrees : outcome -> bool option
 (** Whether the two recovery measurements land in the same window ±1 —

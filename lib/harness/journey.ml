@@ -28,6 +28,7 @@ type journey = {
   visibility_us : int;
   total_us : int;
   parts : (segment * int) list;
+  path : int list;
 }
 
 type seg_stat = { segment : segment; journeys : int; total_us : int; p50_ms : float; p99_ms : float }
@@ -200,7 +201,9 @@ let analyze probe =
                       Printf.sprintf "%s: segments sum %dus, visibility %dus" (who dst) total_us
                         visibility_us
                       :: !mismatches;
-                  journeys := { origin; oseq; dst; visibility_us; total_us; parts } :: !journeys
+                  let path = s0 :: List.map (fun (_, b, _) -> b) edges in
+                  journeys :=
+                    { origin; oseq; dst; visibility_us; total_us; parts; path } :: !journeys
                 end)))
         (List.sort compare (Option.value ~default:[] (Hashtbl.find_opt dsts_of lid))))
     (List.sort compare !forwards);
@@ -209,7 +212,9 @@ let analyze probe =
   let per_segment =
     List.map
       (fun seg ->
-        let hist = Stats.Histogram.create ~lo:0. ~hi:1000. ~buckets:1000 in
+        (* log-bucketed µs: a 30 µs chain commit and a 40 ms hop resolve
+           equally well, where linear ms buckets flattened the former *)
+        let hist = Stats.Hdr.create () in
         let n = ref 0 and total = ref 0 in
         List.iter
           (fun j ->
@@ -217,15 +222,15 @@ let analyze probe =
             if List.exists (fun (s, _) -> s = seg) j.parts then begin
               incr n;
               total := !total + us;
-              Stats.Histogram.add hist (float_of_int us /. 1000.)
+              Stats.Hdr.add hist us
             end)
           journeys;
         {
           segment = seg;
           journeys = !n;
           total_us = !total;
-          p50_ms = (if !n = 0 then 0. else Stats.Histogram.percentile hist 50.);
-          p99_ms = (if !n = 0 then 0. else Stats.Histogram.percentile hist 99.);
+          p50_ms = (if !n = 0 then 0. else Stats.Hdr.percentile hist 50. /. 1000.);
+          p99_ms = (if !n = 0 then 0. else Stats.Hdr.percentile hist 99. /. 1000.);
         })
       segments
   in

@@ -44,6 +44,8 @@ type journey = {
   visibility_us : int;  (** proxy apply instant − sink offer instant *)
   total_us : int;  (** sum over [parts] — equals [visibility_us] or it's a mismatch *)
   parts : (segment * int) list;  (** per-leg µs, path order; [Chain]/[Hop] repeat per serializer *)
+  path : int list;  (** serializer ids visited, attach point first — the
+                        identity [Blame] needs to pin overhead on edges *)
 }
 
 type seg_stat = {

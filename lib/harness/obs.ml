@@ -5,6 +5,7 @@ type result = {
   registry : Stats.Registry.t;
   series : Stats.Series.t;
   probe : Sim.Probe.t;
+  blame : Blame.report;
 }
 
 (* the shared deployment shapes live in Build so the fault matrix can use
@@ -36,11 +37,17 @@ let smoke ?(seed = 42) () =
   let vis_hist = Stats.Registry.histogram registry "smoke.visibility_ms" ~lo:0. ~hi:1000. ~buckets:40 in
   let series = Stats.Series.create () in
   let vis_series = Stats.Series.hist series "series.vis_ms" in
-  Metrics.subscribe metrics (fun ~dc:_ ~key:_ ~origin_dc:_ ~origin_time ~value:_ ->
+  (* the optimality floor per (origin, dst): shortest bulk path, the same
+     matrix Blame attributes against after the run *)
+  let optimal = Blame.optimal_matrix ~topo ~dc_sites ~bulk_factor:spec.Build.bulk_factor in
+  let gap_series = Stats.Series.hist series "series.gap_ms" in
+  Metrics.subscribe metrics (fun ~dc ~key:_ ~origin_dc ~origin_time ~value:_ ->
       let now = Sim.Engine.now engine in
       let ms = Sim.Time.to_ms_float (Sim.Time.sub now origin_time) in
       Stats.Histogram.add vis_hist ms;
-      Stats.Series.observe vis_series ~now ms);
+      Stats.Series.observe vis_series ~now ms;
+      Stats.Series.observe gap_series ~now
+        (ms -. (float_of_int optimal.(origin_dc).(dc) /. 1000.)));
   let driver_result =
     Sim.Probe.with_probe probe (fun () ->
         let api, _system = Build.saturn ~registry ~series engine spec metrics in
@@ -72,6 +79,11 @@ let smoke ?(seed = 42) () =
       let total = Array.fold_left (fun acc p -> acc + p.Stats.Series.count) 0 (Stats.Series.points series name) in
       Stats.Registry.incr ~by:total (Stats.Registry.counter registry (name ^ ".n")))
     (Stats.Series.names series);
+  (* the blame pass: optimality-gap attribution over the journey report,
+     with its aggregates folded into the counter baseline so a silent
+     attribution change trips the probe-counter gate *)
+  let blame = Blame.analyze ~optimal (Journey.analyze probe) in
+  Blame.fold_counters blame registry;
   {
     digest = Sim.Probe.digest probe;
     n_events = Sim.Probe.count probe;
@@ -79,6 +91,7 @@ let smoke ?(seed = 42) () =
     registry;
     series;
     probe;
+    blame;
   }
 
 let write_artifacts r ~out_dir =
@@ -98,6 +111,8 @@ let write_artifacts r ~out_dir =
         output_char oc '\n');
     file "series.csv" (fun oc -> output_string oc (Stats.Series.to_csv r.series));
     file "series.json" (fun oc -> output_string oc (Stats.Series.to_json r.series));
+    file "blame.txt" (fun oc -> output_string oc (Blame.render r.blame));
+    file "gap.csv" (fun oc -> output_string oc (Blame.gap_csv r.blame));
     file "reconfig.timeline.txt" (fun oc ->
         (* the migration view rides along with the smoke artifacts: a fresh
            fixed-seed reconfig-cut run (graceful epoch switch composed with

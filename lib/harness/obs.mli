@@ -15,6 +15,10 @@ type result = {
   registry : Stats.Registry.t;
   series : Stats.Series.t;  (** windowed telemetry, sealed at run end *)
   probe : Sim.Probe.t;
+  blame : Blame.report;
+      (** optimality-gap attribution over the run's complete journeys;
+          rendered as the [blame.txt]/[gap.csv] artifacts and folded into
+          the counter baseline as the [blame.*] family *)
 }
 
 val topo3 : unit -> Sim.Topology.t
@@ -31,7 +35,10 @@ val smoke : ?seed:int -> unit -> result
     registry also collects per-subsystem matched-span time as
     [span.<kind>.us] counters next to the [probe.*] event counts, and each
     windowed series' total sample count as [series.<name>.n] counters so
-    the counter gate catches a series going silent. *)
+    the counter gate catches a series going silent. Next to [series.vis_ms]
+    a [series.gap_ms] histogram series records each visible event's gap
+    over its shortest-bulk-path optimum — the time-resolved face of the
+    blame report. *)
 
 val run_smoke : ?seed:int -> ?out_dir:string -> unit -> result
 (** {!smoke}, then prints the registry table and the digest to stdout and,

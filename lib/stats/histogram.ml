@@ -72,10 +72,3 @@ let merge a b =
 
 let underflow t = t.under
 let overflow t = t.over
-
-let reset t =
-  Array.fill t.counts 0 (Array.length t.counts) 0;
-  t.n <- 0;
-  t.sum <- 0.;
-  t.under <- 0;
-  t.over <- 0

@@ -20,15 +20,8 @@ val percentile : t -> float -> float
 
 val merge : t -> t -> t
 (** Pointwise sum; both histograms must share the same geometry.
-    [merge] allocates a fresh histogram: neither input aliases the result,
-    so a later [reset] of either input leaves the merged histogram intact.
+    [merge] allocates a fresh histogram: neither input aliases the result.
     @raise Invalid_argument otherwise. *)
-
-val reset : t -> unit
-(** Zero all buckets, the count, the sum and both overflow counters while
-    keeping the geometry. Lets a hot path reuse one allocation per window
-    (summarize, [reset], refill) instead of reallocating; a reset histogram
-    still [merge]s with its former peers since geometry is preserved. *)
 
 val underflow : t -> int
 val overflow : t -> int

@@ -12,11 +12,11 @@ type point = {
 let empty_point = { count = 0; vmin = 0.; vmean = 0.; vmax = 0.; p50 = 0.; p99 = 0. }
 
 (* per-window accumulator; one histogram allocation is reused across windows
-   via [Histogram.reset] *)
+   via [Hdr.reset] *)
 type acc =
   | A_counter of { mutable delta : int }
   | A_gauge of { mutable n : int; mutable sum : float; mutable gmin : float; mutable gmax : float }
-  | A_hist of { h : Histogram.t; mutable hmin : float; mutable hmax : float }
+  | A_hist of { h : Hdr.t; mutable hmin : float; mutable hmax : float }
 
 type series = {
   s_name : string;
@@ -52,18 +52,18 @@ let tick_period t = Sim.Time.of_us (max 1 (t.window_us / t.samples_per_window))
 
 let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Hist -> "hist"
 
-(* visibility latencies are milliseconds; 1ms buckets up to 2s cover the
-   fault scenarios with the tail landing in the overflow bucket, and are
-   fine enough that a few-ms p99 shift (a queueing transient on an
-   otherwise-bounded apply path) still moves the reported percentile *)
-let hist_geometry = (0., 2000., 2000)
+(* histogram series take millisecond observations but store integer
+   microseconds in log-bucketed [Hdr] histograms: constant relative error
+   (< 0.8% at the default geometry) from a 30 µs chain commit to a
+   multi-second fault-era tail, where the previous 1 ms linear buckets
+   both saturated above 2 s and flattened everything below 1 ms *)
+let us_of_ms v = int_of_float (Float.round (v *. 1000.))
+let ms_of_us v = v /. 1000.
 
 let fresh_acc = function
   | Counter -> A_counter { delta = 0 }
   | Gauge -> A_gauge { n = 0; sum = 0.; gmin = 0.; gmax = 0. }
-  | Hist ->
-    let lo, hi, buckets = hist_geometry in
-    A_hist { h = Histogram.create ~lo ~hi ~buckets; hmin = 0.; hmax = 0. }
+  | Hist -> A_hist { h = Hdr.create (); hmin = 0.; hmax = 0. }
 
 let register t name k pull =
   if not (String.length name > 7 && String.sub name 0 7 = "series.") then
@@ -106,14 +106,14 @@ let close_acc s =
       p
     end
   | A_hist a ->
-    let n = Histogram.count a.h in
+    let n = Hdr.count a.h in
     if n = 0 then empty_point
     else begin
       let p =
-        { count = n; vmin = a.hmin; vmean = Histogram.mean a.h; vmax = a.hmax;
-          p50 = Histogram.percentile a.h 50.; p99 = Histogram.percentile a.h 99. }
+        { count = n; vmin = a.hmin; vmean = ms_of_us (Hdr.mean a.h); vmax = a.hmax;
+          p50 = ms_of_us (Hdr.percentile a.h 50.); p99 = ms_of_us (Hdr.percentile a.h 99.) }
       in
-      Histogram.reset a.h;
+      Hdr.reset a.h;
       a.hmin <- 0.;
       a.hmax <- 0.;
       p
@@ -157,7 +157,7 @@ let observe (s : hist) ~now v =
   enter s ~now;
   match s.acc with
   | A_hist a ->
-    if Histogram.count a.h = 0 then begin
+    if Hdr.count a.h = 0 then begin
       a.hmin <- v;
       a.hmax <- v
     end
@@ -165,7 +165,7 @@ let observe (s : hist) ~now v =
       if v < a.hmin then a.hmin <- v;
       if v > a.hmax then a.hmax <- v
     end;
-    Histogram.add a.h v
+    Hdr.add a.h (us_of_ms v)
   | A_counter _ | A_gauge _ -> assert false
 
 let gauge_record s v =

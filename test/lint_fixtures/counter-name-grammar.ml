@@ -6,6 +6,9 @@
 (* --bad-- *)
 (* @file lib/fixture.ml *)
 let c reg = Stats.Registry.counter reg "Commit Count"
+let g reg = Stats.Registry.counter reg "blame gap us"
 (* --good-- *)
 (* @file lib/fixture.ml *)
 let c reg = Stats.Registry.counter reg "serializer.commits"
+let g reg = Stats.Registry.counter reg "blame.gap.us"
+let p reg part = Stats.Registry.counter reg (Printf.sprintf "blame.part.%s.us" part)

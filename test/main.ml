@@ -6,6 +6,7 @@ let () =
       ("series", Test_series.suite);
       ("obs", Test_obs.suite);
       ("spans", Test_spans.suite);
+      ("blame", Test_blame.suite);
       ("kvstore", Test_kvstore.suite);
       ("label", Test_label.suite);
       ("tree", Test_tree.suite);

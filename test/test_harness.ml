@@ -84,10 +84,64 @@ let test_scenario_smoke () =
     Alcotest.failf "saturn staleness (%.1f) should be far below gentlerain (%.1f)" (extra sat) (extra gr);
   ignore (t gr)
 
+(* the CLI's subcommand list is single-sourced from Harness.Cli_spec: the
+   built binary's --help must mention every declared subcommand, so a new
+   subcommand wired into the CLI but missing from the spec (or vice
+   versa — the binary refuses to start on a mismatch) cannot ship with
+   stale top-level usage *)
+let test_cli_help_lists_subcommands () =
+  (* resolve the built CLI next to this test binary so the test works from
+     both `dune runtest` (sandbox cwd) and `dune exec` (repo-root cwd) *)
+  let exe =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      (Filename.concat "bin" "saturn_cli.exe")
+  in
+  if not (Sys.file_exists exe) then Alcotest.failf "saturn_cli.exe not built at %s" exe;
+  let ic = Unix.open_process_in (Filename.quote exe ^ " --help=plain 2>/dev/null") in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "saturn-cli --help exited nonzero");
+  let help = Buffer.contents buf in
+  let has_sub ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.equal (String.sub s i n) sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (Printf.sprintf "--help mentions %s" name) true (has_sub ~sub:name help);
+      Alcotest.(check bool)
+        (Printf.sprintf "--help carries %s's one-line summary" name)
+        true
+        (has_sub ~sub:(Harness.Cli_spec.summary name) help))
+    Harness.Cli_spec.names;
+  (* the generated usage block is itself built from the same list *)
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " in usage") true
+      (has_sub ~sub:name (Harness.Cli_spec.usage ())))
+    Harness.Cli_spec.names;
+  (* names/summary/usage are all views of the one subs list *)
+  Alcotest.(check (list string)) "names is the subs projection"
+    (List.map (fun (s : Harness.Cli_spec.sub) -> s.Harness.Cli_spec.name) Harness.Cli_spec.subs)
+    Harness.Cli_spec.names;
+  List.iter
+    (fun (s : Harness.Cli_spec.sub) ->
+      Alcotest.(check bool) (s.Harness.Cli_spec.name ^ " has a summary") true
+        (String.length s.Harness.Cli_spec.summary > 0))
+    Harness.Cli_spec.subs
+
 let suite =
   [
     Alcotest.test_case "metrics windowing" `Quick test_metrics_windowing;
     Alcotest.test_case "metrics observers ignore the window" `Quick test_metrics_subscribe_ignores_window;
     Alcotest.test_case "driver counts only the window" `Quick test_driver_counts_window_only;
     Alcotest.test_case "scenario smoke: headline ordering" `Slow test_scenario_smoke;
+    Alcotest.test_case "cli --help lists every subcommand" `Quick test_cli_help_lists_subcommands;
   ]

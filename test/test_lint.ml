@@ -292,6 +292,30 @@ let h reg system =
   Alcotest.check slist "unregistered meta.bytes metric reported" [ Lint.Rules.r_counter ]
     (rules_of r)
 
+let test_r4_blame_family () =
+  (* the blame.* family: scalar aggregates registered with plain literals,
+     per-part totals with a sprintf literal that must glob to
+     blame.part.*.us and cover the smoke baseline's per-part names *)
+  let sources =
+    [
+      ( "lib/a.ml",
+        {|let j reg = Stats.Registry.counter reg "blame.journeys"
+let g reg = Stats.Registry.counter reg "blame.gap.us"
+let p reg name = Stats.Registry.counter reg (Printf.sprintf "blame.part.%s.us" name)
+|}
+      );
+    ]
+  in
+  let covered =
+    "blame.journeys 7811\nblame.gap.us 11374413\nblame.part.sink_hold.us 3823191\n\
+     blame.part.transit_excess.us 0\n"
+  in
+  let r = run ~baseline:("ci/smoke-counters.txt", covered) sources in
+  Alcotest.check slist "blame baseline names covered" [] (rules_of r);
+  let stale = "blame.part.sink_hold.us 3823191\nblame.tail.us 12\n" in
+  let r = run ~baseline:("ci/smoke-counters.txt", stale) sources in
+  Alcotest.check slist "unregistered blame metric reported" [ Lint.Rules.r_counter ] (rules_of r)
+
 let test_glob () =
   let m p s = Lint.Rules.matches ~pattern:p s in
   Alcotest.(check bool) "star spans" true (m "span.*.us" "span.label_walk.us");
@@ -830,6 +854,7 @@ let suite =
     Alcotest.test_case "R4 series name prefix" `Quick test_r4_series_prefix;
     Alcotest.test_case "R4 baseline coverage" `Quick test_r4_baseline_coverage;
     Alcotest.test_case "R4 meta.bytes grammar" `Quick test_r4_meta_bytes_grammar;
+    Alcotest.test_case "R4 blame family" `Quick test_r4_blame_family;
     Alcotest.test_case "glob matcher" `Quick test_glob;
     Alcotest.test_case "R6 chain reaches sink" `Quick test_r6_chain_reaches_sink;
     Alcotest.test_case "R6 fold taint reaches registry" `Quick

@@ -140,6 +140,22 @@ let test_recovery_window_boundary () =
   Alcotest.(check (option int)) "heal one us before the boundary" (Some 8)
     (Stats.Series.recovery_window ~window_us:w ~fault_at_us:(4 * w) ~heal_at_us:((8 * w) - 1) v2)
 
+(* degenerate inputs: an empty series has no steady state and no windows
+   to scan, and a series that only recovers in its very last window must
+   still report that window rather than treating the array end as a miss *)
+let test_recovery_window_edges () =
+  let w = 50_000 in
+  Alcotest.(check (option int)) "empty series" None
+    (Stats.Series.recovery_window ~window_us:w ~fault_at_us:(2 * w) ~heal_at_us:(4 * w) [||]);
+  (* elevated all the way through the penultimate window: the final window
+     is the first (and only) recovered one *)
+  let v = Array.init 12 (fun i -> if i >= 4 && i < 11 then 100. else 10.) in
+  Alcotest.(check (option int)) "recovery at the final window" (Some 11)
+    (Stats.Series.recovery_window ~window_us:w ~fault_at_us:(4 * w) ~heal_at_us:(6 * w) v);
+  (* heal lands past the end of the recorded windows: nothing to scan *)
+  Alcotest.(check (option int)) "heal beyond the recorded range" None
+    (Stats.Series.recovery_window ~window_us:w ~fault_at_us:(4 * w) ~heal_at_us:(20 * w) v)
+
 (* when the series never returns to steady state, the window-derived
    recovery is None and the agreement cross-check declines to answer
    rather than reporting a spurious (dis)agreement *)
@@ -171,6 +187,7 @@ let test_recovery_never_happens () =
       series;
       fault_at_us = Some 400_000;
       heal_at_us = Some 700_000;
+      probe = Sim.Probe.create ();
     }
   in
   Alcotest.(check (option (float 1e-9))) "series_recovery_ms is None" None
@@ -333,6 +350,8 @@ let suite =
     Alcotest.test_case "recovery-point detection" `Quick test_recovery_window;
     Alcotest.test_case "recovery window: fault/heal exactly on a boundary" `Quick
       test_recovery_window_boundary;
+    Alcotest.test_case "recovery window: empty series, final-window recovery" `Quick
+      test_recovery_window_edges;
     Alcotest.test_case "recovery never happens: series answer is None" `Quick
       test_recovery_never_happens;
     Alcotest.test_case "annotations: ordering, csv/json rows, digest coverage" `Quick

@@ -122,6 +122,79 @@ let test_meta_bytes_tiling () =
     (Invalid_argument "Meta_bytes.record_op: negative bytes or fanout") (fun () ->
       Stats.Meta_bytes.record_op m ~bytes:(-1) ~fanout:1)
 
+(* ---- Hdr: log-bucketed histogram ------------------------------------------ *)
+
+let test_hdr_basics () =
+  let h = Stats.Hdr.create () in
+  Alcotest.(check int) "empty count" 0 (Stats.Hdr.count h);
+  Alcotest.(check int) "empty max" 0 (Stats.Hdr.max_value h);
+  List.iter (Stats.Hdr.add h) [ 5; 1; 1000; 40_000; 3 ];
+  Alcotest.(check int) "count" 5 (Stats.Hdr.count h);
+  Alcotest.(check int) "max is exact" 40_000 (Stats.Hdr.max_value h);
+  Alcotest.(check int) "min is exact" 1 (Stats.Hdr.min_value h);
+  Alcotest.(check (float 1e-9)) "mean is exact (sum is kept raw)" 8201.8 (Stats.Hdr.mean h);
+  (* values below 2^sub_bits land in unit buckets: percentiles are exact *)
+  Alcotest.(check (float 1e-9)) "p0 exact in unit range" 1. (Stats.Hdr.percentile h 0.);
+  Alcotest.(check (float 1e-9)) "top rank reports the exact max" 40_000.
+    (Stats.Hdr.percentile h 100.);
+  Stats.Hdr.add h (-3);
+  Alcotest.(check int) "negatives counted apart" 1 (Stats.Hdr.negatives h);
+  Alcotest.(check int) "negatives excluded from the distribution" 5 (Stats.Hdr.count h);
+  Stats.Hdr.reset h;
+  Alcotest.(check int) "reset clears count" 0 (Stats.Hdr.count h);
+  Alcotest.(check int) "reset clears negatives" 0 (Stats.Hdr.negatives h);
+  Alcotest.check_raises "sub_bits out of range rejected"
+    (Invalid_argument "Hdr.create: sub_bits outside [0, 16]") (fun () ->
+      ignore (Stats.Hdr.create ~sub_bits:17 ()))
+
+let test_hdr_relative_error () =
+  (* the contract the Series/Journey migration buys: every percentile's
+     representative is within 2^-sub_bits (0.8% at the default) of some
+     recorded value, at every magnitude *)
+  let h = Stats.Hdr.create () in
+  let values = List.init 400 (fun i -> 31 + (i * 997)) in
+  List.iter (Stats.Hdr.add h) values;
+  List.iter
+    (fun p ->
+      let v = Stats.Hdr.percentile h p in
+      let nearest =
+        List.fold_left
+          (fun acc x ->
+            if Float.abs (float_of_int x -. v) < Float.abs (float_of_int acc -. v) then x else acc)
+          (List.hd values) values
+      in
+      let rel = Float.abs (v -. float_of_int nearest) /. float_of_int nearest in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f representative within 0.8%% (got %.4f)" p rel)
+        true (rel < 0.008))
+    [ 1.; 25.; 50.; 75.; 90.; 99.; 99.9 ]
+
+let test_hdr_merge () =
+  let a = Stats.Hdr.create () and b = Stats.Hdr.create () in
+  List.iter (Stats.Hdr.add a) [ 10; 20 ];
+  List.iter (Stats.Hdr.add b) [ 30_000; -1 ];
+  let m = Stats.Hdr.merge a b in
+  Alcotest.(check int) "merged count" 3 (Stats.Hdr.count m);
+  Alcotest.(check int) "merged negatives" 1 (Stats.Hdr.negatives m);
+  Alcotest.(check int) "merged max" 30_000 (Stats.Hdr.max_value m);
+  Alcotest.(check int) "merged min" 10 (Stats.Hdr.min_value m);
+  (* fresh result: resetting an input leaves the merge intact *)
+  Stats.Hdr.reset a;
+  Alcotest.(check int) "merge survives input reset" 3 (Stats.Hdr.count m);
+  Alcotest.check_raises "geometry mismatch rejected"
+    (Invalid_argument "Hdr.merge: geometry mismatch") (fun () ->
+      ignore (Stats.Hdr.merge (Stats.Hdr.create ~sub_bits:4 ()) (Stats.Hdr.create ())))
+
+let prop_hdr_percentile_in_range =
+  QCheck.Test.make ~name:"hdr percentile stays within [min, max]" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (int_bound 1_000_000)) (int_bound 100))
+    (fun (xs, p) ->
+      let p = float_of_int p in
+      let h = Stats.Hdr.create () in
+      List.iter (Stats.Hdr.add h) xs;
+      let v = Stats.Hdr.percentile h p in
+      v >= float_of_int (Stats.Hdr.min_value h) && v <= float_of_int (Stats.Hdr.max_value h))
+
 let test_table_render () =
   let t = Stats.Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
   Stats.Table.add_row t [ "x"; "1" ];
@@ -145,6 +218,10 @@ let suite =
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     qtest prop_histogram_percentile_in_range;
+    Alcotest.test_case "hdr basics, negatives and reset" `Quick test_hdr_basics;
+    Alcotest.test_case "hdr constant relative error" `Quick test_hdr_relative_error;
+    Alcotest.test_case "hdr merge" `Quick test_hdr_merge;
+    qtest prop_hdr_percentile_in_range;
     Alcotest.test_case "meta-bytes accounting tiles per-op total" `Quick test_meta_bytes_tiling;
     Alcotest.test_case "table rendering" `Quick test_table_render;
   ]
